@@ -1,0 +1,125 @@
+// Ablations for two Plexus design choices:
+//
+//  1. Guard-chain demux cost: the paper's graph demultiplexes with linear
+//     guard evaluation. How does receive latency scale with the number of
+//     installed application endpoints?
+//
+//  2. UDP checksum on/off: the Section 1.1 motivating example — what does
+//     disabling the checksum buy an AV application, per packet size?
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "drivers/medium.h"
+
+namespace {
+
+// UDP RTT with `extra_endpoints` additional guarded endpoints installed on
+// the receiver (all on other ports, so every packet evaluates their guards).
+double RttWithEndpoints(int extra_endpoints) {
+  sim::Simulator sim;
+  drivers::EthernetSegment segment(sim);
+  const auto profile = drivers::DeviceProfile::Ethernet10();
+  const auto costs = sim::CostModel::Default1996();
+  core::PlexusHost a(sim, "a", costs, profile,
+                     {net::MacAddress::FromId(1), net::Ipv4Address(10, 0, 0, 1), 24});
+  core::PlexusHost b(sim, "b", costs, profile,
+                     {net::MacAddress::FromId(2), net::Ipv4Address(10, 0, 0, 2), 24});
+  a.AttachTo(segment);
+  b.AttachTo(segment);
+  a.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  b.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  std::vector<std::shared_ptr<core::UdpEndpoint>> extras;
+  for (int i = 0; i < extra_endpoints; ++i) {
+    auto ep = b.udp().CreateEndpoint(static_cast<std::uint16_t>(10000 + i)).value();
+    (void)ep->InstallReceiveHandler([](const net::Mbuf&, const proto::UdpDatagram&) {}, opts);
+    extras.push_back(std::move(ep));
+  }
+
+  auto client = a.udp().CreateEndpoint(5000).value();
+  auto server = b.udp().CreateEndpoint(7).value();
+  (void)server->InstallReceiveHandler(
+      [&](const net::Mbuf& p, const proto::UdpDatagram& info) {
+        server->Send(p.DeepCopy(), info.src_ip, info.src_port);
+      },
+      opts);
+
+  double total = 0;
+  int count = 0;
+  sim::TimePoint sent_at;
+  std::function<void()> send_ping = [&] {
+    a.Run([&] {
+      sent_at = sim.Now();
+      client->Send(net::Mbuf::FromString("12345678"), net::Ipv4Address(10, 0, 0, 2), 7);
+    });
+  };
+  (void)client->InstallReceiveHandler(
+      [&](const net::Mbuf&, const proto::UdpDatagram&) {
+        if (count > 0) total += (sim.Now() - sent_at).us();
+        if (++count < 17) send_ping();
+      },
+      opts);
+  send_ping();
+  sim.RunFor(sim::Duration::Seconds(10));
+  return count > 1 ? total / (count - 1) : -1;
+}
+
+// One-way send CPU cost with/without the UDP checksum, per payload size.
+double SendCpuUs(bool checksum, std::size_t payload) {
+  sim::Simulator sim;
+  drivers::PointToPointLink link(sim);
+  const auto profile = drivers::DeviceProfile::DecT3();
+  const auto costs = sim::CostModel::Default1996();
+  core::PlexusHost a(sim, "a", costs, profile,
+                     {net::MacAddress::FromId(1), net::Ipv4Address(10, 0, 0, 1), 24});
+  core::PlexusHost b(sim, "b", costs, profile,
+                     {net::MacAddress::FromId(2), net::Ipv4Address(10, 0, 0, 2), 24});
+  a.AttachTo(link);
+  b.AttachTo(link);
+  a.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  b.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  a.arp().AddStatic(net::Ipv4Address(10, 0, 0, 2), net::MacAddress::FromId(2));
+
+  auto ep = a.udp().CreateEndpoint(5000).value();
+  ep->set_checksum_enabled(checksum);
+  const int kSends = 64;
+  const sim::Duration before = a.host().cpu().busy_total();
+  std::vector<std::byte> msg(payload);
+  for (int i = 0; i < kSends; ++i) {
+    a.Run([&] { ep->Send(net::Mbuf::FromBytes(msg), net::Ipv4Address(10, 0, 0, 2), 7); });
+  }
+  sim.RunFor(sim::Duration::Seconds(5));
+  return (a.host().cpu().busy_total() - before).us() / kSends;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation 1: receive latency vs installed endpoints (guard-chain demux)\n");
+  std::printf("%12s %16s\n", "endpoints", "UDP RTT (us)");
+  double rtt_1 = 0, rtt_256 = 0;
+  for (int n : {0, 4, 16, 64, 256}) {
+    const double rtt = RttWithEndpoints(n);
+    std::printf("%12d %16.1f\n", n, rtt);
+    if (n == 0) rtt_1 = rtt;
+    if (n == 256) rtt_256 = rtt;
+  }
+  std::printf("  per-guard cost: ~%.0f ns/guard/packet (linear demux; the price of the\n"
+              "  decision-tree architecture)\n",
+              (rtt_256 - rtt_1) * 1000.0 / 256.0 / 2.0);
+
+  std::printf("\nAblation 2: sender CPU per UDP datagram, checksum on vs off (T3)\n");
+  std::printf("%12s %16s %16s %12s\n", "payload", "cksum on (us)", "cksum off (us)", "saved %");
+  for (std::size_t payload : {64ul, 512ul, 1400ul, 4096ul, 12500ul}) {
+    const double with_ck = SendCpuUs(true, payload);
+    const double without = SendCpuUs(false, payload);
+    std::printf("%12zu %16.1f %16.1f %11.1f%%\n", payload, with_ck, without,
+                (with_ck - without) / with_ck * 100.0);
+  }
+  std::printf("  (the Section 1.1 motivation: an AV-specific UDP that skips the checksum)\n");
+  return 0;
+}

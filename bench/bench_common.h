@@ -1,0 +1,88 @@
+// Shared measurement harness for the paper-reproduction benchmarks.
+//
+// Each function builds a fresh two- or three-host simulated network, runs
+// the workload, and returns the metric the paper reports. Everything is
+// deterministic; "measurement" means reading the virtual clock / CPU
+// accounting, not wall time.
+#ifndef PLEXUS_BENCH_BENCH_COMMON_H_
+#define PLEXUS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/plexus.h"
+#include "drivers/device_profile.h"
+#include "sim/cost_model.h"
+
+namespace bench {
+
+// --- Figure 5: UDP round-trip latency ------------------------------------------
+
+// Application-to-application RTT for `payload` bytes over `profile`, with
+// the application as an in-kernel Plexus extension.
+double PlexusUdpRttUs(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
+                      core::HandlerMode mode, std::size_t payload = 8, int pings = 16);
+
+// Same workload through the monolithic baseline's sockets.
+double OsUdpRttUs(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
+                  std::size_t payload = 8, int pings = 16);
+
+// "the minimal round trip time using our hardware as measured between the
+// device drivers": raw frame echo at interrupt level, no protocol stack.
+double DriverUdpRttUs(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
+                      std::size_t payload = 8, int pings = 16);
+
+// --- Section 4.2: TCP throughput -----------------------------------------------
+
+double PlexusTcpThroughputMbps(const drivers::DeviceProfile& profile,
+                               const sim::CostModel& costs,
+                               std::size_t transfer_bytes = 4 * 1024 * 1024);
+
+double OsTcpThroughputMbps(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
+                           std::size_t transfer_bytes = 4 * 1024 * 1024);
+
+// Driver-to-driver blast (the paper's ~53 Mb/s reliable ceiling on ATM).
+double DriverThroughputMbps(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
+                            std::size_t transfer_bytes = 4 * 1024 * 1024);
+
+// --- Figure 6: video server CPU utilization -------------------------------------
+
+struct VideoCpuPoint {
+  int streams;
+  double utilization;    // 0..1
+  bool net_saturated;    // offered load >= link rate
+};
+VideoCpuPoint VideoServerCpu(bool plexus, int streams, const sim::CostModel& costs);
+
+// --- Figure 7: forwarding latency ------------------------------------------------
+
+struct ForwardingResult {
+  double connect_us;        // client SYN -> established (through the middle).
+                            // NB: the user-level splice "accepts" locally, so
+                            // its connect time does not prove backend
+                            // reachability (the semantics the paper says it
+                            // violates).
+  double request_rtt_us;    // small request/response round trip
+  double first_response_us; // connect start -> first byte back from backend
+};
+ForwardingResult PlexusForwarding(const sim::CostModel& costs);
+ForwardingResult DuForwarding(const sim::CostModel& costs);
+
+// --- table formatting -------------------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::string& label, double measured, const char* unit,
+                     const char* paper = nullptr) {
+  if (paper != nullptr) {
+    std::printf("  %-44s %10.1f %-6s (paper: %s)\n", label.c_str(), measured, unit, paper);
+  } else {
+    std::printf("  %-44s %10.1f %-6s\n", label.c_str(), measured, unit);
+  }
+}
+
+}  // namespace bench
+
+#endif  // PLEXUS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,53 @@
+// Figure 5: "UDP Round trip network send/receive time for small (8 byte)
+// packets when using different networking hardware with Plexus and DIGITAL
+// UNIX", plus the faster-driver results quoted in Section 4.1 and the
+// driver-to-driver minimum shown in the figure.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using drivers::DeviceProfile;
+  const auto costs = sim::CostModel::Default1996();
+  const auto fast_costs = sim::CostModel::FastDriver1996();
+
+  std::printf("Figure 5: UDP round-trip latency, 8-byte packets (microseconds)\n");
+  std::printf("Paper: Plexus(interrupt) < 600us Ethernet, ~350us ATM, ~300us T3;\n");
+  std::printf("DIGITAL UNIX substantially slower; thread mode above interrupt mode.\n");
+
+  struct Device {
+    DeviceProfile profile;
+    const char* paper_plexus;
+  };
+  const Device devices[] = {
+      {DeviceProfile::Ethernet10(), "<600"},
+      {DeviceProfile::ForeAtm155(), "~350"},
+      {DeviceProfile::DecT3(), "~300"},
+  };
+
+  for (const auto& dev : devices) {
+    bench::PrintHeader(dev.profile.name);
+    const double plexus_int =
+        bench::PlexusUdpRttUs(dev.profile, costs, core::HandlerMode::kInterrupt);
+    const double plexus_thr =
+        bench::PlexusUdpRttUs(dev.profile, costs, core::HandlerMode::kThread);
+    const double du = bench::OsUdpRttUs(dev.profile, costs);
+    const double driver = bench::DriverUdpRttUs(dev.profile, costs);
+    bench::PrintRow("Plexus (interrupt handler)", plexus_int, "us", dev.paper_plexus);
+    bench::PrintRow("Plexus (thread per event raise)", plexus_thr, "us", "> interrupt");
+    bench::PrintRow("DIGITAL UNIX (user-level sockets)", du, "us", "substantially slower");
+    bench::PrintRow("driver-to-driver minimum", driver, "us", "figure baseline");
+    std::printf("  shape: driver <= plexus-int < plexus-thread < DU : %s\n",
+                (driver <= plexus_int && plexus_int < plexus_thr && plexus_thr < du) ? "HOLDS"
+                                                                                     : "VIOLATED");
+  }
+
+  bench::PrintHeader("Section 4.1: faster device driver (SPIN)");
+  const double fast_eth = bench::PlexusUdpRttUs(DeviceProfile::Ethernet10FastDriver(),
+                                                fast_costs, core::HandlerMode::kInterrupt);
+  const double fast_atm = bench::PlexusUdpRttUs(DeviceProfile::ForeAtm155FastDriver(),
+                                                fast_costs, core::HandlerMode::kInterrupt);
+  bench::PrintRow("Plexus fast driver, Ethernet", fast_eth, "us", "337");
+  bench::PrintRow("Plexus fast driver, ATM", fast_atm, "us", "241");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Section 4.2 (throughput): "for Ethernet, we saw 8.9 Mb/sec, and for the
+// Fore ATM card, we saw 27.9 Mb/sec with DIGITAL UNIX and 33 Mb/sec with
+// Plexus", against a driver-to-driver ceiling of ~53 Mb/s on ATM ("we have
+// been unable to achieve greater than 53Mb/sec when transferring data
+// reliably between two device drivers"). The paper could not measure T3
+// TCP (DMA bug); we report it as an extension.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using drivers::DeviceProfile;
+  const auto costs = sim::CostModel::Default1996();
+
+  std::printf("Section 4.2: TCP throughput (Mb/s)\n");
+
+  {
+    bench::PrintHeader("Ethernet (10 Mb/s)");
+    const double plexus = bench::PlexusTcpThroughputMbps(DeviceProfile::Ethernet10(), costs);
+    const double du = bench::OsTcpThroughputMbps(DeviceProfile::Ethernet10(), costs);
+    const double drv = bench::DriverThroughputMbps(DeviceProfile::Ethernet10(), costs);
+    bench::PrintRow("Plexus", plexus, "Mb/s", "8.9");
+    bench::PrintRow("DIGITAL UNIX", du, "Mb/s", "8.9");
+    bench::PrintRow("driver-to-driver", drv, "Mb/s", "(wire-limited)");
+    std::printf("  shape: both systems wire-limited and nearly identical: %s\n",
+                (plexus > 7.0 && du > 7.0 && plexus / du < 1.2 && du / plexus < 1.2)
+                    ? "HOLDS"
+                    : "VIOLATED");
+  }
+  {
+    bench::PrintHeader("Fore ATM (155 Mb/s line, PIO-limited)");
+    const double drv = bench::DriverThroughputMbps(DeviceProfile::ForeAtm155(), costs);
+    const double plexus = bench::PlexusTcpThroughputMbps(DeviceProfile::ForeAtm155(), costs);
+    const double du = bench::OsTcpThroughputMbps(DeviceProfile::ForeAtm155(), costs);
+    bench::PrintRow("driver-to-driver ceiling", drv, "Mb/s", "53");
+    bench::PrintRow("Plexus", plexus, "Mb/s", "33");
+    bench::PrintRow("DIGITAL UNIX", du, "Mb/s", "27.9");
+    std::printf("  shape: DU < Plexus < driver ceiling: %s\n",
+                (du < plexus && plexus < drv) ? "HOLDS" : "VIOLATED");
+  }
+  {
+    bench::PrintHeader("DEC T3 (45 Mb/s, DMA) — not measured in the paper");
+    const double plexus = bench::PlexusTcpThroughputMbps(DeviceProfile::DecT3(), costs);
+    const double du = bench::OsTcpThroughputMbps(DeviceProfile::DecT3(), costs);
+    const double drv = bench::DriverThroughputMbps(DeviceProfile::DecT3(), costs);
+    bench::PrintRow("Plexus", plexus, "Mb/s", "n/a (DMA bug)");
+    bench::PrintRow("DIGITAL UNIX", du, "Mb/s", "n/a");
+    bench::PrintRow("driver-to-driver", drv, "Mb/s", "~45 wire");
+  }
+  return 0;
+}

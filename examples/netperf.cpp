@@ -1,0 +1,129 @@
+// netperf: a command-line measurement tool over the simulated testbed.
+//
+//   build/examples/netperf [--device eth|atm|t3] [--system plexus|du|both]
+//                          [--test rtt|stream] [--bytes N] [--payload N]
+//                          [--mode interrupt|thread] [--checksum on|off]
+//
+// Examples:
+//   netperf --device atm --test stream            # TCP throughput on ATM
+//   netperf --device t3 --test rtt --payload 8    # Figure-5-style UDP RTT
+//   netperf --system plexus --mode thread         # thread-per-raise handlers
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+struct Options {
+  std::string device = "eth";
+  std::string system = "both";
+  std::string test = "rtt";
+  std::size_t bytes = 4 * 1024 * 1024;
+  std::size_t payload = 8;
+  std::string mode = "interrupt";
+  bool checksum = true;
+};
+
+bool Parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--device") {
+      const char* v = next();
+      if (!v) return false;
+      opt.device = v;
+    } else if (arg == "--system") {
+      const char* v = next();
+      if (!v) return false;
+      opt.system = v;
+    } else if (arg == "--test") {
+      const char* v = next();
+      if (!v) return false;
+      opt.test = v;
+    } else if (arg == "--bytes") {
+      const char* v = next();
+      if (!v) return false;
+      opt.bytes = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--payload") {
+      const char* v = next();
+      if (!v) return false;
+      opt.payload = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (!v) return false;
+      opt.mode = v;
+    } else if (arg == "--checksum") {
+      const char* v = next();
+      if (!v) return false;
+      opt.checksum = std::strcmp(v, "off") != 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+drivers::DeviceProfile ProfileFor(const std::string& device) {
+  if (device == "atm") return drivers::DeviceProfile::ForeAtm155();
+  if (device == "t3") return drivers::DeviceProfile::DecT3();
+  return drivers::DeviceProfile::Ethernet10();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!Parse(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: netperf [--device eth|atm|t3] [--system plexus|du|both]\n"
+                 "               [--test rtt|stream] [--bytes N] [--payload N]\n"
+                 "               [--mode interrupt|thread] [--checksum on|off]\n");
+    return 2;
+  }
+  const auto profile = ProfileFor(opt.device);
+  const auto costs = sim::CostModel::Default1996();
+  const auto mode =
+      opt.mode == "thread" ? core::HandlerMode::kThread : core::HandlerMode::kInterrupt;
+
+  std::printf("netperf: device=%s test=%s (1996 calibrated cost model)\n",
+              profile.name.c_str(), opt.test.c_str());
+
+  const bool run_plexus = opt.system == "plexus" || opt.system == "both";
+  const bool run_du = opt.system == "du" || opt.system == "both";
+
+  if (opt.test == "rtt") {
+    std::printf("UDP round trip, %zu-byte payload:\n", opt.payload);
+    if (run_plexus) {
+      const double rtt = bench::PlexusUdpRttUs(profile, costs, mode, opt.payload);
+      std::printf("  SPIN/Plexus (%s handlers): %8.1f us\n", opt.mode.c_str(), rtt);
+    }
+    if (run_du) {
+      const double rtt = bench::OsUdpRttUs(profile, costs, opt.payload);
+      std::printf("  DIGITAL UNIX (sockets):      %8.1f us\n", rtt);
+    }
+    const double drv = bench::DriverUdpRttUs(profile, costs, opt.payload);
+    std::printf("  driver-to-driver floor:      %8.1f us\n", drv);
+  } else if (opt.test == "stream") {
+    std::printf("TCP bulk transfer, %zu bytes:\n", opt.bytes);
+    if (run_plexus) {
+      const double mbps = bench::PlexusTcpThroughputMbps(profile, costs, opt.bytes);
+      std::printf("  SPIN/Plexus:        %8.1f Mb/s\n", mbps);
+    }
+    if (run_du) {
+      const double mbps = bench::OsTcpThroughputMbps(profile, costs, opt.bytes);
+      std::printf("  DIGITAL UNIX:       %8.1f Mb/s\n", mbps);
+    }
+    const double drv = bench::DriverThroughputMbps(profile, costs, opt.bytes);
+    std::printf("  driver-to-driver:   %8.1f Mb/s\n", drv);
+  } else {
+    std::fprintf(stderr, "unknown test: %s\n", opt.test.c_str());
+    return 2;
+  }
+  return 0;
+}

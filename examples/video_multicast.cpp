@@ -1,0 +1,50 @@
+// The Section 5.1 network video system: an in-kernel video server multicasts
+// 30fps streams over the T3 network; compare server CPU utilization against
+// the same workload on the monolithic (DIGITAL UNIX-style) baseline.
+//
+//   build/examples/video_multicast [streams]
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/video.h"
+#include "bench/bench_common.h"
+#include "drivers/device_profile.h"
+#include "drivers/medium.h"
+
+int main(int argc, char** argv) {
+  const int streams = argc > 1 ? std::atoi(argv[1]) : 15;
+
+  std::printf("Network video: %d client stream(s), 30 fps x 12.5 KB frames over 45 Mb/s T3\n",
+              streams);
+  std::printf("(offered load: %.1f Mb/s; the T3 saturates at 15 streams)\n\n",
+              streams * 30 * 12500 * 8 / 1e6);
+
+  const auto costs = sim::CostModel::Default1996();
+  const auto plexus = bench::VideoServerCpu(/*plexus=*/true, streams, costs);
+  const auto du = bench::VideoServerCpu(/*plexus=*/false, streams, costs);
+
+  std::printf("SPIN/Plexus server (in-kernel extension, zero-copy multicast):\n");
+  std::printf("  CPU utilization: %.1f%%\n", plexus.utilization * 100);
+  std::printf("DIGITAL UNIX server (user process: read() + one sendto() per client):\n");
+  std::printf("  CPU utilization: %.1f%%\n", du.utilization * 100);
+  std::printf("\nDU / Plexus CPU ratio: %.2fx (the paper: \"SPIN consumes only half as much\n"
+              "of the processor\" at saturation)\n",
+              du.utilization / plexus.utilization);
+
+  // The client-side story (Section 5.1, "The client"): display costs dwarf
+  // protocol costs, so the systems converge on the client.
+  std::printf("\nClient-side display cost per frame (both systems run the same viewer):\n");
+  sim::CostModel cm = costs;
+  const std::size_t frame = 12500;
+  const double checksum_us = (cm.checksum_per_byte * static_cast<std::int64_t>(frame)).us();
+  const double decompress_us =
+      (cm.decompress_per_byte * static_cast<std::int64_t>(frame)).us();
+  const double fb_us = (cm.fb_write_per_byte * static_cast<std::int64_t>(frame)).us();
+  std::printf("  checksum pass:    %6.1f us\n", checksum_us);
+  std::printf("  decompress pass:  %6.1f us\n", decompress_us);
+  std::printf("  framebuffer write:%6.1f us  (10x slower than RAM, per the paper)\n", fb_us);
+  std::printf("  -> %.0f%% of client time is display, not protocol — why the client showed\n"
+              "     no SPIN advantage until better video hardware (DEC J300) arrived.\n",
+              fb_us / (checksum_us + decompress_us + fb_us) * 100);
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "app/forwarder.h"
+
+#include "net/view.h"
+#include "proto/transport_checksum.h"
+
+namespace app {
+
+// --- PlexusTcpForwarder ---------------------------------------------------------
+
+PlexusTcpForwarder::PlexusTcpForwarder(core::PlexusHost& host, std::uint16_t listen_port,
+                                       net::Ipv4Address target_ip, std::uint16_t target_port)
+    : host_(host), listen_port_(listen_port), target_ip_(target_ip), target_port_(target_port) {
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  opts.name = "tcp-forwarder";
+  auto r = host_.tcp().InstallSpecialImplementation(
+      {listen_port},
+      [this](const net::Mbuf& segment, const net::Ipv4Header& ip_hdr) {
+        Handle(segment, ip_hdr);
+      },
+      opts);
+  handler_ = r.ok() ? r.value() : spin::kInvalidHandlerId;
+}
+
+PlexusTcpForwarder::~PlexusTcpForwarder() {
+  if (handler_ != spin::kInvalidHandlerId) {
+    host_.tcp().UninstallSpecialImplementation(handler_);
+  }
+}
+
+void PlexusTcpForwarder::Handle(const net::Mbuf& segment, const net::Ipv4Header& ip_hdr) {
+  net::TcpHeader hdr;
+  try {
+    hdr = net::ViewPacket<net::TcpHeader>(segment);
+  } catch (const net::ViewError&) {
+    return;
+  }
+
+  // The extension must copy before modifying (READONLY buffers).
+  net::MbufPtr out = segment.DeepCopy();
+
+  if (hdr.dst_port.value() == listen_port_) {
+    // Client -> backend: allocate (or reuse) a NAT port for the flow.
+    const FlowKey key{ip_hdr.src.value(), hdr.src_port.value()};
+    auto it = nat_out_.find(key);
+    if (it == nat_out_.end()) {
+      const std::uint16_t nat_port = next_nat_port_++;
+      it = nat_out_.emplace(key, nat_port).first;
+      nat_in_[nat_port] = key;
+      host_.tcp().AddSpecialPort(handler_, nat_port);  // claim return traffic
+      ++stats_.flows;
+    }
+    hdr.src_port = it->second;
+    hdr.dst_port = target_port_;
+    hdr.checksum = 0;
+    net::StorePacket(*out, hdr);
+    // Forwarding cost: one checksum pass over the rewritten segment.
+    host_.host().Charge(host_.host().costs().checksum_per_byte *
+                        static_cast<std::int64_t>(out->PacketLength()));
+    hdr.checksum = proto::TransportChecksum(host_.ip_address(), target_ip_,
+                                            net::ipproto::kTcp, *out);
+    net::StorePacket(*out, hdr);
+    ++stats_.forwarded;
+    host_.ip().Output(std::move(out), target_ip_, net::ipproto::kTcp);
+    return;
+  }
+
+  // Backend -> client: look the flow up by NAT port.
+  auto rit = nat_in_.find(static_cast<std::uint16_t>(hdr.dst_port.value()));
+  if (rit == nat_in_.end()) return;
+  const FlowKey& client = rit->second;
+  const net::Ipv4Address client_ip(client.client_ip);
+  hdr.src_port = listen_port_;
+  hdr.dst_port = client.client_port;
+  hdr.checksum = 0;
+  net::StorePacket(*out, hdr);
+  host_.host().Charge(host_.host().costs().checksum_per_byte *
+                      static_cast<std::int64_t>(out->PacketLength()));
+  hdr.checksum =
+      proto::TransportChecksum(host_.ip_address(), client_ip, net::ipproto::kTcp, *out);
+  net::StorePacket(*out, hdr);
+  ++stats_.returned;
+  host_.ip().Output(std::move(out), client_ip, net::ipproto::kTcp);
+}
+
+// --- PlexusUdpForwarder ---------------------------------------------------------
+
+PlexusUdpForwarder::PlexusUdpForwarder(core::PlexusHost& host, std::uint16_t listen_port,
+                                       net::Ipv4Address target_ip, std::uint16_t target_port)
+    : host_(host), listen_port_(listen_port), target_ip_(target_ip), target_port_(target_port) {
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  opts.name = "udp-forwarder";
+  // The forwarder node guards on its listen port and on its allocated NAT
+  // ports (return traffic).
+  auto guard = [this](const net::Mbuf&, const proto::UdpDatagram& info) {
+    return info.dst_port == listen_port_ || nat_in_.contains(info.dst_port);
+  };
+  auto r = host_.udp().packet_recv().Install(
+      [this](const net::Mbuf& payload, const proto::UdpDatagram& info) {
+        if (info.dst_port == listen_port_) {
+          const FlowKey key{info.src_ip.value(), info.src_port};
+          auto it = nat_out_.find(key);
+          if (it == nat_out_.end()) {
+            const std::uint16_t nat_port = next_nat_port_++;
+            it = nat_out_.emplace(key, nat_port).first;
+            nat_in_[nat_port] = key;
+          }
+          ++forwarded_;
+          host_.udp().layer().Output(payload.DeepCopy(), net::Ipv4Address::Any(), it->second,
+                                     target_ip_, target_port_, /*checksum=*/true);
+        } else {
+          auto rit = nat_in_.find(info.dst_port);
+          if (rit == nat_in_.end()) return;
+          ++returned_;
+          host_.udp().layer().Output(payload.DeepCopy(), net::Ipv4Address::Any(), listen_port_,
+                                     net::Ipv4Address(rit->second.client_ip),
+                                     rit->second.client_port, /*checksum=*/true);
+        }
+      },
+      guard, opts);
+  handler_ = r.ok() ? r.value() : spin::kInvalidHandlerId;
+}
+
+PlexusUdpForwarder::~PlexusUdpForwarder() {
+  if (handler_ != spin::kInvalidHandlerId) {
+    host_.udp().packet_recv().Uninstall(handler_);
+  }
+}
+
+// --- DuTcpSplicer ----------------------------------------------------------------
+
+DuTcpSplicer::DuTcpSplicer(os::SocketHost& host, std::uint16_t listen_port,
+                           net::Ipv4Address target_ip, std::uint16_t target_port)
+    : host_(host), target_ip_(target_ip), target_port_(target_port) {
+  listener_ = std::make_unique<os::TcpListener>(
+      host_, listen_port,
+      [this](std::shared_ptr<os::TcpSocket> client_side) { Splice(std::move(client_side)); });
+}
+
+void DuTcpSplicer::Splice(std::shared_ptr<os::TcpSocket> client_side) {
+  ++splices_count_;
+  auto backend_side = os::TcpSocket::Connect(host_, target_ip_, target_port_);
+  // Copy bytes in both directions through user space; note the second TCP
+  // connection has its own windows, congestion state, and termination — the
+  // end-to-end semantics the paper says this approach violates.
+  client_side->SetOnData([this, backend_side](std::span<const std::byte> d) {
+    bytes_spliced_ += d.size();
+    backend_side->Write(d);
+  });
+  backend_side->SetOnData([this, client_side](std::span<const std::byte> d) {
+    bytes_spliced_ += d.size();
+    client_side->Write(d);
+  });
+  client_side->SetOnClose([backend_side] { backend_side->CloseStream(); });
+  backend_side->SetOnClose([client_side] { client_side->CloseStream(); });
+  pipes_.emplace_back(std::move(client_side), std::move(backend_side));
+}
+
+}  // namespace app

@@ -1,0 +1,124 @@
+// Protocol forwarding (Section 5, "Protocol forwarding").
+//
+// "An application installs a node into the Plexus protocol graph that
+// redirects all data and control packets destined for a particular port
+// number to a secondary host." Because the Plexus forwarder operates below
+// the transport layer, SYN/FIN/RST pass through it: connection
+// establishment and termination remain end-to-end between client and
+// backend (address-rewriting NAT with a per-flow port table).
+//
+// The baseline is the paper's user-level splice: "a user-level process that
+// splices together an incoming and outgoing socket. The DIGITAL UNIX
+// forwarder is not able to forward protocol control packets because it
+// executes above the transport layer ... each packet makes two trips
+// through the protocol stack where it is twice copied across the
+// user/kernel boundary."
+#ifndef PLEXUS_APP_FORWARDER_H_
+#define PLEXUS_APP_FORWARDER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/plexus.h"
+#include "os/socket_host.h"
+#include "os/sockets.h"
+
+namespace app {
+
+// In-kernel TCP port redirector (Plexus extension). Claims `listen_port`
+// from the TCP manager as a "special implementation" and rewrites
+// addresses both ways, preserving end-to-end TCP semantics.
+class PlexusTcpForwarder {
+ public:
+  PlexusTcpForwarder(core::PlexusHost& host, std::uint16_t listen_port,
+                     net::Ipv4Address target_ip, std::uint16_t target_port);
+  ~PlexusTcpForwarder();
+  PlexusTcpForwarder(const PlexusTcpForwarder&) = delete;
+  PlexusTcpForwarder& operator=(const PlexusTcpForwarder&) = delete;
+
+  struct Stats {
+    std::uint64_t forwarded = 0;  // client -> backend
+    std::uint64_t returned = 0;   // backend -> client
+    std::uint64_t flows = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Handle(const net::Mbuf& segment, const net::Ipv4Header& ip_hdr);
+
+  struct FlowKey {
+    std::uint32_t client_ip;
+    std::uint16_t client_port;
+    auto operator<=>(const FlowKey&) const = default;
+  };
+
+  core::PlexusHost& host_;
+  std::uint16_t listen_port_;
+  net::Ipv4Address target_ip_;
+  std::uint16_t target_port_;
+  spin::HandlerId handler_ = spin::kInvalidHandlerId;
+  std::map<FlowKey, std::uint16_t> nat_out_;         // client -> nat port
+  std::map<std::uint16_t, FlowKey> nat_in_;          // nat port -> client
+  std::uint16_t next_nat_port_ = 50000;
+  Stats stats_;
+};
+
+// In-graph UDP port redirector: datagrams for `listen_port` are re-sent to
+// the target host (and replies relayed back).
+class PlexusUdpForwarder {
+ public:
+  PlexusUdpForwarder(core::PlexusHost& host, std::uint16_t listen_port,
+                     net::Ipv4Address target_ip, std::uint16_t target_port);
+  ~PlexusUdpForwarder();
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t returned() const { return returned_; }
+
+ private:
+  struct FlowKey {
+    std::uint32_t client_ip;
+    std::uint16_t client_port;
+    auto operator<=>(const FlowKey&) const = default;
+  };
+
+  core::PlexusHost& host_;
+  std::uint16_t listen_port_;
+  net::Ipv4Address target_ip_;
+  std::uint16_t target_port_;
+  spin::HandlerId handler_ = spin::kInvalidHandlerId;
+  std::map<FlowKey, std::uint16_t> nat_out_;
+  std::map<std::uint16_t, FlowKey> nat_in_;
+  std::uint16_t next_nat_port_ = 52000;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t returned_ = 0;
+};
+
+// User-level splice on the monolithic baseline: terminates the client's TCP
+// connection and opens a second one to the backend; bytes are copied
+// through the forwarding process in both directions.
+class DuTcpSplicer {
+ public:
+  DuTcpSplicer(os::SocketHost& host, std::uint16_t listen_port, net::Ipv4Address target_ip,
+               std::uint16_t target_port);
+
+  std::uint64_t bytes_spliced() const { return bytes_spliced_; }
+  std::uint64_t splices() const { return splices_count_; }
+
+ private:
+  void Splice(std::shared_ptr<os::TcpSocket> client_side);
+
+  os::SocketHost& host_;
+  net::Ipv4Address target_ip_;
+  std::uint16_t target_port_;
+  std::unique_ptr<os::TcpListener> listener_;
+  std::vector<std::pair<std::shared_ptr<os::TcpSocket>, std::shared_ptr<os::TcpSocket>>> pipes_;
+  std::uint64_t bytes_spliced_ = 0;
+  std::uint64_t splices_count_ = 0;
+};
+
+}  // namespace app
+
+#endif  // PLEXUS_APP_FORWARDER_H_

@@ -1,0 +1,159 @@
+#include "app/video.h"
+
+#include <cstring>
+
+namespace app {
+
+// --- PlexusVideoServer ---------------------------------------------------------
+
+PlexusVideoServer::PlexusVideoServer(core::PlexusHost& host, VideoConfig config)
+    : host_(host),
+      config_(config),
+      disk_(host.host(), config.disk),
+      store_(disk_, config.frame_bytes, config.clip_frames) {
+  endpoint_ = host_.udp().CreateEndpoint(9999).value();
+  endpoint_->set_checksum_enabled(config_.udp_checksum);
+}
+
+void PlexusVideoServer::Start() {
+  running_ = true;
+  Tick();
+}
+
+void PlexusVideoServer::Stop() {
+  running_ = false;
+  host_.simulator().Cancel(timer_);
+  timer_ = sim::kInvalidEventId;
+}
+
+void PlexusVideoServer::Tick() {
+  if (!running_) return;
+  timer_ = host_.simulator().Schedule(config_.FrameInterval(), [this] { Tick(); });
+  // If the previous frame burst is still queued on the CPU or the disk is
+  // falling behind, we are missing the 30fps deadline.
+  if (host_.host().cpu().queued() > 2 * clients_.size() || disk_.queue_depth() > 2) {
+    ++deadline_misses_;
+  }
+  // One in-kernel disk read per frame; the completion multicasts directly
+  // from the interrupt — data never crosses an address-space boundary.
+  host_.Run([this] {
+    store_.ReadFrame(frame_counter_++, [this](net::MbufPtr frame) {
+      MulticastFrame(std::move(frame));
+    });
+  });
+}
+
+void PlexusVideoServer::MulticastFrame(net::MbufPtr frame) {
+  if (!running_) return;
+  for (const VideoClientAddr& client : clients_) {
+    // The frame buffer is shared read-only across sends — the in-kernel
+    // multicast optimization (no per-client copy).
+    endpoint_->Send(frame->ShareClone(), client.ip, client.port);
+    ++frames_sent_;
+  }
+}
+
+// --- DuVideoServer ---------------------------------------------------------------
+
+DuVideoServer::DuVideoServer(os::SocketHost& host, VideoConfig config)
+    : host_(host),
+      config_(config),
+      disk_(host.host(), config.disk),
+      store_(disk_, config.frame_bytes, config.clip_frames) {
+  socket_ = std::make_unique<os::UdpSocket>(host_, 9999);
+  socket_->set_checksum_enabled(config_.udp_checksum);
+}
+
+void DuVideoServer::Start() {
+  running_ = true;
+  Tick();
+}
+
+void DuVideoServer::Stop() {
+  running_ = false;
+  host_.simulator().Cancel(timer_);
+  timer_ = sim::kInvalidEventId;
+}
+
+void DuVideoServer::Tick() {
+  if (!running_) return;
+  timer_ = host_.simulator().Schedule(config_.FrameInterval(), [this] { Tick(); });
+
+  // read(2): trap, issue the disk read, block; on completion the kernel
+  // copies the frame out to the user buffer and returns from the trap.
+  host_.host().Submit(sim::Priority::kKernel, [this] {
+    const auto& cm = host_.host().costs();
+    host_.host().Charge(cm.syscall_entry);
+    store_.ReadFrame(frame_counter_++, [this](net::MbufPtr frame) {
+      // Wake the blocked process: copyout + trap return, then the sendto
+      // loop runs at user level.
+      auto bytes = frame->Linearize();
+      host_.DeliverToUser(bytes.size(),
+                          [this, bytes = std::move(bytes)] { SendToAll(bytes); });
+    });
+  });
+}
+
+void DuVideoServer::SendToAll(const std::vector<std::byte>& frame) {
+  if (!running_) return;
+  // sendto(2) per client: each crosses the boundary again (copyin inside
+  // UdpSocket::SendTo).
+  for (const VideoClientAddr& client : clients_) {
+    socket_->SendTo(frame, client.ip, client.port);
+    ++frames_sent_;
+  }
+}
+
+// --- Clients -------------------------------------------------------------------
+
+void ChargeVideoDisplay(sim::Host& host, std::size_t frame_bytes, bool ilp) {
+  const auto& cm = host.costs();
+  const auto n = static_cast<std::int64_t>(frame_bytes);
+  if (ilp) {
+    // Integrated layer processing: checksum and decompression fused into a
+    // single traversal of the frame.
+    host.Charge(cm.ilp_checksum_decompress_per_byte * n);
+  } else {
+    // Pass 1: checksum. Pass 2: decompress.
+    host.Charge(cm.checksum_per_byte * n);
+    host.Charge(cm.decompress_per_byte * n);
+  }
+  // Then the dominant cost: pushing pixels into the framebuffer (10x
+  // slower than RAM writes).
+  host.Charge(cm.fb_write_per_byte * n);
+}
+
+PlexusVideoClient::PlexusVideoClient(core::PlexusHost& host, std::uint16_t port, bool ilp)
+    : host_(host), ilp_(ilp) {
+  endpoint_ = host_.udp().CreateEndpoint(port).value();
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  opts.name = "video-client";
+  auto r = endpoint_->InstallReceiveHandler(
+      [this](const net::Mbuf& frame, const proto::UdpDatagram&) {
+        ChargeVideoDisplay(host_.host(), frame.PacketLength(), ilp_);
+        ++frames_displayed_;
+      },
+      opts);
+  (void)r;
+}
+
+DuVideoClient::DuVideoClient(os::SocketHost& host, std::uint16_t port) : host_(host) {
+  socket_ = std::make_unique<os::UdpSocket>(host_, port);
+  socket_->SetOnDatagram([this](std::vector<std::byte> frame, const proto::UdpDatagram&) {
+    ChargeVideoDisplay(host_.host(), frame.size());
+    ++frames_displayed_;
+  });
+}
+
+VideoSink::VideoSink(core::PlexusHost& host, std::uint16_t port) {
+  endpoint_ = host.udp().CreateEndpoint(port).value();
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  opts.name = "video-sink";
+  auto r = endpoint_->InstallReceiveHandler(
+      [this](const net::Mbuf&, const proto::UdpDatagram&) { ++frames_; }, opts);
+  (void)r;
+}
+
+}  // namespace app

@@ -1,0 +1,161 @@
+// The network video system of Section 5.1.
+//
+// "A server that multicasts video clips to a set of clients. The server
+// consists of one extension that reads video frame-by-frame off of the disk
+// using SPIN's file system interface. Because the video server extension is
+// co-located with the kernel, it does not have to copy the data across the
+// user/kernel boundary ... The server sends each frame as a UDP packet over
+// the network to a number of clients. A video stream is composed of 30
+// frames per second."
+//
+// Both servers run the same workload; the structural difference is where
+// the bytes travel:
+//   * PlexusVideoServer — in-kernel extension: disk -> mbuf -> wire. One
+//     disk read per frame, and the frame buffer is shared (ShareClone) for
+//     every client — no copies.
+//   * DuVideoServer — user process: read(2) (disk + copyout) once per
+//     frame, then one sendto(2) per client, each paying trap + copyin.
+//
+// The clients checksum + decompress and write to the framebuffer ("two
+// passes over the data"); framebuffer writes are ~10x slower than RAM.
+#ifndef PLEXUS_APP_VIDEO_H_
+#define PLEXUS_APP_VIDEO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/plexus.h"
+#include "drivers/disk.h"
+#include "os/socket_host.h"
+#include "os/sockets.h"
+
+namespace app {
+
+struct VideoConfig {
+  std::size_t frame_bytes = 12'500;  // 30 fps x 12.5 KB = 3 Mb/s per stream
+  int frames_per_second = 30;
+  bool udp_checksum = false;  // AV data: integrity optional (Section 1.1)
+  std::uint16_t base_client_port = 20000;
+  std::uint32_t clip_frames = 900;  // a 30-second looping clip on disk
+  drivers::DiskProfile disk;
+
+  sim::Duration FrameInterval() const {
+    return sim::Duration::Nanos(1'000'000'000LL / frames_per_second);
+  }
+};
+
+// A destination stream (one per client in the paper's experiment).
+struct VideoClientAddr {
+  net::Ipv4Address ip;
+  std::uint16_t port;
+};
+
+// --- Servers -----------------------------------------------------------------
+
+class PlexusVideoServer {
+ public:
+  PlexusVideoServer(core::PlexusHost& host, VideoConfig config);
+
+  void AddClient(VideoClientAddr addr) { clients_.push_back(addr); }
+  void Start();
+  void Stop();
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t deadline_misses() const { return deadline_misses_; }
+
+ private:
+  void Tick();
+  void MulticastFrame(net::MbufPtr frame);
+
+  core::PlexusHost& host_;
+  VideoConfig config_;
+  drivers::Disk disk_;
+  drivers::FrameStore store_;
+  std::shared_ptr<core::UdpEndpoint> endpoint_;
+  std::vector<VideoClientAddr> clients_;
+  bool running_ = false;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint32_t frame_counter_ = 0;
+};
+
+class DuVideoServer {
+ public:
+  DuVideoServer(os::SocketHost& host, VideoConfig config);
+
+  void AddClient(VideoClientAddr addr) { clients_.push_back(addr); }
+  void Start();
+  void Stop();
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+
+ private:
+  void Tick();
+  void SendToAll(const std::vector<std::byte>& frame);
+
+  os::SocketHost& host_;
+  VideoConfig config_;
+  drivers::Disk disk_;
+  drivers::FrameStore store_;
+  std::unique_ptr<os::UdpSocket> socket_;
+  std::vector<VideoClientAddr> clients_;
+  bool running_ = false;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::uint64_t frames_sent_ = 0;
+  std::uint32_t frame_counter_ = 0;
+};
+
+// --- Clients -----------------------------------------------------------------
+
+// Shared frame-display cost. The stock client makes two passes over the
+// data ("one pass for the checksum and another to decompress the image");
+// with integrated layer processing [CT90] both run in a single traversal.
+void ChargeVideoDisplay(sim::Host& host, std::size_t frame_bytes, bool ilp = false);
+
+class PlexusVideoClient {
+ public:
+  PlexusVideoClient(core::PlexusHost& host, std::uint16_t port, bool ilp = false);
+
+  // "The client viewer is a good candidate for the integrated layer
+  // processing optimizations suggested by Clark [CT90]."
+  void set_ilp(bool v) { ilp_ = v; }
+
+  std::uint64_t frames_displayed() const { return frames_displayed_; }
+
+ private:
+  core::PlexusHost& host_;
+  std::shared_ptr<core::UdpEndpoint> endpoint_;
+  std::uint64_t frames_displayed_ = 0;
+  bool ilp_ = false;
+};
+
+class DuVideoClient {
+ public:
+  DuVideoClient(os::SocketHost& host, std::uint16_t port);
+
+  std::uint64_t frames_displayed() const { return frames_displayed_; }
+
+ private:
+  os::SocketHost& host_;
+  std::unique_ptr<os::UdpSocket> socket_;
+  std::uint64_t frames_displayed_ = 0;
+};
+
+// A pure sink that counts datagrams without display costs (for server-side
+// CPU experiments where client cost is irrelevant).
+class VideoSink {
+ public:
+  VideoSink(core::PlexusHost& host, std::uint16_t port);
+  std::uint64_t frames() const { return frames_; }
+
+ private:
+  std::shared_ptr<core::UdpEndpoint> endpoint_;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace app
+
+#endif  // PLEXUS_APP_VIDEO_H_

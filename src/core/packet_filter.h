@@ -1,0 +1,221 @@
+// A declarative packet-filter language for guards.
+//
+// Plexus "relies on guards to implement packet filters [MRA87] that
+// correctly route packets through the protocol graph". Arbitrary C++
+// lambdas work as guards, but a declarative predicate — like the original
+// CSPF/BPF packet filters — lets protocol managers *inspect* what an
+// application wants to see before installing it, and lets the dispatcher
+// account for evaluation cost per operation.
+//
+// A Predicate is a small expression tree over byte/word comparisons at
+// fixed offsets within the packet, composed with !, && and ||. Evaluation
+// fails closed: a packet too short for a comparison does not match.
+#ifndef PLEXUS_CORE_PACKET_FILTER_H_
+#define PLEXUS_CORE_PACKET_FILTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/headers.h"
+#include "net/mbuf.h"
+#include "net/view.h"
+
+namespace core::filter {
+
+class Predicate {
+ public:
+  // --- leaf comparisons ------------------------------------------------------
+  static Predicate U8Equals(std::size_t offset, std::uint8_t value) {
+    return Leaf(offset, 1, 0xff, value, "u8[" + std::to_string(offset) + "]");
+  }
+  static Predicate U16Equals(std::size_t offset, std::uint16_t value) {
+    return Leaf(offset, 2, 0xffff, value, "u16[" + std::to_string(offset) + "]");
+  }
+  static Predicate U32Equals(std::size_t offset, std::uint32_t value) {
+    return Leaf(offset, 4, 0xffffffff, value, "u32[" + std::to_string(offset) + "]");
+  }
+  // Masked comparison: (word & mask) == value.
+  static Predicate U32Masked(std::size_t offset, std::uint32_t mask, std::uint32_t value) {
+    return Leaf(offset, 4, mask, value, "u32m[" + std::to_string(offset) + "]");
+  }
+  static Predicate True() {
+    auto n = std::make_shared<Node>();
+    n->kind = Kind::kTrue;
+    Predicate p;
+    p.node_ = std::move(n);
+    return p;
+  }
+
+  // --- protocol-aware convenience constructors (frame-relative offsets) ------
+  static Predicate EtherType(std::uint16_t type) { return U16Equals(12, type); }
+  static Predicate IpProtocol(std::uint8_t proto) {
+    return EtherType(net::ethertype::kIpv4) && U8Equals(14 + 9, proto);
+  }
+  static Predicate IpSource(net::Ipv4Address a) {
+    return EtherType(net::ethertype::kIpv4) && U32Equals(14 + 12, a.value());
+  }
+  static Predicate IpDestination(net::Ipv4Address a) {
+    return EtherType(net::ethertype::kIpv4) && U32Equals(14 + 16, a.value());
+  }
+  static Predicate UdpDstPort(std::uint16_t port) {
+    return IpProtocol(net::ipproto::kUdp) && U16Equals(14 + 20 + 2, port);
+  }
+  static Predicate TcpDstPort(std::uint16_t port) {
+    return IpProtocol(net::ipproto::kTcp) && U16Equals(14 + 20 + 2, port);
+  }
+
+  // --- composition -------------------------------------------------------------
+  Predicate operator&&(const Predicate& other) const { return Combine(Kind::kAnd, other); }
+  Predicate operator||(const Predicate& other) const { return Combine(Kind::kOr, other); }
+  Predicate operator!() const {
+    auto n = std::make_shared<Node>();
+    n->kind = Kind::kNot;
+    n->left = node_;
+    Predicate p;
+    p.node_ = std::move(n);
+    return p;
+  }
+
+  // --- evaluation ---------------------------------------------------------------
+  bool Eval(const net::Mbuf& packet) const { return node_ ? EvalNode(*node_, packet) : false; }
+  bool Eval(std::span<const std::byte> bytes) const {
+    return node_ ? EvalNode(*node_, bytes) : false;
+  }
+
+  // Number of comparison/combination operations (for inspection and cost
+  // accounting by the manager).
+  std::size_t OpCount() const { return node_ ? CountNode(*node_) : 0; }
+
+  std::string ToString() const { return node_ ? PrintNode(*node_) : "<empty>"; }
+
+ private:
+  enum class Kind { kTrue, kCompare, kAnd, kOr, kNot };
+
+  struct Node {
+    Kind kind = Kind::kTrue;
+    std::size_t offset = 0;
+    std::size_t width = 0;  // 1, 2 or 4
+    std::uint32_t mask = 0;
+    std::uint32_t value = 0;
+    std::string label;
+    std::shared_ptr<const Node> left, right;
+  };
+
+  static Predicate Leaf(std::size_t offset, std::size_t width, std::uint32_t mask,
+                        std::uint32_t value, std::string label) {
+    Predicate p;
+    auto n = std::make_shared<Node>();
+    n->kind = Kind::kCompare;
+    n->offset = offset;
+    n->width = width;
+    n->mask = mask;
+    n->value = value;
+    n->label = std::move(label);
+    p.node_ = std::move(n);
+    return p;
+  }
+
+  Predicate Combine(Kind kind, const Predicate& other) const {
+    Predicate p;
+    auto n = std::make_shared<Node>();
+    n->kind = kind;
+    n->left = node_;
+    n->right = other.node_;
+    p.node_ = std::move(n);
+    return p;
+  }
+
+  template <typename PacketLike>
+  static bool EvalNode(const Node& n, const PacketLike& packet) {
+    switch (n.kind) {
+      case Kind::kTrue:
+        return true;
+      case Kind::kCompare: {
+        std::uint32_t word = 0;
+        try {
+          if (n.width == 1) {
+            word = ReadU8(packet, n.offset);
+          } else if (n.width == 2) {
+            word = ReadU16(packet, n.offset);
+          } else {
+            word = ReadU32(packet, n.offset);
+          }
+        } catch (const net::ViewError&) {
+          return false;  // fail closed on short packets
+        } catch (const net::MbufError&) {
+          return false;
+        }
+        return (word & n.mask) == n.value;
+      }
+      case Kind::kAnd:
+        return EvalNode(*n.left, packet) && EvalNode(*n.right, packet);
+      case Kind::kOr:
+        return EvalNode(*n.left, packet) || EvalNode(*n.right, packet);
+      case Kind::kNot:
+        return !EvalNode(*n.left, packet);
+    }
+    return false;
+  }
+
+  static std::uint8_t ReadU8(const net::Mbuf& m, std::size_t off) {
+    std::byte b;
+    m.CopyOut(off, {&b, 1});
+    return static_cast<std::uint8_t>(b);
+  }
+  static std::uint16_t ReadU16(const net::Mbuf& m, std::size_t off) {
+    return net::ViewPacket<net::BigEndian16>(m, off).value();
+  }
+  static std::uint32_t ReadU32(const net::Mbuf& m, std::size_t off) {
+    return net::ViewPacket<net::BigEndian32>(m, off).value();
+  }
+  static std::uint8_t ReadU8(std::span<const std::byte> s, std::size_t off) {
+    if (off >= s.size()) throw net::ViewError("short");
+    return static_cast<std::uint8_t>(s[off]);
+  }
+  static std::uint16_t ReadU16(std::span<const std::byte> s, std::size_t off) {
+    return net::View<net::BigEndian16>(s, off).value();
+  }
+  static std::uint32_t ReadU32(std::span<const std::byte> s, std::size_t off) {
+    return net::View<net::BigEndian32>(s, off).value();
+  }
+
+  static std::size_t CountNode(const Node& n) {
+    switch (n.kind) {
+      case Kind::kTrue:
+      case Kind::kCompare:
+        return 1;
+      case Kind::kNot:
+        return 1 + CountNode(*n.left);
+      case Kind::kAnd:
+      case Kind::kOr:
+        return 1 + CountNode(*n.left) + CountNode(*n.right);
+    }
+    return 0;
+  }
+
+  static std::string PrintNode(const Node& n) {
+    switch (n.kind) {
+      case Kind::kTrue:
+        return "true";
+      case Kind::kCompare: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "==0x%x", n.value);
+        return n.label + buf;
+      }
+      case Kind::kAnd:
+        return "(" + PrintNode(*n.left) + " && " + PrintNode(*n.right) + ")";
+      case Kind::kOr:
+        return "(" + PrintNode(*n.left) + " || " + PrintNode(*n.right) + ")";
+      case Kind::kNot:
+        return "!(" + PrintNode(*n.left) + ")";
+    }
+    return "?";
+  }
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace core::filter
+
+#endif  // PLEXUS_CORE_PACKET_FILTER_H_

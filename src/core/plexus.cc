@@ -1,0 +1,605 @@
+#include "core/plexus.h"
+
+#include <cassert>
+
+#include "net/view.h"
+#include "proto/transport_checksum.h"
+#include "sim/trace.h"
+
+namespace core {
+
+// --- EthernetManager ---------------------------------------------------------
+
+EthernetManager::EthernetManager(PlexusHost& plexus, proto::EthLayer& eth)
+    : plexus_(plexus), eth_(eth), packet_recv_("Ethernet.PacketRecv", &plexus.dispatcher()) {
+  packet_recv_.set_requires_ephemeral(plexus.requires_ephemeral());
+  eth_.SetUpcall([this](net::MbufPtr frame, const net::EthernetHeader& hdr) {
+    OnFrame(std::move(frame), hdr);
+  });
+}
+
+void EthernetManager::OnFrame(net::MbufPtr frame, const net::EthernetHeader& hdr) {
+  PacketRef ref(frame.release());
+  plexus_.GraphHop([this, ref, hdr] { packet_recv_.Raise(*ref, hdr); });
+}
+
+spin::Result<spin::HandlerId> EthernetManager::InstallTypeHandler(
+    std::uint16_t ethertype,
+    std::function<void(const net::Mbuf&, const net::EthernetHeader&)> handler,
+    spin::HandlerOptions opts) {
+  // The manager builds the guard: the handler can only see frames of its own
+  // EtherType — it cannot snoop on other traffic.
+  auto guard = [ethertype](const net::Mbuf&, const net::EthernetHeader& hdr) {
+    return hdr.type.value() == ethertype;
+  };
+  return packet_recv_.Install(std::move(handler), guard, std::move(opts));
+}
+
+spin::Result<spin::HandlerId> EthernetManager::InstallFilteredHandler(
+    const filter::Predicate& predicate,
+    std::function<void(const net::Mbuf&, const net::EthernetHeader&)> handler,
+    spin::HandlerOptions opts) {
+  // Inspection: an unconstrained filter would see every frame on the wire —
+  // exactly the snooping the manager exists to prevent.
+  if (predicate.OpCount() <= 1 && predicate.Eval(net::Mbuf::Allocate(64)->data()) &&
+      predicate.Eval(net::Mbuf::Allocate(1500)->data())) {
+    return spin::Errorf("InstallFilteredHandler: predicate '" + predicate.ToString() +
+                        "' matches arbitrary traffic; raw access requires the kernel domain");
+  }
+  auto guard = [predicate](const net::Mbuf& frame, const net::EthernetHeader&) {
+    return predicate.Eval(frame);
+  };
+  if (opts.name.empty()) opts.name = "filter:" + predicate.ToString();
+  return packet_recv_.Install(std::move(handler), std::move(guard), std::move(opts));
+}
+
+bool EthernetManager::Uninstall(spin::HandlerId id) { return packet_recv_.Uninstall(id); }
+
+void EthernetManager::Output(net::MbufPtr payload, net::MacAddress dst,
+                             std::uint16_t ethertype) {
+  // EthLayer::Output always writes this NIC's MAC as the source — spoof
+  // prevention by overwriting the source field.
+  eth_.Output(std::move(payload), dst, ethertype);
+}
+
+// --- IpManager ---------------------------------------------------------------
+
+IpManager::IpManager(PlexusHost& plexus, proto::Ipv4Layer& ip, proto::ArpService& arp)
+    : plexus_(plexus), ip_(ip), arp_(arp), packet_recv_("Ip.PacketRecv", &plexus.dispatcher()) {
+  packet_recv_.set_requires_ephemeral(plexus.requires_ephemeral());
+}
+
+void IpManager::Output(net::MbufPtr payload, net::Ipv4Address dst, std::uint8_t protocol,
+                       net::Ipv4Address src_override) {
+  ip_.Output(std::move(payload), src_override, dst, protocol);
+}
+
+void IpManager::Reinject(net::MbufPtr packet, net::Ipv4Address dst) {
+  auto route = ip_.routes().Lookup(dst);
+  if (!route) return;
+  const net::Ipv4Address next_hop = route->next_hop.IsAny() ? dst : route->next_hop;
+  plexus_.TransmitIp(std::move(packet), next_hop, route->if_index);
+}
+
+// --- UdpEndpoint / UdpManager --------------------------------------------------
+
+UdpEndpoint::~UdpEndpoint() {
+  for (auto id : installed_) plexus_.udp().packet_recv().Uninstall(id);
+  plexus_.udp().ReleasePort(port_);
+}
+
+void UdpEndpoint::Send(net::MbufPtr payload, net::Ipv4Address dst_ip, std::uint16_t dst_port) {
+  // Anti-spoofing: the source address and port are the endpoint's own; the
+  // application has no way to supply different ones.
+  plexus_.udp().layer().Output(std::move(payload), net::Ipv4Address::Any(), port_, dst_ip,
+                               dst_port, checksum_);
+}
+
+bool UdpEndpoint::SendVerified(net::MbufPtr udp_packet, net::Ipv4Address dst_ip) {
+  net::UdpHeader hdr;
+  try {
+    hdr = net::ViewPacket<net::UdpHeader>(*udp_packet);
+  } catch (const net::ViewError&) {
+    return false;
+  }
+  if (hdr.src_port.value() != port_) {
+    // The debugging strategy caught a spoofed source field.
+    ++plexus_.udp().stats_.spoof_rejections;
+    return false;
+  }
+  plexus_.ip().Output(std::move(udp_packet), dst_ip, net::ipproto::kUdp);
+  return true;
+}
+
+spin::Result<spin::HandlerId> UdpEndpoint::InstallReceiveHandler(
+    std::function<void(const net::Mbuf&, const proto::UdpDatagram&)> handler,
+    spin::HandlerOptions opts) {
+  const std::uint16_t port = port_;
+  // Anti-snooping: the manager supplies the guard; only datagrams addressed
+  // to this endpoint's port reach the handler.
+  auto guard = [port](const net::Mbuf&, const proto::UdpDatagram& info) {
+    return info.dst_port == port;
+  };
+  auto r = plexus_.udp().packet_recv().Install(std::move(handler), guard, std::move(opts));
+  if (r.ok()) installed_.push_back(r.value());
+  return r;
+}
+
+bool UdpEndpoint::UninstallReceiveHandler(spin::HandlerId id) {
+  std::erase(installed_, id);
+  return plexus_.udp().packet_recv().Uninstall(id);
+}
+
+UdpManager::UdpManager(PlexusHost& plexus, proto::UdpLayer& udp)
+    : plexus_(plexus), udp_(udp), packet_recv_("Udp.PacketRecv", &plexus.dispatcher()) {
+  packet_recv_.set_requires_ephemeral(plexus.requires_ephemeral());
+  udp_.SetDefaultReceiver([this](net::MbufPtr payload, const proto::UdpDatagram& info) {
+    PacketRef ref(payload.release());
+    plexus_.GraphHop([this, ref, info] {
+      if (packet_recv_.Raise(*ref, info) == 0 && !info.dst_ip.IsBroadcast() &&
+          !info.dst_ip.IsMulticast()) {
+        // Nobody claimed the datagram: answer with ICMP port unreachable.
+        ++stats_.unreachable_sent;
+        net::Ipv4Header offending;
+        offending.protocol = net::ipproto::kUdp;
+        offending.src = info.src_ip;
+        offending.dst = info.dst_ip;
+        plexus_.icmp().SendError(offending, net::icmptype::kDestUnreachable, /*code=*/3);
+      }
+    });
+  });
+}
+
+spin::Result<std::shared_ptr<UdpEndpoint>> UdpManager::CreateEndpoint(std::uint16_t local_port) {
+  if (!ports_in_use_.insert(local_port).second) {
+    return spin::Errorf("UDP port " + std::to_string(local_port) + " already claimed");
+  }
+  return std::shared_ptr<UdpEndpoint>(new UdpEndpoint(plexus_, local_port));
+}
+
+// --- PlexusTcpEndpoint / TcpManager --------------------------------------------
+
+PlexusTcpEndpoint::PlexusTcpEndpoint(PlexusHost& plexus, proto::TcpEndpoints ep)
+    : plexus_(plexus) {
+  proto::TcpConnection::Callbacks cbs;
+  cbs.send_segment = [this](net::MbufPtr segment, net::Ipv4Address src, net::Ipv4Address dst) {
+    plexus_.ip().Output(std::move(segment), dst, net::ipproto::kTcp, src);
+  };
+  cbs.on_established = [this] {
+    if (on_established_) on_established_();
+  };
+  cbs.on_data = [this](std::span<const std::byte> data) {
+    if (on_data_) {
+      on_data_(data);
+    } else {
+      pre_data_.insert(pre_data_.end(), data.begin(), data.end());
+    }
+  };
+  cbs.on_send_ready = [this] { FlushPending(); };
+  cbs.on_remote_close = [this] {
+    // EOF from the peer: stream-level close (HTTP-style close-delimited
+    // bodies rely on this).
+    if (!close_delivered_) {
+      close_delivered_ = true;
+      if (on_close_) on_close_();
+    }
+  };
+  cbs.on_closed = [this] {
+    if (registered_) {
+      plexus_.tcp().demux().Unregister(conn_->endpoints());
+      registered_ = false;
+    }
+    if (!close_delivered_) {
+      close_delivered_ = true;
+      if (on_close_) on_close_();
+    }
+  };
+  cbs.on_reset = [this](const std::string&) {
+    // on_closed fires separately; nothing extra needed here.
+  };
+  conn_ = std::make_unique<proto::TcpConnection>(plexus_.host(), plexus_.tcp().config(), ep,
+                                                 std::move(cbs));
+}
+
+PlexusTcpEndpoint::~PlexusTcpEndpoint() {
+  if (registered_) plexus_.tcp().demux().Unregister(conn_->endpoints());
+}
+
+std::size_t PlexusTcpEndpoint::Write(std::span<const std::byte> data) {
+  pending_.insert(pending_.end(), data.begin(), data.end());
+  FlushPending();
+  return data.size();
+}
+
+void PlexusTcpEndpoint::FlushPending() {
+  while (!pending_.empty()) {
+    std::vector<std::byte> chunk(
+        pending_.begin(),
+        pending_.begin() + static_cast<std::ptrdiff_t>(
+                               std::min<std::size_t>(pending_.size(), 16 * 1024)));
+    const std::size_t accepted = conn_->Send(chunk);
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(accepted));
+    if (accepted < chunk.size()) break;
+  }
+  if (close_after_flush_ && pending_.empty()) {
+    close_after_flush_ = false;
+    conn_->Close();
+  }
+}
+
+void PlexusTcpEndpoint::SetOnData(std::function<void(std::span<const std::byte>)> cb) {
+  on_data_ = std::move(cb);
+  if (on_data_ && !pre_data_.empty()) {
+    std::vector<std::byte> stashed;
+    stashed.swap(pre_data_);
+    on_data_(stashed);
+  }
+}
+
+void PlexusTcpEndpoint::SetOnClose(std::function<void()> cb) { on_close_ = std::move(cb); }
+
+void PlexusTcpEndpoint::CloseStream() {
+  if (pending_.empty()) {
+    conn_->Close();
+  } else {
+    close_after_flush_ = true;
+  }
+}
+
+TcpManager::TcpManager(PlexusHost& plexus, proto::TcpConfig config)
+    : plexus_(plexus), config_(config), packet_recv_("Tcp.PacketRecv", &plexus.dispatcher()) {
+  packet_recv_.set_requires_ephemeral(plexus.requires_ephemeral());
+
+  // The standard TCP implementation: handles every TCP segment except those
+  // claimed by a special implementation ("the first uses a guard which
+  // processes all TCP packets but those destined for the second").
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  opts.name = "tcp-standard";
+  auto standard_guard = [this](const net::Mbuf& segment, const net::Ipv4Header&) {
+    try {
+      auto hdr = net::ViewPacket<net::TcpHeader>(segment);
+      return !IsSpecialPort(hdr.dst_port.value());
+    } catch (const net::ViewError&) {
+      return false;
+    }
+  };
+  auto standard_handler = [this](const net::Mbuf& segment, const net::Ipv4Header& ip_hdr) {
+    demux_.Input(segment.ShareClone(), ip_hdr.src, ip_hdr.dst);
+  };
+  auto r = packet_recv_.Install(standard_handler, standard_guard, opts);
+  assert(r.ok());
+  (void)r;
+
+  // RSTs for segments addressed to no connection/listener.
+  demux_.SetRstSender([this](const net::TcpHeader& hdr, net::Ipv4Address src,
+                             net::Ipv4Address dst, std::size_t payload_len) {
+    net::TcpHeader rst;
+    rst.src_port = hdr.dst_port;
+    rst.dst_port = hdr.src_port;
+    rst.flags = net::tcpflag::kRst;
+    if (hdr.flags & net::tcpflag::kAck) {
+      rst.seq = hdr.ack;
+    } else {
+      rst.flags |= net::tcpflag::kAck;
+      const std::uint32_t syn_fin = ((hdr.flags & net::tcpflag::kSyn) ? 1u : 0u) +
+                                    ((hdr.flags & net::tcpflag::kFin) ? 1u : 0u);
+      rst.ack = hdr.seq.value() + static_cast<std::uint32_t>(payload_len) + syn_fin;
+    }
+    rst.window = 0;
+    rst.checksum = 0;
+    auto m = net::Mbuf::Allocate(sizeof(rst));
+    net::StorePacket(*m, rst);
+    rst.checksum = proto::TransportChecksum(dst, src, net::ipproto::kTcp, *m);
+    net::StorePacket(*m, rst);
+    plexus_.ip().Output(std::move(m), src, net::ipproto::kTcp, dst);
+  });
+}
+
+bool TcpManager::IsSpecialPort(std::uint16_t port) const {
+  for (const auto& [_, ports] : special_ports_) {
+    if (ports->contains(port)) return true;
+  }
+  return false;
+}
+
+spin::Result<spin::HandlerId> TcpManager::InstallSpecialImplementation(
+    std::set<std::uint16_t> ports,
+    std::function<void(const net::Mbuf&, const net::Ipv4Header&)> handler,
+    spin::HandlerOptions opts) {
+  auto shared_ports = std::make_shared<std::set<std::uint16_t>>(std::move(ports));
+  auto guard = [shared_ports](const net::Mbuf& segment, const net::Ipv4Header&) {
+    try {
+      auto hdr = net::ViewPacket<net::TcpHeader>(segment);
+      return shared_ports->contains(static_cast<std::uint16_t>(hdr.dst_port.value()));
+    } catch (const net::ViewError&) {
+      return false;
+    }
+  };
+  auto r = packet_recv_.Install(std::move(handler), std::move(guard), std::move(opts));
+  if (r.ok()) special_ports_[r.value()] = std::move(shared_ports);
+  return r;
+}
+
+void TcpManager::AddSpecialPort(spin::HandlerId id, std::uint16_t port) {
+  auto it = special_ports_.find(id);
+  if (it != special_ports_.end()) it->second->insert(port);
+}
+
+void TcpManager::RemoveSpecialPort(spin::HandlerId id, std::uint16_t port) {
+  auto it = special_ports_.find(id);
+  if (it != special_ports_.end()) it->second->erase(port);
+}
+
+bool TcpManager::UninstallSpecialImplementation(spin::HandlerId id) {
+  special_ports_.erase(id);
+  return packet_recv_.Uninstall(id);
+}
+
+void TcpManager::WireConnection(PlexusTcpEndpoint& ep) {
+  demux_.Register(&ep.connection());
+  ep.registered_ = true;
+}
+
+std::shared_ptr<PlexusTcpEndpoint> TcpManager::Connect(net::Ipv4Address remote_ip,
+                                                       std::uint16_t remote_port,
+                                                       std::uint16_t local_port) {
+  if (local_port == 0) local_port = next_ephemeral_port_++;
+  proto::TcpEndpoints ep{plexus_.ip_address(), local_port, remote_ip, remote_port};
+  auto endpoint = std::shared_ptr<PlexusTcpEndpoint>(new PlexusTcpEndpoint(plexus_, ep));
+  WireConnection(*endpoint);
+  endpoint->connection().Connect();
+  return endpoint;
+}
+
+bool TcpManager::Listen(std::uint16_t port, Acceptor acceptor) {
+  acceptors_[port] = std::move(acceptor);
+  return demux_.Listen(port, [this, port](const proto::TcpEndpoints& ep) -> proto::TcpConnection* {
+    auto endpoint = std::shared_ptr<PlexusTcpEndpoint>(new PlexusTcpEndpoint(plexus_, ep));
+    accepted_.push_back(endpoint);
+    endpoint->SetOnEstablished([this, port, weak = std::weak_ptr(endpoint)] {
+      auto it = acceptors_.find(port);
+      if (it != acceptors_.end() && it->second) {
+        if (auto ep_ptr = weak.lock()) it->second(ep_ptr);
+      }
+    });
+    WireConnection(*endpoint);
+    endpoint->connection().Listen();
+    return &endpoint->connection();
+  });
+}
+
+void TcpManager::StopListening(std::uint16_t port) {
+  acceptors_.erase(port);
+  demux_.StopListening(port);
+}
+
+// --- PlexusHost ----------------------------------------------------------------
+
+PlexusHost::Iface PlexusHost::MakeIface(drivers::DeviceProfile profile, NetConfig cfg) {
+  Iface iface;
+  iface.nic = std::make_unique<drivers::Nic>(host_, std::move(profile), cfg.mac);
+  iface.eth = std::make_unique<proto::EthLayer>(host_, *iface.nic);
+  iface.arp = std::make_unique<proto::ArpService>(host_, *iface.eth, cfg.ip);
+  // ifaces_ may not contain this entry yet: the caller pushes it next.
+  rcvif_to_if_index_[iface.nic->index()] = static_cast<int>(rcvif_to_if_index_.size());
+  return iface;
+}
+
+int PlexusHost::IfIndexForRcvif(int rcvif) const {
+  auto it = rcvif_to_if_index_.find(rcvif);
+  return it == rcvif_to_if_index_.end() ? 0 : it->second;
+}
+
+int PlexusHost::AddNic(drivers::DeviceProfile profile, NetConfig cfg) {
+  const std::size_t mtu = profile.mtu;
+  ifaces_.push_back(MakeIface(std::move(profile), cfg));
+  const int if_index = static_cast<int>(ifaces_.size()) - 1;
+  ip_layer_.AddInterface(if_index,
+                         proto::Ipv4Layer::Interface{cfg.ip, cfg.prefix_len, mtu});
+  // Frames from the new NIC feed the same Ethernet.PacketRecv event; the
+  // receive interface travels in the packet header.
+  ifaces_.back().eth->SetUpcall(
+      [this](net::MbufPtr frame, const net::EthernetHeader& hdr) {
+        eth_mgr_->OnFrame(std::move(frame), hdr);
+      });
+  return if_index;
+}
+
+void PlexusHost::TransmitIp(net::MbufPtr packet, net::Ipv4Address next_hop, int if_index) {
+  if (if_index < 0 || if_index >= static_cast<int>(ifaces_.size())) return;
+  Iface& iface = ifaces_[static_cast<std::size_t>(if_index)];
+  auto shared = std::shared_ptr<net::Mbuf>(packet.release());
+  iface.arp->Resolve(next_hop, [&iface, shared](std::optional<net::MacAddress> mac) {
+    if (!mac) return;  // unresolvable; drop
+    iface.eth->Output(net::MbufPtr(shared->ShareClone()), *mac, net::ethertype::kIpv4);
+  });
+}
+
+std::vector<PlexusHost::Iface> PlexusHost::MakeInitialIfaces(
+    const drivers::DeviceProfile& profile, NetConfig cfg) {
+  std::vector<Iface> out;
+  out.push_back(MakeIface(profile, cfg));
+  return out;
+}
+
+PlexusHost::PlexusHost(sim::Simulator& s, std::string name, sim::CostModel costs,
+                       drivers::DeviceProfile profile, NetConfig net_config, HandlerMode mode,
+                       std::uint64_t seed)
+    : host_(s, std::move(name), costs, seed),
+      dispatcher_(&host_),
+      linker_(&host_),
+      net_config_(net_config),
+      mode_(mode),
+      ifaces_(MakeInitialIfaces(profile, net_config)),
+      ip_layer_(host_,
+                proto::Ipv4Layer::Config{net_config.ip, net_config.prefix_len, profile.mtu}),
+      icmp_(host_, ip_layer_),
+      udp_layer_(host_, ip_layer_),
+      am_(host_, *ifaces_[0].eth) {
+  eth_mgr_ = std::make_unique<EthernetManager>(*this, *ifaces_[0].eth);
+  ip_mgr_ = std::make_unique<IpManager>(*this, ip_layer_, *ifaces_[0].arp);
+  udp_mgr_ = std::make_unique<UdpManager>(*this, udp_layer_);
+  tcp_mgr_ = std::make_unique<TcpManager>(*this, proto::TcpConfig{});
+  WireGraph();
+
+  // Protection domains. The kernel domain exports everything; applications
+  // are linked against a domain that only lets them create endpoints and
+  // register active-message handlers — they can neither reach the raw
+  // Ethernet/IP output paths nor install unguarded receive handlers.
+  kernel_domain_ = spin::Domain::Create(host_.name() + ".kernel");
+  kernel_domain_->Export("EthernetManager", eth_mgr_.get());
+  kernel_domain_->Export("IpManager", ip_mgr_.get());
+  kernel_domain_->Export("UdpManager", udp_mgr_.get());
+  kernel_domain_->Export("TcpManager", tcp_mgr_.get());
+  kernel_domain_->Export("ActiveMessages", &am_);
+  kernel_domain_->Export("Mbuf.Allocate", true);
+
+  app_domain_ = spin::Domain::Create(host_.name() + ".app");
+  app_domain_->Export("UdpManager", udp_mgr_.get());
+  app_domain_->Export("TcpManager", tcp_mgr_.get());
+  app_domain_->Export("Mbuf.Allocate", true);
+}
+
+std::string PlexusHost::DescribeGraph() const {
+  std::string out;
+  auto section = [&out](const std::string& event, const std::vector<std::string>& names) {
+    out += event + " (" + std::to_string(names.size()) + " handlers)\n";
+    for (const auto& n : names) out += "  - " + n + "\n";
+  };
+  section("Ethernet.PacketRecv", eth_mgr_->packet_recv_.HandlerNames());
+  section("Ip.PacketRecv", ip_mgr_->packet_recv_.HandlerNames());
+  section("Udp.PacketRecv", udp_mgr_->packet_recv_.HandlerNames());
+  section("Tcp.PacketRecv", tcp_mgr_->packet_recv_.HandlerNames());
+  return out;
+}
+
+void PlexusHost::GraphHop(std::function<void()> raise) {
+  if (mode_ == HandlerMode::kInterrupt) {
+    raise();
+    return;
+  }
+  // Thread mode: "each event raise creating a new thread".
+  host_.Charge(host_.costs().thread_spawn);
+  host_.Submit(sim::Priority::kThread, [this, raise = std::move(raise)] {
+    host_.Charge(host_.costs().thread_handoff);
+    raise();
+  });
+}
+
+void PlexusHost::WireGraph() {
+  const bool eph = requires_ephemeral();
+
+  // --- Ethernet level: ARP, IP, active messages -----------------------------
+  {
+    spin::HandlerOptions opts;
+    opts.ephemeral = true;
+    opts.name = "arp-input";
+    auto r = eth_mgr_->packet_recv().Install(
+        [this](const net::Mbuf& frame, const net::EthernetHeader&) {
+          auto payload = frame.ShareClone();
+          payload->TrimFront(sizeof(net::EthernetHeader));
+          // Route the ARP packet to the service owning the receive interface.
+          const int if_index = IfIndexForRcvif(frame.pkthdr().rcvif);
+          ifaces_[static_cast<std::size_t>(if_index)].arp->Input(std::move(payload));
+        },
+        [](const net::Mbuf&, const net::EthernetHeader& hdr) {
+          return hdr.type.value() == net::ethertype::kArp;
+        },
+        opts);
+    assert(r.ok());
+    (void)r;
+  }
+  {
+    spin::HandlerOptions opts;
+    opts.ephemeral = true;
+    opts.name = "ip-input";
+    auto r = eth_mgr_->packet_recv().Install(
+        [this](const net::Mbuf& frame, const net::EthernetHeader&) {
+          auto packet = frame.ShareClone();
+          packet->TrimFront(sizeof(net::EthernetHeader));
+          ip_layer_.Input(std::move(packet));
+        },
+        [](const net::Mbuf&, const net::EthernetHeader& hdr) {
+          return hdr.type.value() == net::ethertype::kIpv4;
+        },
+        opts);
+    assert(r.ok());
+    (void)r;
+  }
+  {
+    spin::HandlerOptions opts;
+    opts.ephemeral = true;
+    opts.name = "active-messages";
+    auto r = eth_mgr_->packet_recv().Install(
+        [this](const net::Mbuf& frame, const net::EthernetHeader&) { am_.Input(frame); },
+        [](const net::Mbuf&, const net::EthernetHeader& hdr) {
+          return hdr.type.value() == net::ethertype::kActiveMessage;
+        },
+        opts);
+    assert(r.ok());
+    (void)r;
+  }
+
+  // --- IP glue ---------------------------------------------------------------
+  ip_layer_.SetTransmit([this](net::MbufPtr packet, net::Ipv4Address next_hop, int if_index) {
+    TransmitIp(std::move(packet), next_hop, if_index);
+  });
+  ip_layer_.SetDeliver([this](net::MbufPtr payload, const net::Ipv4Header& hdr) {
+    PacketRef ref(payload.release());
+    GraphHop([this, ref, hdr] { ip_mgr_->packet_recv().Raise(*ref, hdr); });
+  });
+  ip_layer_.SetIcmpNotify([this](const net::Ipv4Header& hdr, std::uint8_t type,
+                                 std::uint8_t code) { icmp_.SendError(hdr, type, code); });
+
+  // --- IP level: ICMP, UDP, TCP ----------------------------------------------
+  {
+    spin::HandlerOptions opts;
+    opts.ephemeral = true;
+    opts.name = "icmp-input";
+    auto r = ip_mgr_->packet_recv().Install(
+        [this](const net::Mbuf& payload, const net::Ipv4Header& hdr) {
+          icmp_.Input(payload.ShareClone(), hdr.src);
+        },
+        [](const net::Mbuf&, const net::Ipv4Header& hdr) {
+          return hdr.protocol == net::ipproto::kIcmp;
+        },
+        opts);
+    assert(r.ok());
+    (void)r;
+  }
+  {
+    spin::HandlerOptions opts;
+    opts.ephemeral = true;
+    opts.name = "udp-input";
+    auto r = ip_mgr_->packet_recv().Install(
+        [this](const net::Mbuf& payload, const net::Ipv4Header& hdr) {
+          udp_layer_.Input(payload.ShareClone(), hdr.src, hdr.dst);
+        },
+        [](const net::Mbuf&, const net::Ipv4Header& hdr) {
+          return hdr.protocol == net::ipproto::kUdp;
+        },
+        opts);
+    assert(r.ok());
+    (void)r;
+  }
+  {
+    spin::HandlerOptions opts;
+    opts.ephemeral = true;
+    opts.name = "tcp-input";
+    auto r = ip_mgr_->packet_recv().Install(
+        [this](const net::Mbuf& payload, const net::Ipv4Header& hdr) {
+          PacketRef ref(payload.ShareClone().release());
+          GraphHop([this, ref, hdr] { tcp_mgr_->packet_recv().Raise(*ref, hdr); });
+        },
+        [](const net::Mbuf&, const net::Ipv4Header& hdr) {
+          return hdr.protocol == net::ipproto::kTcp;
+        },
+        opts);
+    assert(r.ok());
+    (void)r;
+  }
+  (void)eph;
+}
+
+}  // namespace core

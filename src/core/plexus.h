@@ -1,0 +1,428 @@
+// Plexus: the extensible protocol graph (the paper's core contribution).
+//
+// The graph is a decision tree of events and guards (Figure 1):
+//
+//        [ app handlers ]   [ app handlers ]     (installed via managers)
+//              | guard:port      | guard:port
+//          Udp.PacketRecv    Tcp.PacketRecv
+//              | guard:proto=17  | guard:proto=6
+//              +------ Ip.PacketRecv ------+--- Icmp (guard:proto=1)
+//                          | guard:type=0x0800
+//        Arp (guard:0x806) + Ethernet.PacketRecv + ActiveMsg (guard:0x88B5)
+//                          |
+//                     [ device ]
+//
+// Packets received from the network are pushed *up* by raising each layer's
+// PacketRecv event; guards demultiplex. Packets sent by applications are
+// pushed *down* through per-endpoint send paths owned by protocol managers,
+// which prevent spoofing by fixing the source fields, and prevent snooping
+// by installing only port-restricted guards on behalf of applications.
+//
+// Two execution modes reproduce Section 4.1's bars:
+//   kInterrupt — handlers run inside the device interrupt (EPHEMERAL
+//                required; lowest latency).
+//   kThread    — "each event raise creating a new thread": every hop up the
+//                graph costs a thread spawn + dispatch.
+#ifndef PLEXUS_CORE_PLEXUS_H_
+#define PLEXUS_CORE_PLEXUS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/packet_filter.h"
+#include "drivers/medium.h"
+#include "drivers/nic.h"
+#include "net/headers.h"
+#include "net/mbuf.h"
+#include "proto/active_message.h"
+#include "proto/arp.h"
+#include "proto/eth.h"
+#include "proto/http.h"
+#include "proto/icmp.h"
+#include "proto/ip.h"
+#include "proto/tcp.h"
+#include "proto/tcp_demux.h"
+#include "proto/udp.h"
+#include "sim/host.h"
+#include "spin/dispatcher.h"
+#include "spin/domain.h"
+#include "spin/event.h"
+#include "spin/linker.h"
+
+namespace core {
+
+enum class HandlerMode {
+  kInterrupt,  // application handlers run at interrupt level (EPHEMERAL)
+  kThread,     // each event raise spawns a handler thread
+};
+
+// A packet travelling up the graph. shared_ptr keeps the buffer alive across
+// thread-mode hops; handlers receive const access only (READONLY buffers).
+using PacketRef = std::shared_ptr<const net::Mbuf>;
+
+// Graph events. Handlers see the packet read-only plus parsed metadata.
+using EthernetRecvEvent = spin::Event<const net::Mbuf&, const net::EthernetHeader&>;
+using IpRecvEvent = spin::Event<const net::Mbuf&, const net::Ipv4Header&>;
+using UdpRecvEvent = spin::Event<const net::Mbuf&, const proto::UdpDatagram&>;
+using TcpRecvEvent = spin::Event<const net::Mbuf&, const net::Ipv4Header&>;
+
+class PlexusHost;
+
+// ---------------------------------------------------------------------------
+// Protocol managers. "Access to these events is controlled by a
+// protocol-specific manager, which ensures that applications neither spoof
+// nor snoop packets ... It installs event handlers and guards on the behalf
+// of untrusted applications." (Section 3.1)
+// ---------------------------------------------------------------------------
+
+// Ethernet manager: bottom of the graph. Owns Ethernet.PacketRecv and the
+// right to transmit raw frames. Applications may install EtherType-guarded
+// handlers (e.g. active messages); in interrupt mode the handler must be
+// EPHEMERAL or it is rejected.
+class EthernetManager {
+ public:
+  EthernetManager(PlexusHost& plexus, proto::EthLayer& eth);
+
+  // Installs an application handler for one EtherType. The manager builds
+  // the guard itself — the application cannot see frames of other types
+  // (anti-snooping). A time limit may be assigned for interrupt-mode
+  // handlers.
+  spin::Result<spin::HandlerId> InstallTypeHandler(
+      std::uint16_t ethertype,
+      std::function<void(const net::Mbuf& frame, const net::EthernetHeader&)> handler,
+      spin::HandlerOptions opts = {});
+
+  // Installs a handler behind a *declarative* packet filter (the [MRA87]
+  // model): the manager can inspect the predicate before accepting it, and
+  // rejects filters that could snoop (an empty predicate, which matches
+  // nothing, is allowed; a bare `True()` that matches everything requires
+  // the kernel domain and is refused here).
+  spin::Result<spin::HandlerId> InstallFilteredHandler(
+      const filter::Predicate& predicate,
+      std::function<void(const net::Mbuf& frame, const net::EthernetHeader&)> handler,
+      spin::HandlerOptions opts = {});
+
+  bool Uninstall(spin::HandlerId id);
+
+  // Sends a frame with the given type; the source MAC is overwritten with
+  // this host's address (anti-spoofing: "or more simply overwrite the
+  // source field").
+  void Output(net::MbufPtr payload, net::MacAddress dst, std::uint16_t ethertype);
+
+  EthernetRecvEvent& packet_recv() { return packet_recv_; }
+
+ private:
+  friend class PlexusHost;
+  void OnFrame(net::MbufPtr frame, const net::EthernetHeader& hdr);
+
+  PlexusHost& plexus_;
+  proto::EthLayer& eth_;
+  EthernetRecvEvent packet_recv_;
+};
+
+// IP manager: validates/reassembles via the shared Ipv4Layer, then raises
+// Ip.PacketRecv. Owns the IP output right.
+class IpManager {
+ public:
+  IpManager(PlexusHost& plexus, proto::Ipv4Layer& ip, proto::ArpService& arp);
+
+  IpRecvEvent& packet_recv() { return packet_recv_; }
+
+  // Privileged output (held by transport managers and trusted extensions).
+  // src is overwritten with the host address unless the caller holds the
+  // raw-send right (spoof prevention).
+  void Output(net::MbufPtr payload, net::Ipv4Address dst, std::uint8_t protocol,
+              net::Ipv4Address src_override = net::Ipv4Address::Any());
+
+  // Re-injects an already-formed IP packet toward a new destination (used
+  // by the in-kernel forwarder, Section 5).
+  void Reinject(net::MbufPtr packet, net::Ipv4Address next_hop_dst);
+
+  proto::Ipv4Layer& layer() { return ip_; }
+
+ private:
+  friend class PlexusHost;
+
+  PlexusHost& plexus_;
+  proto::Ipv4Layer& ip_;
+  proto::ArpService& arp_;
+  IpRecvEvent packet_recv_;
+};
+
+// A UDP communication right: created by the UDP manager for one local port.
+// Sending through it cannot spoof (source ip/port are the endpoint's), and
+// its receive handlers only ever see packets for this port (the manager
+// supplies the guard).
+class UdpEndpoint {
+ public:
+  ~UdpEndpoint();
+  UdpEndpoint(const UdpEndpoint&) = delete;
+  UdpEndpoint& operator=(const UdpEndpoint&) = delete;
+
+  std::uint16_t local_port() const { return port_; }
+
+  // Application-specific choice from the paper's motivation: UDP with the
+  // checksum disabled for integrity-optional data.
+  void set_checksum_enabled(bool v) { checksum_ = v; }
+  bool checksum_enabled() const { return checksum_; }
+
+  // Sends a datagram from this endpoint. Must run inside a CPU task.
+  // This is the paper's fast anti-spoofing strategy: the source fields are
+  // simply overwritten with the endpoint's own.
+  void Send(net::MbufPtr payload, net::Ipv4Address dst_ip, std::uint16_t dst_port);
+
+  // The paper's alternative strategy, "useful for debugging protocols":
+  // the application builds the entire UDP packet (header included) and the
+  // endpoint VERIFIES that the source field matches before sending.
+  // Returns false (and counts a spoof rejection) on mismatch.
+  bool SendVerified(net::MbufPtr udp_packet, net::Ipv4Address dst_ip);
+
+  // Installs a receive handler; the manager-made guard restricts it to this
+  // endpoint's port. Returns the handler id (for uninstall).
+  spin::Result<spin::HandlerId> InstallReceiveHandler(
+      std::function<void(const net::Mbuf& payload, const proto::UdpDatagram&)> handler,
+      spin::HandlerOptions opts = {});
+  bool UninstallReceiveHandler(spin::HandlerId id);
+
+ private:
+  friend class UdpManager;
+  UdpEndpoint(PlexusHost& plexus, std::uint16_t port) : plexus_(plexus), port_(port) {}
+
+  PlexusHost& plexus_;
+  std::uint16_t port_;
+  bool checksum_ = true;
+  std::vector<spin::HandlerId> installed_;
+};
+
+class UdpManager {
+ public:
+  UdpManager(PlexusHost& plexus, proto::UdpLayer& udp);
+
+  // Claims a local port; fails if already claimed (openness: any
+  // application, regardless of privilege, may create endpoints).
+  spin::Result<std::shared_ptr<UdpEndpoint>> CreateEndpoint(std::uint16_t local_port);
+
+  UdpRecvEvent& packet_recv() { return packet_recv_; }
+  proto::UdpLayer& layer() { return udp_; }
+
+  struct Stats {
+    std::uint64_t spoof_rejections = 0;   // SendVerified source mismatches
+    std::uint64_t unreachable_sent = 0;   // ICMP port-unreachable generated
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class PlexusHost;
+  friend class UdpEndpoint;
+
+  void ReleasePort(std::uint16_t port) { ports_in_use_.erase(port); }
+
+  PlexusHost& plexus_;
+  proto::UdpLayer& udp_;
+  UdpRecvEvent packet_recv_;
+  std::set<std::uint16_t> ports_in_use_;
+  Stats stats_;
+};
+
+// A TCP connection exposed as a ByteStream (so HTTP and the examples run
+// unchanged on Plexus and the baseline).
+class PlexusTcpEndpoint : public proto::ByteStream {
+ public:
+  ~PlexusTcpEndpoint() override;
+
+  std::size_t Write(std::span<const std::byte> data) override;
+  void SetOnData(std::function<void(std::span<const std::byte>)> cb) override;
+  void SetOnClose(std::function<void()> cb) override;
+  void CloseStream() override;
+
+  void SetOnEstablished(std::function<void()> cb) { on_established_ = std::move(cb); }
+  proto::TcpConnection& connection() { return *conn_; }
+
+ private:
+  friend class TcpManager;
+  PlexusTcpEndpoint(PlexusHost& plexus, proto::TcpEndpoints ep);
+
+  void FlushPending();
+
+  PlexusHost& plexus_;
+  std::unique_ptr<proto::TcpConnection> conn_;
+  std::function<void(std::span<const std::byte>)> on_data_;
+  std::function<void()> on_close_;
+  std::function<void()> on_established_;
+  std::vector<std::byte> pre_data_;  // data arriving before SetOnData
+  std::deque<std::byte> pending_;    // writes awaiting TCP buffer space
+  bool registered_ = false;
+  bool close_after_flush_ = false;
+  bool close_delivered_ = false;
+};
+
+class TcpManager {
+ public:
+  using Acceptor = std::function<void(std::shared_ptr<PlexusTcpEndpoint>)>;
+
+  TcpManager(PlexusHost& plexus, proto::TcpConfig config);
+
+  // Active open.
+  std::shared_ptr<PlexusTcpEndpoint> Connect(net::Ipv4Address remote_ip,
+                                             std::uint16_t remote_port,
+                                             std::uint16_t local_port = 0);
+  // Passive open.
+  bool Listen(std::uint16_t port, Acceptor acceptor);
+  void StopListening(std::uint16_t port);
+
+  // Multiple implementations of one protocol (Section 3.1): installs an
+  // alternate TCP implementation for a set of ports. The standard
+  // implementation's guard excludes these ports; the special handler's
+  // guard admits only them.
+  spin::Result<spin::HandlerId> InstallSpecialImplementation(
+      std::set<std::uint16_t> ports,
+      std::function<void(const net::Mbuf& segment, const net::Ipv4Header&)> handler,
+      spin::HandlerOptions opts = {});
+  bool UninstallSpecialImplementation(spin::HandlerId id);
+  // Grows/shrinks the port set claimed by a special implementation at
+  // runtime (the in-kernel forwarder allocates NAT ports on demand).
+  void AddSpecialPort(spin::HandlerId id, std::uint16_t port);
+  void RemoveSpecialPort(spin::HandlerId id, std::uint16_t port);
+
+  TcpRecvEvent& packet_recv() { return packet_recv_; }
+  proto::TcpDemux& demux() { return demux_; }
+  const proto::TcpConfig& config() const { return config_; }
+  void set_config(const proto::TcpConfig& c) { config_ = c; }
+
+ private:
+  friend class PlexusHost;
+  friend class PlexusTcpEndpoint;
+
+  void WireConnection(PlexusTcpEndpoint& ep);
+  bool IsSpecialPort(std::uint16_t port) const;
+
+  PlexusHost& plexus_;
+  proto::TcpConfig config_;
+  proto::TcpDemux demux_;
+  TcpRecvEvent packet_recv_;
+  std::map<std::uint16_t, Acceptor> acceptors_;
+  std::vector<std::shared_ptr<PlexusTcpEndpoint>> accepted_;  // keep-alive
+  std::map<spin::HandlerId, std::shared_ptr<std::set<std::uint16_t>>> special_ports_;
+  std::uint16_t next_ephemeral_port_ = 32768;
+};
+
+// ---------------------------------------------------------------------------
+// PlexusHost: a workstation running SPIN + Plexus.
+// ---------------------------------------------------------------------------
+
+class PlexusHost {
+ public:
+  struct NetConfig {
+    net::MacAddress mac;
+    net::Ipv4Address ip;
+    int prefix_len = 24;
+  };
+
+  PlexusHost(sim::Simulator& s, std::string name, sim::CostModel costs,
+             drivers::DeviceProfile profile, NetConfig net_config,
+             HandlerMode mode = HandlerMode::kInterrupt, std::uint64_t seed = 1);
+
+  void AttachTo(drivers::Medium& medium) { ifaces_[0].nic->AttachMedium(&medium); }
+
+  // Adds a secondary NIC ("Each workstation was equipped with ... a
+  // 10Mb/sec Ethernet, a ... Fore TCA-100 ATM interface ... and an
+  // experimental 45Mb/sec Digital T3 network adapter"). Returns the
+  // interface index for use in routes; attach it with AttachNicTo.
+  int AddNic(drivers::DeviceProfile profile, NetConfig net_config);
+  void AttachNicTo(int if_index, drivers::Medium& medium) {
+    ifaces_[static_cast<std::size_t>(if_index)].nic->AttachMedium(&medium);
+  }
+
+  // Resolves the next hop on the given interface and transmits an IP packet
+  // (the link-layer glue under the IP layer).
+  void TransmitIp(net::MbufPtr packet, net::Ipv4Address next_hop, int if_index);
+
+  // --- subsystem access ---
+  sim::Host& host() { return host_; }
+  sim::Simulator& simulator() { return host_.simulator(); }
+  spin::Dispatcher& dispatcher() { return dispatcher_; }
+  spin::DynamicLinker& linker() { return linker_; }
+  drivers::Nic& nic(int if_index = 0) { return *ifaces_[static_cast<std::size_t>(if_index)].nic; }
+  proto::EthLayer& eth_layer(int if_index = 0) {
+    return *ifaces_[static_cast<std::size_t>(if_index)].eth;
+  }
+  proto::ArpService& arp(int if_index = 0) {
+    return *ifaces_[static_cast<std::size_t>(if_index)].arp;
+  }
+  std::size_t interface_count() const { return ifaces_.size(); }
+  proto::Ipv4Layer& ip_layer() { return ip_layer_; }
+  proto::IcmpLayer& icmp() { return icmp_; }
+  proto::ActiveMessageEndpoint& active_messages() { return am_; }
+
+  EthernetManager& ethernet() { return *eth_mgr_; }
+  IpManager& ip() { return *ip_mgr_; }
+  UdpManager& udp() { return *udp_mgr_; }
+  TcpManager& tcp() { return *tcp_mgr_; }
+
+  // Logical protection domains (Section 2): the kernel domain exports every
+  // interface; the application domain only the endpoint-creation interfaces.
+  const spin::DomainPtr& kernel_domain() { return kernel_domain_; }
+  const spin::DomainPtr& app_domain() { return app_domain_; }
+
+  HandlerMode mode() const { return mode_; }
+  net::Ipv4Address ip_address() const { return net_config_.ip; }
+  net::MacAddress mac() const { return net_config_.mac; }
+
+  // Runs `fn` as application/kernel work on this host's CPU.
+  void Run(std::function<void()> fn) { host_.Submit(sim::Priority::kKernel, std::move(fn)); }
+
+  // One hop up the protocol graph: inline in interrupt mode, a fresh
+  // handler thread in thread mode.
+  void GraphHop(std::function<void()> raise);
+
+  // Whether graph events demand EPHEMERAL handlers (interrupt mode).
+  bool requires_ephemeral() const { return mode_ == HandlerMode::kInterrupt; }
+
+  // A human-readable snapshot of the protocol graph: each event and the
+  // handlers installed on it (incremental-adaptation observability).
+  std::string DescribeGraph() const;
+
+ private:
+  // One attachment point: NIC + framing + neighbor resolution.
+  struct Iface {
+    std::unique_ptr<drivers::Nic> nic;
+    std::unique_ptr<proto::EthLayer> eth;
+    std::unique_ptr<proto::ArpService> arp;
+  };
+
+  void WireGraph();
+  Iface MakeIface(drivers::DeviceProfile profile, NetConfig cfg);
+  std::vector<Iface> MakeInitialIfaces(const drivers::DeviceProfile& profile, NetConfig cfg);
+  int IfIndexForRcvif(int rcvif) const;
+
+  sim::Host host_;
+  spin::Dispatcher dispatcher_;
+  spin::DynamicLinker linker_;
+  NetConfig net_config_;
+  HandlerMode mode_;
+  std::map<int, int> rcvif_to_if_index_;   // NIC global index -> if_index
+  std::vector<Iface> ifaces_;              // [0] is the primary interface
+  proto::Ipv4Layer ip_layer_;
+  proto::IcmpLayer icmp_;
+  proto::UdpLayer udp_layer_;
+  proto::ActiveMessageEndpoint am_;
+
+  std::unique_ptr<EthernetManager> eth_mgr_;
+  std::unique_ptr<IpManager> ip_mgr_;
+  std::unique_ptr<UdpManager> udp_mgr_;
+  std::unique_ptr<TcpManager> tcp_mgr_;
+
+  spin::DomainPtr kernel_domain_;
+  spin::DomainPtr app_domain_;
+};
+
+}  // namespace core
+
+#endif  // PLEXUS_CORE_PLEXUS_H_

@@ -1,0 +1,162 @@
+// Device timing/behavior profiles for the three NICs of the paper's testbed.
+//
+// "Each workstation was equipped with ... a 10Mb/sec Ethernet, a 155Mb/sec
+// Fore TCA-100 ATM interface on the TurboChannel I/O bus, an experimental
+// 45Mb/sec Digital T3 network adapter ... Our ATM network interface cards
+// use programmed I/O, limiting maximum bandwidth to the rate with which the
+// CPU can read the data from the network adapter ... The T3 adapter uses
+// DMA, and is able to deliver 45Mb/sec with minimal CPU involvement."
+//
+// A profile is pure data; the Nic model interprets it. The fixed per-packet
+// driver costs are calibrated so that the driver-to-driver round-trip times
+// and ceilings match Section 4 (see EXPERIMENTS.md).
+#ifndef PLEXUS_DRIVERS_DEVICE_PROFILE_H_
+#define PLEXUS_DRIVERS_DEVICE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace drivers {
+
+struct DeviceProfile {
+  std::string name;
+  std::int64_t bandwidth_bps = 0;
+  sim::Duration propagation = sim::Duration::Zero();
+  std::size_t mtu = 1500;
+
+  // Framing.
+  std::size_t min_frame = 0;        // pad short frames up to this (Ethernet)
+  std::size_t frame_overhead = 0;   // preamble/CRC bytes added on the wire
+  sim::Duration inter_frame_gap = sim::Duration::Zero();
+  // Cell-based media (ATM/AAL5): wire occupancy is ceil(len/cell_payload) *
+  // cell_size bytes. cell_payload == 0 disables cell framing.
+  std::size_t cell_payload = 0;
+  std::size_t cell_size = 0;
+
+  // Data movement between memory and the adapter.
+  bool pio = false;  // true: the CPU moves every byte (TurboChannel PIO)
+  sim::Duration pio_tx_per_byte = sim::Duration::Zero();
+  sim::Duration pio_rx_per_byte = sim::Duration::Zero();
+  sim::Duration dma_tx_setup = sim::Duration::Zero();  // descriptor + doorbell
+  sim::Duration dma_rx_setup = sim::Duration::Zero();
+
+  // Fixed per-packet driver execution (start-io, buffer bookkeeping).
+  sim::Duration tx_fixed = sim::Duration::Zero();
+  sim::Duration rx_fixed = sim::Duration::Zero();
+
+  // Wire occupancy for a frame of `len` payload bytes.
+  sim::Duration SerializationDelay(std::size_t len) const {
+    std::size_t wire_bytes;
+    if (cell_payload > 0) {
+      const std::size_t cells = (len + cell_payload - 1) / cell_payload;
+      wire_bytes = cells * cell_size;
+    } else {
+      wire_bytes = len < min_frame ? min_frame : len;
+      wire_bytes += frame_overhead;
+    }
+    const double secs = static_cast<double>(wire_bytes) * 8.0 / static_cast<double>(bandwidth_bps);
+    return sim::Duration::SecondsF(secs) + inter_frame_gap;
+  }
+
+  // CPU cost of handing a frame to the adapter (charged to the sender).
+  sim::Duration TxCpuCost(std::size_t len) const {
+    sim::Duration d = tx_fixed;
+    if (pio) {
+      d += pio_tx_per_byte * static_cast<std::int64_t>(len);
+    } else {
+      d += dma_tx_setup;
+    }
+    return d;
+  }
+
+  // CPU cost of pulling a received frame out of the adapter.
+  sim::Duration RxCpuCost(std::size_t len) const {
+    sim::Duration d = rx_fixed;
+    if (pio) {
+      d += pio_rx_per_byte * static_cast<std::int64_t>(len);
+    } else {
+      d += dma_rx_setup;
+    }
+    return d;
+  }
+
+  // --- The paper's three adapters -------------------------------------------
+
+  // LANCE-class 10 Mb/s Ethernet. The stock DIGITAL UNIX driver has heavy
+  // fixed costs (the paper's "faster device driver" experiment cuts them).
+  static DeviceProfile Ethernet10() {
+    DeviceProfile p;
+    p.name = "ethernet";
+    p.bandwidth_bps = 10'000'000;
+    p.propagation = sim::Duration::Micros(5);
+    p.mtu = 1500;
+    p.min_frame = 60;          // + 4 CRC = 64 on the wire
+    p.frame_overhead = 12;     // preamble + CRC
+    p.inter_frame_gap = sim::Duration::Nanos(9600);
+    p.pio = false;
+    p.dma_tx_setup = sim::Duration::Micros(8);
+    p.dma_rx_setup = sim::Duration::Micros(8);
+    p.tx_fixed = sim::Duration::Micros(100);
+    p.rx_fixed = sim::Duration::Micros(105);
+    return p;
+  }
+
+  // Ethernet with the experimental fast SPIN driver (Section 4.1).
+  static DeviceProfile Ethernet10FastDriver() {
+    DeviceProfile p = Ethernet10();
+    p.name = "ethernet-fast";
+    p.tx_fixed = sim::Duration::Micros(40);
+    p.rx_fixed = sim::Duration::Micros(40);
+    p.dma_tx_setup = sim::Duration::Micros(3);
+    p.dma_rx_setup = sim::Duration::Micros(3);
+    return p;
+  }
+
+  // Fore TCA-100 on TurboChannel: 155 Mb/s line rate, programmed I/O.
+  // TurboChannel word reads are ~600ns (150 ns/byte), which is what caps
+  // reliable driver-to-driver transfers near 53 Mb/s in the paper.
+  static DeviceProfile ForeAtm155() {
+    DeviceProfile p;
+    p.name = "fore-atm";
+    p.bandwidth_bps = 155'000'000;
+    p.propagation = sim::Duration::Micros(10);  // through the ForeRunner switch
+    p.mtu = 9180;
+    p.cell_payload = 48;
+    p.cell_size = 53;
+    p.pio = true;
+    p.pio_tx_per_byte = sim::Duration::Nanos(100);  // posted writes
+    p.pio_rx_per_byte = sim::Duration::Nanos(150);  // stalled reads
+    p.tx_fixed = sim::Duration::Micros(72);
+    p.rx_fixed = sim::Duration::Micros(72);
+    return p;
+  }
+
+  static DeviceProfile ForeAtm155FastDriver() {
+    DeviceProfile p = ForeAtm155();
+    p.name = "fore-atm-fast";
+    p.tx_fixed = sim::Duration::Micros(41);
+    p.rx_fixed = sim::Duration::Micros(41);
+    return p;
+  }
+
+  // Digital experimental T3 adapter: 45 Mb/s, DMA, back-to-back link.
+  static DeviceProfile DecT3() {
+    DeviceProfile p;
+    p.name = "dec-t3";
+    p.bandwidth_bps = 45'000'000;
+    p.propagation = sim::Duration::Micros(2);  // back-to-back
+    p.mtu = 4470;
+    p.pio = false;
+    p.dma_tx_setup = sim::Duration::Micros(15);
+    p.dma_rx_setup = sim::Duration::Micros(12);
+    p.tx_fixed = sim::Duration::Micros(55);
+    p.rx_fixed = sim::Duration::Micros(52);
+    return p;
+  }
+};
+
+}  // namespace drivers
+
+#endif  // PLEXUS_DRIVERS_DEVICE_PROFILE_H_

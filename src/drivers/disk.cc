@@ -1,0 +1,53 @@
+#include "drivers/disk.h"
+
+#include "net/byte_order.h"
+
+namespace drivers {
+
+void Disk::Read(std::uint64_t offset, std::size_t len, Completion done) {
+  // File-system path runs on the CPU in the caller's task.
+  host_.Charge(profile_.fs_path_fixed +
+               profile_.fs_path_per_byte * static_cast<std::int64_t>(len));
+  queue_.push_back(Request{offset, len, std::move(done)});
+  if (!busy_) StartNext();
+}
+
+void Disk::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+
+  const double transfer_secs =
+      static_cast<double>(req.len) * 8.0 / static_cast<double>(profile_.transfer_bps);
+  const sim::Duration service =
+      profile_.seek + profile_.rotation + sim::Duration::SecondsF(transfer_secs);
+  stats_.busy += service;
+
+  host_.simulator().Schedule(service, [this, req = std::move(req)]() mutable {
+    Complete(std::move(req));
+    StartNext();
+  });
+}
+
+void Disk::Complete(Request req) {
+  ++stats_.reads;
+  stats_.bytes += req.len;
+  // Synthesize deterministic content: each 4-byte word is offset/4 + i.
+  auto data = net::Mbuf::Allocate(req.len);
+  for (std::size_t i = 0; i + 4 <= req.len && i < 64; i += 4) {
+    const net::BigEndian32 word(static_cast<std::uint32_t>(req.offset / 4 + i / 4));
+    data->CopyIn(i, {reinterpret_cast<const std::byte*>(&word), 4});
+  }
+  // Completion interrupt, like a NIC receive.
+  auto shared = std::shared_ptr<net::Mbuf>(data.release());
+  host_.Submit(sim::Priority::kInterrupt, [this, shared, done = std::move(req.done)] {
+    host_.Charge(host_.costs().interrupt_entry + host_.costs().interrupt_exit);
+    done(net::MbufPtr(shared->ShareClone()));
+  });
+}
+
+}  // namespace drivers

@@ -1,0 +1,106 @@
+// A simulated disk with a minimal file-system interface.
+//
+// The paper's video server "reads video frame-by-frame off of the disk
+// using SPIN's file system interface". This module provides that substrate:
+// a Disk with seek/transfer timing that serializes requests (one arm), and
+// a FrameStore that lays video clips out as fixed-size frames.
+//
+// Timing model: each read costs CPU for the file-system path (buffer-cache
+// lookup, request setup), then the disk is busy for seek + rotational +
+// transfer time with NO CPU involvement (DMA), and completion is delivered
+// as an interrupt-priority task, like a NIC receive.
+#ifndef PLEXUS_DRIVERS_DISK_H_
+#define PLEXUS_DRIVERS_DISK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "net/mbuf.h"
+#include "sim/host.h"
+
+namespace drivers {
+
+struct DiskProfile {
+  sim::Duration seek = sim::Duration::Micros(500);      // avg short seek (hot clip)
+  sim::Duration rotation = sim::Duration::Micros(300);  // avg rotational delay
+  std::int64_t transfer_bps = 160'000'000;              // ~20 MB/s (fast 1996 array)
+  sim::Duration fs_path_fixed = sim::Duration::Micros(80);  // FS + driver CPU
+  sim::Duration fs_path_per_byte = sim::Duration::Nanos(4); // buffer handling
+
+  // A consumer-grade single spindle, for ablations.
+  static DiskProfile Slow1996() {
+    DiskProfile p;
+    p.seek = sim::Duration::Millis(9);
+    p.rotation = sim::Duration::Millis(4);
+    p.transfer_bps = 40'000'000;  // 5 MB/s
+    return p;
+  }
+};
+
+class Disk {
+ public:
+  using Completion = std::function<void(net::MbufPtr data)>;
+
+  Disk(sim::Host& host, DiskProfile profile = {}) : host_(host), profile_(profile) {}
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  // Issues an asynchronous read of `len` bytes at `offset`. Must be called
+  // from within a CPU task (it charges the FS path). The completion runs in
+  // an interrupt-priority task when the transfer finishes. Data content is
+  // synthesized deterministically from the offset.
+  void Read(std::uint64_t offset, std::size_t len, Completion done);
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t bytes = 0;
+    sim::Duration busy;  // total arm/transfer occupancy
+  };
+  const Stats& stats() const { return stats_; }
+  std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+ private:
+  struct Request {
+    std::uint64_t offset;
+    std::size_t len;
+    Completion done;
+  };
+
+  void StartNext();
+  void Complete(Request req);
+
+  sim::Host& host_;
+  DiskProfile profile_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  Stats stats_;
+};
+
+// A stored video clip: `frame_count` frames of `frame_bytes` each, read by
+// index. Each frame's first word carries its index (so clients can detect
+// drops/reordering).
+class FrameStore {
+ public:
+  FrameStore(Disk& disk, std::size_t frame_bytes, std::uint32_t frame_count)
+      : disk_(disk), frame_bytes_(frame_bytes), frame_count_(frame_count) {}
+
+  std::size_t frame_bytes() const { return frame_bytes_; }
+  std::uint32_t frame_count() const { return frame_count_; }
+
+  // Reads frame `index % frame_count` (clips loop, like the paper's demo).
+  void ReadFrame(std::uint32_t index, Disk::Completion done) {
+    const std::uint32_t i = index % frame_count_;
+    disk_.Read(static_cast<std::uint64_t>(i) * frame_bytes_, frame_bytes_, std::move(done));
+  }
+
+ private:
+  Disk& disk_;
+  std::size_t frame_bytes_;
+  std::uint32_t frame_count_;
+};
+
+}  // namespace drivers
+
+#endif  // PLEXUS_DRIVERS_DISK_H_

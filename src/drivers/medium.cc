@@ -1,0 +1,57 @@
+#include "drivers/medium.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "drivers/nic.h"
+
+namespace drivers {
+
+void PointToPointLink::Transmit(Nic* from, net::MbufPtr frame) {
+  assert(taps_.size() == 2 && "point-to-point link needs exactly two taps");
+  frame = MaybeCorrupt(std::move(frame));
+  const int dir = (from == taps_[0]) ? 0 : 1;
+  Nic* to = taps_[dir == 0 ? 1 : 0];
+  const auto& profile = from->profile();
+  const std::size_t len = frame->PacketLength();
+
+  const sim::TimePoint start = std::max(sim_.Now(), dir_free_[dir]);
+  const sim::Duration ser = profile.SerializationDelay(len);
+  dir_free_[dir] = start + ser;
+
+  const int copies = FaultCopies();
+  auto shared = std::shared_ptr<net::Mbuf>(frame.release());
+  for (int i = 0; i < copies; ++i) {
+    const sim::TimePoint arrival = start + ser + profile.propagation + Jitter();
+    sim_.ScheduleAt(arrival, [to, shared] {
+      to->DeliverFromWire(net::MbufPtr(shared->ShareClone()), /*check_address=*/false);
+    });
+  }
+}
+
+void EthernetSegment::Transmit(Nic* from, net::MbufPtr frame) {
+  frame = MaybeCorrupt(std::move(frame));
+  const auto& profile = from->profile();
+  const std::size_t len = frame->PacketLength();
+
+  // Half duplex: the segment carries one frame at a time. (Collisions are
+  // modeled as serialization, which preserves throughput behavior without
+  // simulating exponential backoff.)
+  const sim::TimePoint start = std::max(sim_.Now(), wire_free_);
+  const sim::Duration ser = profile.SerializationDelay(len);
+  wire_free_ = start + ser;
+
+  const int copies = FaultCopies();
+  auto shared = std::shared_ptr<net::Mbuf>(frame.release());
+  for (int i = 0; i < copies; ++i) {
+    for (Nic* tap : taps_) {
+      if (tap == from) continue;
+      const sim::TimePoint arrival = start + ser + profile.propagation + Jitter();
+      sim_.ScheduleAt(arrival, [tap, shared] {
+        tap->DeliverFromWire(net::MbufPtr(shared->ShareClone()), /*check_address=*/true);
+      });
+    }
+  }
+}
+
+}  // namespace drivers

@@ -1,0 +1,119 @@
+// Transmission media connecting NICs: point-to-point links and a shared
+// Ethernet segment, with optional fault injection (loss, duplication,
+// jitter) for protocol robustness tests.
+#ifndef PLEXUS_DRIVERS_MEDIUM_H_
+#define PLEXUS_DRIVERS_MEDIUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/mbuf.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace drivers {
+
+class Nic;
+
+// Fault model applied per frame as it enters the medium.
+struct Faults {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double corrupt_probability = 0.0;  // flip one random byte of the frame
+  sim::Duration jitter_max = sim::Duration::Zero();  // extra uniform delay
+};
+
+class Medium {
+ public:
+  explicit Medium(sim::Simulator& s, std::uint64_t fault_seed = 0x5eed)
+      : sim_(s), rng_(fault_seed) {}
+  virtual ~Medium() = default;
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  void Attach(Nic* nic) { taps_.push_back(nic); }
+
+  // Called by a NIC at the instant its frame hits the wire.
+  virtual void Transmit(Nic* from, net::MbufPtr frame) = 0;
+
+  void set_faults(const Faults& f) { faults_ = f; }
+  const Faults& faults() const { return faults_; }
+
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t frames_carried() const { return frames_carried_; }
+  std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+
+ protected:
+  // Applies the fault model; returns the number of copies to deliver
+  // (0 = dropped, 1 = normal, 2 = duplicated).
+  int FaultCopies() {
+    if (faults_.drop_probability > 0.0 && rng_.Bernoulli(faults_.drop_probability)) {
+      ++frames_dropped_;
+      return 0;
+    }
+    ++frames_carried_;
+    if (faults_.duplicate_probability > 0.0 && rng_.Bernoulli(faults_.duplicate_probability)) {
+      return 2;
+    }
+    return 1;
+  }
+
+  sim::Duration Jitter() {
+    if (faults_.jitter_max.is_zero()) return sim::Duration::Zero();
+    return rng_.UniformDuration(sim::Duration::Zero(), faults_.jitter_max);
+  }
+
+  // Possibly corrupts a frame in place (returns a clone with one byte
+  // flipped). Checksums downstream are expected to catch this.
+  net::MbufPtr MaybeCorrupt(net::MbufPtr frame) {
+    if (faults_.corrupt_probability <= 0.0 ||
+        !rng_.Bernoulli(faults_.corrupt_probability) || frame->PacketLength() == 0) {
+      return frame;
+    }
+    ++frames_corrupted_;
+    auto copy = frame->DeepCopy();
+    const std::size_t pos = rng_.UniformU64(copy->PacketLength());
+    std::byte b;
+    copy->CopyOut(pos, {&b, 1});
+    b ^= std::byte{0x40};
+    copy->CopyIn(pos, {&b, 1});
+    return copy;
+  }
+
+  sim::Simulator& sim_;
+  sim::Random rng_;
+  std::vector<Nic*> taps_;
+  Faults faults_;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_carried_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+};
+
+// Full-duplex point-to-point link (the ATM virtual circuit through the
+// ForeRunner switch, or the back-to-back T3 connection). Each direction
+// serializes independently.
+class PointToPointLink : public Medium {
+ public:
+  using Medium::Medium;
+  void Transmit(Nic* from, net::MbufPtr frame) override;
+
+ private:
+  sim::TimePoint dir_free_[2];  // per-direction earliest next transmit
+};
+
+// Half-duplex shared segment ("a private Ethernet segment"): one frame on
+// the wire at a time; every other tap receives each frame (NICs filter by
+// destination MAC).
+class EthernetSegment : public Medium {
+ public:
+  using Medium::Medium;
+  void Transmit(Nic* from, net::MbufPtr frame) override;
+
+ private:
+  sim::TimePoint wire_free_;
+};
+
+}  // namespace drivers
+
+#endif  // PLEXUS_DRIVERS_MEDIUM_H_

@@ -1,0 +1,61 @@
+#include "drivers/nic.h"
+
+#include <cassert>
+
+#include "net/headers.h"
+#include "net/view.h"
+#include "sim/trace.h"
+
+namespace drivers {
+
+Nic::Nic(sim::Host& host, DeviceProfile profile, net::MacAddress mac)
+    : host_(host), profile_(std::move(profile)), mac_(mac), index_(next_index_++) {}
+
+void Nic::Transmit(net::MbufPtr frame) {
+  assert(medium_ != nullptr && "NIC not attached to a medium");
+  assert(host_.in_task() && "Transmit must run inside a CPU task");
+  const std::size_t len = frame->PacketLength();
+  host_.Charge(profile_.TxCpuCost(len));
+  stats_.tx_frames++;
+  stats_.tx_bytes += len;
+  sim::Trace::Log(host_.Now(), "%s %s tx %zu bytes", host_.name().c_str(),
+                  profile_.name.c_str(), len);
+  // The frame reaches the wire when the CPU finishes issuing the I/O.
+  auto shared = std::shared_ptr<net::Mbuf>(frame.release());
+  host_.AfterTask([this, shared]() mutable {
+    medium_->Transmit(this, net::MbufPtr(shared->ShareClone()));
+  });
+}
+
+void Nic::DeliverFromWire(net::MbufPtr frame, bool check_address) {
+  if (check_address && !promiscuous_) {
+    // Filter on the destination MAC in the Ethernet header.
+    try {
+      auto hdr = net::ViewPacket<net::EthernetHeader>(*frame);
+      if (hdr.dst != mac_ && !hdr.dst.IsBroadcast() && !hdr.dst.IsMulticast()) {
+        ++stats_.rx_filtered;
+        return;
+      }
+    } catch (const net::ViewError&) {
+      ++stats_.rx_filtered;  // runt frame
+      return;
+    }
+  }
+  const std::size_t len = frame->PacketLength();
+  stats_.rx_frames++;
+  stats_.rx_bytes += len;
+  frame->pkthdr().rcvif = index_;
+
+  // Raise the device interrupt: driver receive work runs at interrupt
+  // priority; the callback is the bottom of the protocol graph.
+  auto shared = std::shared_ptr<net::Mbuf>(frame.release());
+  host_.Submit(sim::Priority::kInterrupt, [this, shared, len]() mutable {
+    const auto& cm = host_.costs();
+    host_.Charge(cm.interrupt_entry);
+    host_.Charge(profile_.RxCpuCost(len));
+    if (rx_callback_) rx_callback_(net::MbufPtr(shared->ShareClone()));
+    host_.Charge(cm.interrupt_exit);
+  });
+}
+
+}  // namespace drivers

@@ -1,0 +1,88 @@
+// The simulated network interface controller.
+//
+// A Nic belongs to a Host and is attached to a Medium. Its behavior is
+// parameterized by a DeviceProfile (PIO vs DMA, bandwidth, framing).
+//
+// Transmit path: protocol code — already running inside a CPU task on the
+// host — calls Transmit. The NIC charges the driver's CPU cost to the
+// current task and hands the frame to the medium at the task's completion
+// instant (i.e. once the CPU has actually issued the I/O).
+//
+// Receive path: the medium delivers a frame at a simulated instant; the NIC
+// raises a device interrupt by submitting an interrupt-priority task that
+// charges interrupt + driver receive costs and then invokes the receive
+// callback — this is where "only privileged device driver code — the bottom
+// of the Plexus protocol graph — runs directly in response to network
+// device interrupts" (paper Section 3.3).
+#ifndef PLEXUS_DRIVERS_NIC_H_
+#define PLEXUS_DRIVERS_NIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "drivers/device_profile.h"
+#include "drivers/medium.h"
+#include "net/address.h"
+#include "net/mbuf.h"
+#include "sim/host.h"
+
+namespace drivers {
+
+class Nic {
+ public:
+  struct Stats {
+    std::uint64_t tx_frames = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t rx_frames = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t rx_filtered = 0;  // not addressed to us
+  };
+
+  // The receive callback runs inside the interrupt-priority CPU task.
+  using ReceiveCallback = std::function<void(net::MbufPtr)>;
+
+  Nic(sim::Host& host, DeviceProfile profile, net::MacAddress mac);
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  void AttachMedium(Medium* medium) {
+    medium_ = medium;
+    medium->Attach(this);
+  }
+
+  sim::Host& host() { return host_; }
+  const DeviceProfile& profile() const { return profile_; }
+  net::MacAddress mac() const { return mac_; }
+  int index() const { return index_; }
+  void set_promiscuous(bool v) { promiscuous_ = v; }
+
+  void SetReceiveCallback(ReceiveCallback cb) { rx_callback_ = std::move(cb); }
+
+  // Sends a fully framed packet. Must be called from within a CPU task on
+  // this NIC's host (protocol output or an echo path in a driver test).
+  void Transmit(net::MbufPtr frame);
+
+  // Called by the medium when a frame arrives at this tap (no task context).
+  void DeliverFromWire(net::MbufPtr frame, bool check_address);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+ private:
+  sim::Host& host_;
+  DeviceProfile profile_;
+  net::MacAddress mac_;
+  Medium* medium_ = nullptr;
+  ReceiveCallback rx_callback_;
+  Stats stats_;
+  bool promiscuous_ = false;
+  int index_;
+
+  inline static int next_index_ = 0;
+};
+
+}  // namespace drivers
+
+#endif  // PLEXUS_DRIVERS_NIC_H_

@@ -1,0 +1,58 @@
+#include "net/address.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace net {
+
+std::optional<MacAddress> MacAddress::Parse(std::string_view s) {
+  std::array<std::uint8_t, 6> out{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (pos + 2 > s.size()) return std::nullopt;
+    unsigned v = 0;
+    auto [p, ec] = std::from_chars(s.data() + pos, s.data() + pos + 2, v, 16);
+    if (ec != std::errc() || p != s.data() + pos + 2 || v > 0xff) return std::nullopt;
+    out[i] = static_cast<std::uint8_t>(v);
+    pos += 2;
+    if (i < 5) {
+      if (pos >= s.size() || s[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != s.size()) return std::nullopt;
+  return MacAddress(out);
+}
+
+std::string MacAddress::ToString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", b_[0], b_[1], b_[2], b_[3],
+                b_[4], b_[5]);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view s) {
+  std::array<std::uint8_t, 4> out{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned v = 0;
+    auto [p, ec] = std::from_chars(s.data() + pos, s.data() + s.size(), v, 10);
+    if (ec != std::errc() || v > 255 || p == s.data() + pos) return std::nullopt;
+    out[i] = static_cast<std::uint8_t>(v);
+    pos = static_cast<std::size_t>(p - s.data());
+    if (i < 3) {
+      if (pos >= s.size() || s[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != s.size()) return std::nullopt;
+  return Ipv4Address(out[0], out[1], out[2], out[3]);
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", b_[0], b_[1], b_[2], b_[3]);
+  return buf;
+}
+
+}  // namespace net

@@ -1,0 +1,55 @@
+// Endian-safe integer fields for wire-format structures.
+//
+// BigEndian16/32 store their value as raw network-order bytes, so a struct
+// composed of them (and plain bytes) has no padding and can be overlaid on
+// packet data with net::View — the C++ realization of the paper's typed
+// header casting. Conversion uses shifts, so the code is host-endian
+// agnostic.
+#ifndef PLEXUS_NET_BYTE_ORDER_H_
+#define PLEXUS_NET_BYTE_ORDER_H_
+
+#include <cstdint>
+
+namespace net {
+
+class BigEndian16 {
+ public:
+  constexpr BigEndian16() = default;
+  constexpr BigEndian16(std::uint16_t v) : b_{static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v & 0xff)} {}
+
+  constexpr std::uint16_t value() const {
+    return static_cast<std::uint16_t>((b_[0] << 8) | b_[1]);
+  }
+  constexpr operator std::uint16_t() const { return value(); }
+
+  constexpr bool operator==(const BigEndian16&) const = default;
+
+ private:
+  std::uint8_t b_[2] = {0, 0};
+};
+
+class BigEndian32 {
+ public:
+  constexpr BigEndian32() = default;
+  constexpr BigEndian32(std::uint32_t v)
+      : b_{static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>((v >> 16) & 0xff),
+           static_cast<std::uint8_t>((v >> 8) & 0xff), static_cast<std::uint8_t>(v & 0xff)} {}
+
+  constexpr std::uint32_t value() const {
+    return (static_cast<std::uint32_t>(b_[0]) << 24) | (static_cast<std::uint32_t>(b_[1]) << 16) |
+           (static_cast<std::uint32_t>(b_[2]) << 8) | b_[3];
+  }
+  constexpr operator std::uint32_t() const { return value(); }
+
+  constexpr bool operator==(const BigEndian32&) const = default;
+
+ private:
+  std::uint8_t b_[4] = {0, 0, 0, 0};
+};
+
+static_assert(sizeof(BigEndian16) == 2);
+static_assert(sizeof(BigEndian32) == 4);
+
+}  // namespace net
+
+#endif  // PLEXUS_NET_BYTE_ORDER_H_

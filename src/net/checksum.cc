@@ -1,0 +1,45 @@
+#include "net/checksum.h"
+
+namespace net {
+
+void InternetChecksum::Add(std::span<const std::byte> bytes) {
+  std::size_t i = 0;
+  if (odd_ && !bytes.empty()) {
+    // Complete the pending high-order byte from a previous odd-length run.
+    sum_ += static_cast<std::uint8_t>(bytes[0]);
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum_ += (static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[i])) << 8) |
+            static_cast<std::uint8_t>(bytes[i + 1]);
+  }
+  if (i < bytes.size()) {
+    sum_ += static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[i])) << 8;
+    odd_ = true;
+  }
+}
+
+std::uint16_t InternetChecksum::Finish() const {
+  std::uint64_t s = sum_;
+  while (s >> 16) s = (s & 0xffff) + (s >> 16);
+  return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+std::uint16_t Checksum(std::span<const std::byte> bytes) {
+  InternetChecksum c;
+  c.Add(bytes);
+  return c.Finish();
+}
+
+std::uint16_t ChecksumAdjust(std::uint16_t old_sum, std::uint16_t old_field,
+                             std::uint16_t new_field) {
+  // RFC 1624: HC' = ~(~HC + ~m + m')
+  std::uint32_t s = static_cast<std::uint16_t>(~old_sum);
+  s += static_cast<std::uint16_t>(~old_field);
+  s += new_field;
+  while (s >> 16) s = (s & 0xffff) + (s >> 16);
+  return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+}  // namespace net

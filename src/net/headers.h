@@ -1,0 +1,161 @@
+// Wire-format header structures for the protocol suite.
+//
+// Every struct here is composed exclusively of bytes and BigEndian fields,
+// so sizeof == wire size with no padding (static_asserts verify) and each is
+// Viewable by net::View — these are the "restricted Modula-3 types" of the
+// paper's VIEW operator.
+#ifndef PLEXUS_NET_HEADERS_H_
+#define PLEXUS_NET_HEADERS_H_
+
+#include <cstdint>
+
+#include "net/address.h"
+#include "net/byte_order.h"
+
+namespace net {
+
+// --- Ethernet ---------------------------------------------------------------
+
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  BigEndian16 type;
+};
+static_assert(sizeof(EthernetHeader) == 14);
+
+namespace ethertype {
+inline constexpr std::uint16_t kIpv4 = 0x0800;
+inline constexpr std::uint16_t kArp = 0x0806;
+// The paper's active-message extension demultiplexes on a private Ethernet
+// type field (Section 3.3).
+inline constexpr std::uint16_t kActiveMessage = 0x88B5;  // local experimental
+}  // namespace ethertype
+
+inline constexpr std::size_t kEthernetMinPayload = 46;
+inline constexpr std::size_t kEthernetMtu = 1500;
+
+// --- ARP (Ethernet/IPv4 flavor) ----------------------------------------------
+
+struct ArpPacket {
+  BigEndian16 htype;  // 1 = Ethernet
+  BigEndian16 ptype;  // 0x0800 = IPv4
+  std::uint8_t hlen = 6;
+  std::uint8_t plen = 4;
+  BigEndian16 op;  // 1 = request, 2 = reply
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;
+  Ipv4Address target_ip;
+};
+static_assert(sizeof(ArpPacket) == 28);
+
+namespace arpop {
+inline constexpr std::uint16_t kRequest = 1;
+inline constexpr std::uint16_t kReply = 2;
+}  // namespace arpop
+
+// --- IPv4 ---------------------------------------------------------------------
+
+struct Ipv4Header {
+  std::uint8_t version_ihl = 0x45;  // IPv4, 20-byte header
+  std::uint8_t tos = 0;
+  BigEndian16 total_length;
+  BigEndian16 id;
+  BigEndian16 flags_fragment;  // 3 flag bits + 13-bit offset (in 8-byte units)
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  BigEndian16 checksum;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  std::size_t header_length() const { return (version_ihl & 0x0f) * 4u; }
+  std::uint8_t version() const { return version_ihl >> 4; }
+  bool more_fragments() const { return (flags_fragment.value() & 0x2000) != 0; }
+  bool dont_fragment() const { return (flags_fragment.value() & 0x4000) != 0; }
+  std::size_t fragment_offset_bytes() const {
+    return static_cast<std::size_t>(flags_fragment.value() & 0x1fff) * 8u;
+  }
+  void set_fragment(std::size_t offset_bytes, bool more) {
+    std::uint16_t v = static_cast<std::uint16_t>(offset_bytes / 8);
+    if (more) v |= 0x2000;
+    flags_fragment = v;
+  }
+};
+static_assert(sizeof(Ipv4Header) == 20);
+
+namespace ipproto {
+inline constexpr std::uint8_t kIcmp = 1;
+inline constexpr std::uint8_t kTcp = 6;
+inline constexpr std::uint8_t kUdp = 17;
+}  // namespace ipproto
+
+// --- ICMP ---------------------------------------------------------------------
+
+struct IcmpHeader {
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  BigEndian16 checksum;
+  BigEndian16 id;
+  BigEndian16 seq;
+};
+static_assert(sizeof(IcmpHeader) == 8);
+
+namespace icmptype {
+inline constexpr std::uint8_t kEchoReply = 0;
+inline constexpr std::uint8_t kDestUnreachable = 3;
+inline constexpr std::uint8_t kEchoRequest = 8;
+inline constexpr std::uint8_t kTimeExceeded = 11;
+}  // namespace icmptype
+
+// --- UDP ----------------------------------------------------------------------
+
+struct UdpHeader {
+  BigEndian16 src_port;
+  BigEndian16 dst_port;
+  BigEndian16 length;  // header + payload
+  BigEndian16 checksum;  // 0 = not computed (the paper's checksum-off option)
+};
+static_assert(sizeof(UdpHeader) == 8);
+
+// --- TCP ----------------------------------------------------------------------
+
+struct TcpHeader {
+  BigEndian16 src_port;
+  BigEndian16 dst_port;
+  BigEndian32 seq;
+  BigEndian32 ack;
+  std::uint8_t data_offset = 0x50;  // header length in 32-bit words << 4
+  std::uint8_t flags = 0;
+  BigEndian16 window;
+  BigEndian16 checksum;
+  BigEndian16 urgent;
+
+  std::size_t header_length() const { return (data_offset >> 4) * 4u; }
+  void set_header_length(std::size_t bytes) {
+    data_offset = static_cast<std::uint8_t>((bytes / 4) << 4);
+  }
+};
+static_assert(sizeof(TcpHeader) == 20);
+
+namespace tcpflag {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+inline constexpr std::uint8_t kUrg = 0x20;
+}  // namespace tcpflag
+
+// --- Active messages (Section 3.3) ---------------------------------------------
+
+struct ActiveMessageHeader {
+  BigEndian16 handler_id;  // index into the receiver's handler table
+  BigEndian16 length;      // payload bytes following this header
+  BigEndian32 arg0;
+  BigEndian32 arg1;
+};
+static_assert(sizeof(ActiveMessageHeader) == 12);
+
+}  // namespace net
+
+#endif  // PLEXUS_NET_HEADERS_H_

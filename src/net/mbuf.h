@@ -1,0 +1,156 @@
+// BSD-style memory buffers (mbufs), as used by Plexus to carry packets
+// through the protocol graph ("a primary advantage of mbufs is that they are
+// directly used by most UNIX device drivers" — the paper, footnote 1).
+//
+// An Mbuf is one segment of a chain; the head segment carries the packet
+// header. Differences from historical BSD, in line with the C++ Core
+// Guidelines: ownership is explicit (unique_ptr links the chain), storage is
+// reference-counted so a packet can be shared read-only across consumers
+// (the paper's READONLY buffers), and any mutating operation on shared
+// storage performs an explicit copy first (the paper's "explicit
+// copy-on-write": extensions cannot modify a shared packet in place).
+#ifndef PLEXUS_NET_MBUF_H_
+#define PLEXUS_NET_MBUF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace net {
+
+class Mbuf;
+using MbufPtr = std::unique_ptr<Mbuf>;
+
+class MbufError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Mbuf {
+ public:
+  // Default headroom reserved in a freshly allocated head segment; enough
+  // for Ethernet + IPv4 + TCP with options.
+  static constexpr std::size_t kDefaultHeadroom = 128;
+  // Segment payload capacity for multi-segment allocations (a BSD cluster).
+  static constexpr std::size_t kClusterSize = 2048;
+
+  // Allocates a chain holding `len` bytes of zeroed payload, with headroom
+  // in the first segment.
+  static MbufPtr Allocate(std::size_t len, std::size_t headroom = kDefaultHeadroom);
+
+  // Allocates a chain holding a copy of `bytes`.
+  static MbufPtr FromBytes(std::span<const std::byte> bytes,
+                           std::size_t headroom = kDefaultHeadroom);
+  static MbufPtr FromString(std::string_view s, std::size_t headroom = kDefaultHeadroom);
+
+  Mbuf(const Mbuf&) = delete;
+  Mbuf& operator=(const Mbuf&) = delete;
+
+  // --- Per-segment access ---------------------------------------------------
+
+  std::span<const std::byte> data() const {
+    return {storage_->data() + offset_, length_};
+  }
+  // Mutable access copies the backing storage first if it is shared.
+  std::span<std::byte> mutable_data();
+  std::size_t segment_length() const { return length_; }
+  const Mbuf* next() const { return next_.get(); }
+  Mbuf* next() { return next_.get(); }
+
+  std::size_t headroom() const { return offset_; }
+  std::size_t tailroom() const { return storage_->size() - offset_ - length_; }
+  bool storage_shared() const { return storage_.use_count() > 1; }
+
+  // --- Whole-chain operations (call on the head segment) --------------------
+
+  // Total payload bytes across the chain.
+  std::size_t PacketLength() const;
+
+  // Number of segments.
+  std::size_t SegmentCount() const;
+
+  // Grows the front of the packet by n bytes (for prepending a header).
+  // Uses head segment headroom; shifts data if tailroom allows; throws
+  // MbufError otherwise. Returns the new front bytes, mutable.
+  std::span<std::byte> Prepend(std::size_t n);
+
+  // Removes n bytes from the front of the packet (m_adj with n > 0).
+  void TrimFront(std::size_t n);
+
+  // Removes n bytes from the end of the packet (m_adj with n < 0).
+  void TrimBack(std::size_t n);
+
+  // Ensures the first n bytes of the packet are contiguous in this segment
+  // (m_pullup). Throws MbufError if the packet is shorter than n or n
+  // exceeds segment capacity.
+  void Pullup(std::size_t n);
+
+  // Appends another chain to the end of this one, taking ownership.
+  void AppendChain(MbufPtr tail);
+
+  // Splits the chain at `offset`; this keeps [0, offset), the returned chain
+  // holds [offset, len). Splitting a shared segment shares storage.
+  MbufPtr Split(std::size_t offset);
+
+  // Copies out `out.size()` bytes starting at `offset` (m_copydata).
+  void CopyOut(std::size_t offset, std::span<std::byte> out) const;
+
+  // Overwrites bytes starting at `offset` (copy-on-write if shared).
+  void CopyIn(std::size_t offset, std::span<const std::byte> in);
+
+  // Deep copy: new storage for every segment. This is the explicit copy an
+  // extension must make before modifying a READONLY packet.
+  MbufPtr DeepCopy() const;
+
+  // Shallow copy: shares storage reference-counted; cheap, read-only use.
+  MbufPtr ShareClone() const;
+
+  // Flattens the chain into a single vector (test/debug convenience).
+  std::vector<std::byte> Linearize() const;
+  std::string ToString() const;
+
+  // Invokes f(span<const byte>) for every non-empty segment in order.
+  template <typename F>
+  void ForEachSegment(F&& f) const {
+    for (const Mbuf* m = this; m != nullptr; m = m->next_.get()) {
+      if (m->length_ > 0) f(m->data());
+    }
+  }
+
+  // --- Packet header (meaningful on the chain head) --------------------------
+
+  struct PacketHeader {
+    int rcvif = -1;           // receiving interface index, -1 if locally built
+    std::uint32_t flags = 0;  // consumer-defined
+  };
+  PacketHeader& pkthdr() { return pkthdr_; }
+  const PacketHeader& pkthdr() const { return pkthdr_; }
+
+  // Checks structural invariants (for tests): offsets/lengths in range.
+  bool CheckInvariants() const;
+
+ private:
+  using Storage = std::vector<std::byte>;
+
+  Mbuf(std::shared_ptr<Storage> storage, std::size_t offset, std::size_t length)
+      : storage_(std::move(storage)), offset_(offset), length_(length) {}
+
+  static MbufPtr NewSegment(std::size_t capacity, std::size_t offset, std::size_t length);
+
+  // Replaces shared storage with a private copy of the live bytes.
+  void EnsureUnique();
+
+  std::shared_ptr<Storage> storage_;
+  std::size_t offset_;  // start of live data within storage
+  std::size_t length_;  // live bytes in this segment
+  MbufPtr next_;
+  PacketHeader pkthdr_;
+};
+
+}  // namespace net
+
+#endif  // PLEXUS_NET_MBUF_H_

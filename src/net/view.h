@@ -1,0 +1,73 @@
+// The C++ realization of the paper's VIEW operator (Section 3.2).
+//
+// VIEW(a, T) interprets a byte array's bit pattern as a value of type T,
+// where T is restricted to scalars and aggregates of scalars, without
+// copying the packet. In C++ we express the restriction as a concept
+// (trivially copyable, standard layout, no pointers hidden inside by
+// convention of the header types in net/headers.h) and return the value via
+// memcpy — which compilers lower to plain loads, so there is no per-field
+// cost, and which is the only strictly-aliasing-safe way to reinterpret
+// unaligned wire bytes. Bounds are checked: where Modula-3's type system
+// rejected bad casts at compile time, we reject short buffers at runtime
+// with ViewError.
+#ifndef PLEXUS_NET_VIEW_H_
+#define PLEXUS_NET_VIEW_H_
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+
+#include "net/mbuf.h"
+
+namespace net {
+
+class ViewError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+template <typename T>
+concept Viewable = std::is_trivially_copyable_v<T> && std::is_standard_layout_v<T>;
+
+// Interprets bytes[offset, offset+sizeof(T)) as a T. Throws ViewError when
+// the buffer is too short — the runtime analogue of VIEW's type check.
+template <Viewable T>
+T View(std::span<const std::byte> bytes, std::size_t offset = 0) {
+  if (offset + sizeof(T) > bytes.size()) throw ViewError("View: buffer too short");
+  T out;
+  std::memcpy(&out, bytes.data() + offset, sizeof(T));
+  return out;
+}
+
+// Views the first sizeof(T) bytes of a packet, reading across segment
+// boundaries if necessary (the mbuf equivalent of VIEW on m.m_data).
+template <Viewable T>
+T ViewPacket(const Mbuf& m, std::size_t offset = 0) {
+  if (offset + sizeof(T) <= m.segment_length()) {
+    return View<T>(m.data(), offset);  // fast path: contiguous in head segment
+  }
+  if (offset + sizeof(T) > m.PacketLength()) throw ViewError("ViewPacket: packet too short");
+  T out;
+  m.CopyOut(offset, {reinterpret_cast<std::byte*>(&out), sizeof(T)});
+  return out;
+}
+
+// Writes a header value back into a mutable byte range.
+template <Viewable T>
+void Store(std::span<std::byte> bytes, const T& value, std::size_t offset = 0) {
+  if (offset + sizeof(T) > bytes.size()) throw ViewError("Store: buffer too short");
+  std::memcpy(bytes.data() + offset, &value, sizeof(T));
+}
+
+// Writes a header value into a packet (copy-on-write if storage is shared).
+template <Viewable T>
+void StorePacket(Mbuf& m, const T& value, std::size_t offset = 0) {
+  if (offset + sizeof(T) > m.PacketLength()) throw ViewError("StorePacket: packet too short");
+  m.CopyIn(offset, {reinterpret_cast<const std::byte*>(&value), sizeof(T)});
+}
+
+}  // namespace net
+
+#endif  // PLEXUS_NET_VIEW_H_

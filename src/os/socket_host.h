@@ -1,0 +1,111 @@
+// The monolithic baseline: a "DIGITAL UNIX"-structured kernel.
+//
+// Identical protocol modules and device drivers as Plexus (the paper's
+// controlled comparison), but wired as a conventional kernel:
+//   * demultiplexing is hard-wired kernel code (no events, no extensions),
+//   * applications live in user processes behind a syscall boundary:
+//     each send traps and copies data into the kernel; each receive charges
+//     socket demux, then a scheduler wakeup, a context switch, and a copyout
+//     before application code sees the data ("In the worst case, the
+//     receive side must schedule the user process, copy the packet to
+//     user space, and context-switch").
+#ifndef PLEXUS_OS_SOCKET_HOST_H_
+#define PLEXUS_OS_SOCKET_HOST_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "drivers/medium.h"
+#include "drivers/nic.h"
+#include "net/headers.h"
+#include "net/mbuf.h"
+#include "proto/arp.h"
+#include "proto/eth.h"
+#include "proto/icmp.h"
+#include "proto/ip.h"
+#include "proto/tcp.h"
+#include "proto/tcp_demux.h"
+#include "proto/udp.h"
+#include "sim/host.h"
+
+namespace os {
+
+class SocketHost {
+ public:
+  struct NetConfig {
+    net::MacAddress mac;
+    net::Ipv4Address ip;
+    int prefix_len = 24;
+  };
+
+  SocketHost(sim::Simulator& s, std::string name, sim::CostModel costs,
+             drivers::DeviceProfile profile, NetConfig net_config, std::uint64_t seed = 1);
+
+  void AttachTo(drivers::Medium& medium) { ifaces_[0].nic->AttachMedium(&medium); }
+
+  // Adds a secondary NIC (multi-homed host / router). Returns the interface
+  // index for routes; attach with AttachNicTo.
+  int AddNic(drivers::DeviceProfile profile, NetConfig net_config);
+  void AttachNicTo(int if_index, drivers::Medium& medium) {
+    ifaces_[static_cast<std::size_t>(if_index)].nic->AttachMedium(&medium);
+  }
+
+  sim::Host& host() { return host_; }
+  sim::Simulator& simulator() { return host_.simulator(); }
+  drivers::Nic& nic(int if_index = 0) { return *ifaces_[static_cast<std::size_t>(if_index)].nic; }
+  proto::ArpService& arp(int if_index = 0) {
+    return *ifaces_[static_cast<std::size_t>(if_index)].arp;
+  }
+  proto::Ipv4Layer& ip_layer() { return ip_layer_; }
+  proto::IcmpLayer& icmp() { return icmp_; }
+  proto::UdpLayer& udp_layer() { return udp_layer_; }
+  proto::TcpDemux& tcp_demux() { return tcp_demux_; }
+  proto::TcpConfig& tcp_config() { return tcp_config_; }
+  net::Ipv4Address ip_address() const { return net_config_.ip; }
+  net::MacAddress mac() const { return net_config_.mac; }
+
+  // Runs user-level application code (a process getting the CPU).
+  void RunUser(std::function<void()> fn) {
+    host_.Submit(sim::Priority::kThread, std::move(fn));
+  }
+
+  // Executes `kernel_work` as a system call made by a user process:
+  // trap in, copyin `copy_bytes`, socket-layer bookkeeping, work, trap out.
+  void Syscall(std::size_t copy_bytes, std::function<void()> kernel_work);
+
+  // Delivers `bytes` of received data to a user process: socket demux is
+  // charged in the current (kernel/interrupt) task; the app callback runs
+  // in a later user task after wakeup, context switch, and copyout.
+  void DeliverToUser(std::size_t bytes, std::function<void()> app_callback);
+
+ private:
+  struct Iface {
+    std::unique_ptr<drivers::Nic> nic;
+    std::unique_ptr<proto::EthLayer> eth;
+    std::unique_ptr<proto::ArpService> arp;
+  };
+
+  void WireStack();
+  Iface MakeIface(drivers::DeviceProfile profile, NetConfig cfg);
+  std::vector<Iface> MakeInitialIfaces(const drivers::DeviceProfile& profile, NetConfig cfg);
+  void WireIfaceUpcall(Iface& iface);
+  int IfIndexForRcvif(int rcvif) const;
+
+  sim::Host host_;
+  NetConfig net_config_;
+  std::map<int, int> rcvif_to_if_index_;  // NIC global index -> if_index
+  std::vector<Iface> ifaces_;             // [0] is the primary interface
+  proto::Ipv4Layer ip_layer_;
+  proto::IcmpLayer icmp_;
+  proto::UdpLayer udp_layer_;
+  proto::TcpDemux tcp_demux_;
+  proto::TcpConfig tcp_config_;
+};
+
+}  // namespace os
+
+#endif  // PLEXUS_OS_SOCKET_HOST_H_

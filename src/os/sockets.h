@@ -1,0 +1,113 @@
+// User-level socket API over the monolithic kernel.
+//
+// UdpSocket / TcpSocket model BSD sockets: every operation crosses the
+// user/kernel boundary with the costs the paper attributes to DIGITAL UNIX
+// ("each packet sent involves a trap and a copy-in as the data moves across
+// the user/kernel boundary"). Receive callbacks fire only after the process
+// has been scheduled and the data copied out.
+#ifndef PLEXUS_OS_SOCKETS_H_
+#define PLEXUS_OS_SOCKETS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "os/socket_host.h"
+#include "proto/http.h"
+#include "proto/tcp.h"
+#include "proto/udp.h"
+
+namespace os {
+
+class UdpSocket {
+ public:
+  // Datagram delivered to the user process (after copyout).
+  using DatagramCallback =
+      std::function<void(std::vector<std::byte> data, const proto::UdpDatagram& info)>;
+
+  // Binds the port at construction; throws std::runtime_error if in use.
+  UdpSocket(SocketHost& os, std::uint16_t port);
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  void SetOnDatagram(DatagramCallback cb) { on_datagram_ = std::move(cb); }
+  void set_checksum_enabled(bool v) { checksum_ = v; }
+
+  // sendto(2): trap + copyin + protocol path.
+  void SendTo(std::span<const std::byte> data, net::Ipv4Address dst, std::uint16_t dst_port);
+  void SendTo(std::string_view s, net::Ipv4Address dst, std::uint16_t dst_port) {
+    SendTo({reinterpret_cast<const std::byte*>(s.data()), s.size()}, dst, dst_port);
+  }
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  SocketHost& os_;
+  std::uint16_t port_;
+  bool checksum_ = true;
+  DatagramCallback on_datagram_;
+};
+
+// A connected TCP socket, exposed as ByteStream so HTTP and the examples
+// run identically on both systems.
+class TcpSocket : public proto::ByteStream {
+ public:
+  ~TcpSocket() override;
+
+  std::size_t Write(std::span<const std::byte> data) override;
+  void SetOnData(std::function<void(std::span<const std::byte>)> cb) override;
+  void SetOnClose(std::function<void()> cb) override;
+  void CloseStream() override;
+
+  void SetOnEstablished(std::function<void()> cb) { on_established_ = std::move(cb); }
+  proto::TcpConnection& connection() { return *conn_; }
+
+  // Active open. The returned socket is owned by the caller.
+  static std::shared_ptr<TcpSocket> Connect(SocketHost& os, net::Ipv4Address remote_ip,
+                                            std::uint16_t remote_port,
+                                            std::uint16_t local_port = 0);
+
+ private:
+  friend class TcpListener;
+  TcpSocket(SocketHost& os, proto::TcpEndpoints ep);
+
+  void FlushPending();
+
+  SocketHost& os_;
+  std::unique_ptr<proto::TcpConnection> conn_;
+  std::function<void(std::span<const std::byte>)> on_data_;
+  std::function<void()> on_close_;
+  std::function<void()> on_established_;
+  std::deque<std::byte> pending_;  // user-side buffer awaiting kernel space
+  std::vector<std::byte> pre_data_;  // data arriving before SetOnData
+  bool registered_ = false;
+  bool close_after_flush_ = false;
+  bool close_delivered_ = false;
+
+  inline static std::uint16_t next_ephemeral_port_ = 40000;
+};
+
+class TcpListener {
+ public:
+  using Acceptor = std::function<void(std::shared_ptr<TcpSocket>)>;
+
+  // listen(2) + accept(2) loop.
+  TcpListener(SocketHost& os, std::uint16_t port, Acceptor acceptor);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+ private:
+  SocketHost& os_;
+  std::uint16_t port_;
+  Acceptor acceptor_;
+  std::vector<std::shared_ptr<TcpSocket>> accepted_;
+};
+
+}  // namespace os
+
+#endif  // PLEXUS_OS_SOCKETS_H_

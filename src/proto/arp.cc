@@ -1,0 +1,116 @@
+#include "proto/arp.h"
+
+#include "net/view.h"
+#include "proto/eth.h"
+#include "sim/trace.h"
+
+namespace proto {
+
+ArpService::ArpService(sim::Host& host, EthLayer& eth, net::Ipv4Address my_ip, Config config)
+    : host_(host), eth_(eth), my_ip_(my_ip), config_(config) {}
+
+void ArpService::AddStatic(net::Ipv4Address ip, net::MacAddress mac) {
+  cache_[ip] = Entry{mac, sim::TimePoint::Max(), /*is_static=*/true};
+}
+
+std::optional<net::MacAddress> ArpService::Lookup(net::Ipv4Address ip) const {
+  auto it = cache_.find(ip);
+  if (it == cache_.end()) return std::nullopt;
+  if (!it->second.is_static && it->second.expires < host_.Now()) return std::nullopt;
+  return it->second.mac;
+}
+
+void ArpService::Resolve(net::Ipv4Address ip, ResolveCallback cb) {
+  if (auto mac = Lookup(ip)) {
+    cb(*mac);
+    return;
+  }
+  auto [it, fresh] = pending_.try_emplace(ip);
+  it->second.waiters.push_back(std::move(cb));
+  if (fresh) {
+    it->second.retries_left = config_.max_retries;
+    SendRequest(ip);
+  }
+}
+
+void ArpService::SendRequest(net::Ipv4Address ip) {
+  host_.Charge(host_.costs().arp_process);
+  ++stats_.requests_sent;
+
+  net::ArpPacket pkt;
+  pkt.htype = 1;
+  pkt.ptype = net::ethertype::kIpv4;
+  pkt.op = net::arpop::kRequest;
+  pkt.sender_mac = eth_.mac();
+  pkt.sender_ip = my_ip_;
+  pkt.target_mac = net::MacAddress();
+  pkt.target_ip = ip;
+
+  auto m = net::Mbuf::Allocate(sizeof(pkt));
+  net::StorePacket(*m, pkt);
+  eth_.Output(std::move(m), net::MacAddress::Broadcast(), net::ethertype::kArp);
+
+  auto it = pending_.find(ip);
+  if (it != pending_.end()) {
+    it->second.timer = host_.simulator().Schedule(config_.request_timeout,
+                                                  [this, ip] { RequestTimeout(ip); });
+  }
+}
+
+void ArpService::RequestTimeout(net::Ipv4Address ip) {
+  auto it = pending_.find(ip);
+  if (it == pending_.end()) return;
+  if (it->second.retries_left-- > 0) {
+    // Retransmit the request from a fresh kernel task.
+    host_.Submit(sim::Priority::kKernel, [this, ip] {
+      if (pending_.contains(ip)) SendRequest(ip);
+    });
+    return;
+  }
+  ++stats_.resolution_failures;
+  auto waiters = std::move(it->second.waiters);
+  pending_.erase(it);
+  for (auto& cb : waiters) cb(std::nullopt);
+}
+
+void ArpService::Input(net::MbufPtr payload) {
+  host_.Charge(host_.costs().arp_process);
+  net::ArpPacket pkt;
+  try {
+    pkt = net::ViewPacket<net::ArpPacket>(*payload);
+  } catch (const net::ViewError&) {
+    return;
+  }
+  if (pkt.ptype.value() != net::ethertype::kIpv4) return;
+
+  // Learn the sender's mapping (both for requests and replies).
+  if (!pkt.sender_ip.IsAny()) {
+    cache_[pkt.sender_ip] = Entry{pkt.sender_mac, host_.Now() + config_.entry_ttl, false};
+    auto p = pending_.find(pkt.sender_ip);
+    if (p != pending_.end()) {
+      host_.simulator().Cancel(p->second.timer);
+      auto waiters = std::move(p->second.waiters);
+      pending_.erase(p);
+      ++stats_.replies_received;
+      for (auto& cb : waiters) cb(pkt.sender_mac);
+    }
+  }
+
+  if (pkt.op.value() == net::arpop::kRequest && pkt.target_ip == my_ip_) {
+    // Reply with our mapping.
+    ++stats_.replies_sent;
+    net::ArpPacket reply;
+    reply.htype = 1;
+    reply.ptype = net::ethertype::kIpv4;
+    reply.op = net::arpop::kReply;
+    reply.sender_mac = eth_.mac();
+    reply.sender_ip = my_ip_;
+    reply.target_mac = pkt.sender_mac;
+    reply.target_ip = pkt.sender_ip;
+    auto m = net::Mbuf::Allocate(sizeof(reply));
+    net::StorePacket(*m, reply);
+    eth_.Output(std::move(m), pkt.sender_mac, net::ethertype::kArp);
+  }
+}
+
+}  // namespace proto

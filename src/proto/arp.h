@@ -1,0 +1,83 @@
+// ARP: IPv4 -> Ethernet address resolution with a cache, a pending-packet
+// queue, retransmitted requests, and negative timeout.
+#ifndef PLEXUS_PROTO_ARP_H_
+#define PLEXUS_PROTO_ARP_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.h"
+#include "net/headers.h"
+#include "net/mbuf.h"
+#include "sim/host.h"
+#include "sim/simulator.h"
+
+namespace proto {
+
+class EthLayer;
+
+// Configuration for ArpService (namespace scope so it can be used as a
+// defaulted constructor argument).
+struct ArpConfig {
+  sim::Duration entry_ttl = sim::Duration::Seconds(600);
+  sim::Duration request_timeout = sim::Duration::Millis(500);
+  int max_retries = 3;
+};
+
+class ArpService {
+ public:
+  using Config = ArpConfig;
+
+  using ResolveCallback = std::function<void(std::optional<net::MacAddress>)>;
+
+  ArpService(sim::Host& host, EthLayer& eth, net::Ipv4Address my_ip, Config config = ArpConfig());
+
+  // Resolves `ip`; the callback fires immediately on a cache hit, otherwise
+  // after the reply arrives (or with nullopt after retries are exhausted).
+  void Resolve(net::Ipv4Address ip, ResolveCallback cb);
+
+  // Handles a received ARP payload (Ethernet header already stripped).
+  // Replies to requests for our IP and learns sender mappings.
+  void Input(net::MbufPtr payload);
+
+  void AddStatic(net::Ipv4Address ip, net::MacAddress mac);
+  std::optional<net::MacAddress> Lookup(net::Ipv4Address ip) const;
+
+  struct Stats {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t replies_sent = 0;
+    std::uint64_t replies_received = 0;
+    std::uint64_t resolution_failures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    net::MacAddress mac;
+    sim::TimePoint expires;
+    bool is_static = false;
+  };
+  struct Pending {
+    std::vector<ResolveCallback> waiters;
+    int retries_left = 0;
+    sim::EventId timer = sim::kInvalidEventId;
+  };
+
+  void SendRequest(net::Ipv4Address ip);
+  void RequestTimeout(net::Ipv4Address ip);
+
+  sim::Host& host_;
+  EthLayer& eth_;
+  net::Ipv4Address my_ip_;
+  Config config_;
+  std::unordered_map<net::Ipv4Address, Entry> cache_;
+  std::unordered_map<net::Ipv4Address, Pending> pending_;
+  Stats stats_;
+};
+
+}  // namespace proto
+
+#endif  // PLEXUS_PROTO_ARP_H_

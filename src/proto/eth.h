@@ -1,0 +1,83 @@
+// Ethernet layer: framing and the bottom edge of both protocol stacks.
+//
+// EthLayer deliberately does *not* demultiplex by EtherType: under Plexus,
+// demux is performed by guards installed on the Ethernet.PacketRecv event
+// (Figure 1 of the paper); under the monolithic baseline it is a switch in
+// the kernel. The layer provides the shared mechanics: header construction,
+// minimum-frame padding, cost accounting, and the upcall hook.
+#ifndef PLEXUS_PROTO_ETH_H_
+#define PLEXUS_PROTO_ETH_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "drivers/nic.h"
+#include "net/headers.h"
+#include "net/mbuf.h"
+#include "net/view.h"
+#include "sim/host.h"
+
+namespace proto {
+
+class EthLayer {
+ public:
+  // Invoked (inside the receive task) with the full frame; the header has
+  // already been parsed for convenience but not stripped.
+  using Upcall = std::function<void(net::MbufPtr frame, const net::EthernetHeader& hdr)>;
+
+  EthLayer(sim::Host& host, drivers::Nic& nic) : host_(host), nic_(nic) {
+    nic_.SetReceiveCallback([this](net::MbufPtr frame) { Input(std::move(frame)); });
+  }
+
+  net::MacAddress mac() const { return nic_.mac(); }
+  drivers::Nic& nic() { return nic_; }
+  std::size_t mtu() const { return nic_.profile().mtu; }
+
+  void SetUpcall(Upcall up) { upcall_ = std::move(up); }
+
+  // Frames `payload` and transmits. Must run inside a CPU task.
+  void Output(net::MbufPtr payload, net::MacAddress dst, std::uint16_t ethertype) {
+    host_.Charge(host_.costs().eth_output);
+    net::EthernetHeader hdr;
+    hdr.dst = dst;
+    hdr.src = nic_.mac();
+    hdr.type = ethertype;
+    auto room = payload->Prepend(sizeof(hdr));
+    net::Store(room, hdr);
+    // Pad runt frames (the medium also enforces min wire size; padding here
+    // keeps receive-side lengths faithful).
+    const std::size_t min = nic_.profile().min_frame;
+    if (min > 0 && payload->PacketLength() < min) {
+      auto pad = net::Mbuf::Allocate(min - payload->PacketLength(), 0);
+      payload->AppendChain(std::move(pad));
+    }
+    nic_.Transmit(std::move(payload));
+  }
+
+  // Strips the Ethernet header from a received frame (for upper layers).
+  static net::MbufPtr StripHeader(net::MbufPtr frame) {
+    frame->TrimFront(sizeof(net::EthernetHeader));
+    return frame;
+  }
+
+ private:
+  void Input(net::MbufPtr frame) {
+    host_.Charge(host_.costs().eth_input);
+    net::EthernetHeader hdr;
+    try {
+      hdr = net::ViewPacket<net::EthernetHeader>(*frame);
+    } catch (const net::ViewError&) {
+      return;  // runt frame; drop
+    }
+    if (upcall_) upcall_(std::move(frame), hdr);
+  }
+
+  sim::Host& host_;
+  drivers::Nic& nic_;
+  Upcall upcall_;
+};
+
+}  // namespace proto
+
+#endif  // PLEXUS_PROTO_ETH_H_

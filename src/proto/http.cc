@@ -1,0 +1,93 @@
+#include "proto/http.h"
+
+#include <charconv>
+
+namespace proto {
+
+namespace {
+
+std::string_view AsView(std::span<const std::byte> data) {
+  return {reinterpret_cast<const char*>(data.data()), data.size()};
+}
+
+}  // namespace
+
+HttpServerConnection::HttpServerConnection(ByteStream& stream, ContentProvider provider)
+    : stream_(stream), provider_(std::move(provider)) {
+  stream_.SetOnData([this](std::span<const std::byte> data) { OnData(data); });
+}
+
+void HttpServerConnection::OnData(std::span<const std::byte> data) {
+  if (responded_) return;
+  buffer_.append(AsView(data));
+  if (buffer_.find("\r\n\r\n") == std::string::npos &&
+      buffer_.find("\n\n") == std::string::npos) {
+    return;  // headers not complete yet
+  }
+  Respond();
+}
+
+void HttpServerConnection::Respond() {
+  responded_ = true;
+  // Request line: METHOD SP PATH SP VERSION
+  const std::size_t line_end = buffer_.find_first_of("\r\n");
+  const std::string line = buffer_.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+
+  std::string method = sp1 == std::string::npos ? "" : line.substr(0, sp1);
+  std::string path = (sp1 != std::string::npos && sp2 != std::string::npos)
+                         ? line.substr(sp1 + 1, sp2 - sp1 - 1)
+                         : "";
+  last_path_ = path;
+
+  if (method != "GET" || path.empty()) {
+    stream_.WriteString("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n");
+    stream_.CloseStream();
+    return;
+  }
+  auto body = provider_(path);
+  if (!body) {
+    stream_.WriteString("HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n");
+    stream_.CloseStream();
+    return;
+  }
+  std::string resp = "HTTP/1.0 200 OK\r\nContent-Length: " + std::to_string(body->size()) +
+                     "\r\nContent-Type: text/plain\r\n\r\n" + *body;
+  stream_.WriteString(resp);
+  stream_.CloseStream();
+}
+
+HttpClient::HttpClient(ByteStream& stream, ResponseCallback on_response)
+    : stream_(stream), on_response_(std::move(on_response)) {
+  stream_.SetOnData([this](std::span<const std::byte> data) { OnData(data); });
+  stream_.SetOnClose([this] { OnClose(); });
+}
+
+void HttpClient::Get(const std::string& path) {
+  stream_.WriteString("GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+void HttpClient::OnData(std::span<const std::byte> data) { buffer_.append(AsView(data)); }
+
+void HttpClient::OnClose() {
+  if (done_) return;
+  done_ = true;
+  Response resp;
+  // Status line: HTTP/1.0 NNN reason
+  const std::size_t sp = buffer_.find(' ');
+  if (sp != std::string::npos) {
+    std::from_chars(buffer_.data() + sp + 1, buffer_.data() + std::min(sp + 4, buffer_.size()),
+                    resp.status);
+  }
+  std::size_t body_at = buffer_.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (body_at == std::string::npos) {
+    body_at = buffer_.find("\n\n");
+    skip = 2;
+  }
+  if (body_at != std::string::npos) resp.body = buffer_.substr(body_at + skip);
+  if (on_response_) on_response_(resp);
+}
+
+}  // namespace proto

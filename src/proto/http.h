@@ -1,0 +1,80 @@
+// Minimal HTTP/1.0 over an abstract byte stream.
+//
+// The paper's SPIN web demo serves HTTP requests through the Plexus stack;
+// here both the Plexus TCP endpoint and the baseline socket implement
+// ByteStream, so the same HTTP code runs on either system.
+#ifndef PLEXUS_PROTO_HTTP_H_
+#define PLEXUS_PROTO_HTTP_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace proto {
+
+// A bidirectional, connection-oriented byte stream.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+  virtual std::size_t Write(std::span<const std::byte> data) = 0;
+  virtual void SetOnData(std::function<void(std::span<const std::byte>)> cb) = 0;
+  virtual void SetOnClose(std::function<void()> cb) = 0;
+  virtual void CloseStream() = 0;
+
+  std::size_t WriteString(std::string_view s) {
+    return Write({reinterpret_cast<const std::byte*>(s.data()), s.size()});
+  }
+};
+
+// Serves one HTTP/1.0 request per connection (Connection: close semantics).
+class HttpServerConnection {
+ public:
+  // Maps a request path to a body, or nullopt for 404.
+  using ContentProvider = std::function<std::optional<std::string>(const std::string& path)>;
+
+  HttpServerConnection(ByteStream& stream, ContentProvider provider);
+
+  const std::string& last_path() const { return last_path_; }
+  bool responded() const { return responded_; }
+
+ private:
+  void OnData(std::span<const std::byte> data);
+  void Respond();
+
+  ByteStream& stream_;
+  ContentProvider provider_;
+  std::string buffer_;
+  std::string last_path_;
+  bool responded_ = false;
+};
+
+// Issues one GET and collects the response until close.
+class HttpClient {
+ public:
+  struct Response {
+    int status = 0;
+    std::string body;
+  };
+  using ResponseCallback = std::function<void(const Response&)>;
+
+  HttpClient(ByteStream& stream, ResponseCallback on_response);
+
+  void Get(const std::string& path);
+
+ private:
+  void OnData(std::span<const std::byte> data);
+  void OnClose();
+
+  ByteStream& stream_;
+  ResponseCallback on_response_;
+  std::string buffer_;
+  bool done_ = false;
+};
+
+}  // namespace proto
+
+#endif  // PLEXUS_PROTO_HTTP_H_

@@ -1,0 +1,218 @@
+#include "proto/ip.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/checksum.h"
+#include "net/view.h"
+#include "sim/trace.h"
+
+namespace proto {
+
+namespace {
+
+// Computes and installs the IPv4 header checksum into a header value.
+void FinalizeChecksum(net::Ipv4Header& hdr) {
+  hdr.checksum = 0;
+  std::byte raw[sizeof(net::Ipv4Header)];
+  std::memcpy(raw, &hdr, sizeof(hdr));
+  hdr.checksum = net::Checksum({raw, sizeof(raw)});
+}
+
+bool VerifyChecksum(const net::Ipv4Header& hdr) {
+  std::byte raw[sizeof(net::Ipv4Header)];
+  std::memcpy(raw, &hdr, sizeof(hdr));
+  return net::Checksum({raw, sizeof(raw)}) == 0;
+}
+
+}  // namespace
+
+void Ipv4Layer::Output(net::MbufPtr payload, net::Ipv4Address src, net::Ipv4Address dst,
+                       std::uint8_t protocol, std::uint8_t ttl) {
+  host_.Charge(host_.costs().ip_output);
+
+  // Route first: the outgoing interface determines the source address and
+  // the MTU for fragmentation.
+  auto route = routes_.Lookup(dst);
+  if (!route) {
+    ++stats_.no_route;
+    return;
+  }
+  const Interface out_iface = InterfaceInfo(route->if_index);
+  if (src.IsAny()) src = out_iface.address;
+
+  net::Ipv4Header hdr;
+  hdr.protocol = protocol;
+  hdr.ttl = ttl;
+  hdr.src = src;
+  hdr.dst = dst;
+  hdr.id = next_id_++;
+
+  const std::size_t payload_len = payload->PacketLength();
+  const std::size_t max_payload = out_iface.mtu - sizeof(net::Ipv4Header);
+
+  if (payload_len <= max_payload) {
+    hdr.total_length = static_cast<std::uint16_t>(sizeof(hdr) + payload_len);
+    hdr.set_fragment(0, false);
+    FinalizeChecksum(hdr);
+    // Header checksum cost (16 bit sum over 20 bytes).
+    host_.Charge(host_.costs().checksum_per_byte * static_cast<std::int64_t>(sizeof(hdr)));
+    auto room = payload->Prepend(sizeof(hdr));
+    net::Store(room, hdr);
+    ++stats_.tx_packets;
+    RouteAndTransmit(std::move(payload), dst);
+    return;
+  }
+
+  // Fragment: each fragment's payload must be a multiple of 8 except the
+  // last.
+  const std::size_t frag_payload = max_payload & ~std::size_t{7};
+  std::size_t offset = 0;
+  ++stats_.tx_packets;
+  net::MbufPtr rest = std::move(payload);
+  while (rest != nullptr && rest->PacketLength() > 0) {
+    const std::size_t remaining = rest->PacketLength();
+    const bool last = remaining <= frag_payload;
+    const std::size_t take = last ? remaining : frag_payload;
+    net::MbufPtr tail = last ? nullptr : rest->Split(take);
+
+    net::Ipv4Header fh = hdr;
+    fh.total_length = static_cast<std::uint16_t>(sizeof(fh) + take);
+    fh.set_fragment(offset, /*more=*/!last);
+    FinalizeChecksum(fh);
+    host_.Charge(host_.costs().checksum_per_byte * static_cast<std::int64_t>(sizeof(fh)));
+    auto room = rest->Prepend(sizeof(fh));
+    net::Store(room, fh);
+    ++stats_.tx_fragments;
+    RouteAndTransmit(std::move(rest), dst);
+
+    rest = std::move(tail);
+    offset += take;
+  }
+}
+
+void Ipv4Layer::RouteAndTransmit(net::MbufPtr packet, net::Ipv4Address dst) {
+  auto route = routes_.Lookup(dst);
+  if (!route) {
+    ++stats_.no_route;
+    return;
+  }
+  const net::Ipv4Address next_hop = route->next_hop.IsAny() ? dst : route->next_hop;
+  if (transmit_) transmit_(std::move(packet), next_hop, route->if_index);
+}
+
+void Ipv4Layer::Input(net::MbufPtr packet) {
+  host_.Charge(host_.costs().ip_input);
+  ++stats_.rx_packets;
+
+  net::Ipv4Header hdr;
+  try {
+    hdr = net::ViewPacket<net::Ipv4Header>(*packet);
+  } catch (const net::ViewError&) {
+    ++stats_.rx_bad_header;
+    return;
+  }
+  if (hdr.version() != 4 || hdr.header_length() < sizeof(net::Ipv4Header) ||
+      hdr.total_length.value() < hdr.header_length() ||
+      hdr.total_length.value() > packet->PacketLength()) {
+    ++stats_.rx_bad_header;
+    return;
+  }
+  host_.Charge(host_.costs().checksum_per_byte *
+               static_cast<std::int64_t>(hdr.header_length()));
+  if (!VerifyChecksum(hdr)) {
+    ++stats_.rx_bad_checksum;
+    return;
+  }
+
+  // Trim link-layer padding beyond the IP total length.
+  if (packet->PacketLength() > hdr.total_length.value()) {
+    packet->TrimBack(packet->PacketLength() - hdr.total_length.value());
+  }
+
+  const bool for_us =
+      IsLocalAddress(hdr.dst) || hdr.dst.IsBroadcast() || hdr.dst.IsMulticast();
+  if (!for_us) {
+    if (config_.forwarding_enabled) {
+      ForwardPacket(std::move(packet), hdr);
+    }
+    return;
+  }
+
+  if (hdr.more_fragments() || hdr.fragment_offset_bytes() != 0) {
+    ++stats_.rx_fragments;
+    HandleFragment(std::move(packet), hdr);
+    return;
+  }
+
+  packet->TrimFront(hdr.header_length());
+  if (deliver_) deliver_(std::move(packet), hdr);
+}
+
+void Ipv4Layer::ForwardPacket(net::MbufPtr packet, net::Ipv4Header hdr) {
+  if (hdr.ttl <= 1) {
+    ++stats_.ttl_exceeded;
+    if (icmp_notify_) icmp_notify_(hdr, net::icmptype::kTimeExceeded, 0);
+    return;
+  }
+  // Decrement TTL and incrementally update the checksum (RFC 1624).
+  const std::uint16_t old_word =
+      static_cast<std::uint16_t>((static_cast<std::uint16_t>(hdr.ttl) << 8) | hdr.protocol);
+  hdr.ttl -= 1;
+  const std::uint16_t new_word =
+      static_cast<std::uint16_t>((static_cast<std::uint16_t>(hdr.ttl) << 8) | hdr.protocol);
+  hdr.checksum = net::ChecksumAdjust(hdr.checksum.value(), old_word, new_word);
+  net::StorePacket(*packet, hdr);
+  ++stats_.forwarded;
+  RouteAndTransmit(std::move(packet), hdr.dst);
+}
+
+void Ipv4Layer::HandleFragment(net::MbufPtr packet, const net::Ipv4Header& hdr) {
+  const ReasmKey key{hdr.src.value(), hdr.dst.value(), hdr.id.value(), hdr.protocol};
+  auto [it, fresh] = reassembly_.try_emplace(key);
+  ReasmBuf& buf = it->second;
+  if (fresh) {
+    buf.timer = host_.simulator().Schedule(config_.reassembly_timeout, [this, key] {
+      if (reassembly_.erase(key) > 0) ++stats_.reassembly_timeouts;
+    });
+  }
+
+  const std::size_t offset = hdr.fragment_offset_bytes();
+  const std::size_t data_len = hdr.total_length.value() - hdr.header_length();
+  packet->TrimFront(hdr.header_length());
+  std::vector<std::byte> bytes(data_len);
+  packet->CopyOut(0, bytes);
+  buf.parts[offset] = std::move(bytes);
+  if (offset == 0) {
+    buf.first_hdr = hdr;
+    buf.have_first = true;
+  }
+  if (!hdr.more_fragments()) buf.total_len = offset + data_len;
+
+  if (!buf.total_len || !buf.have_first) return;
+
+  // Check contiguous coverage of [0, total_len).
+  std::size_t covered = 0;
+  for (const auto& [off, part] : buf.parts) {
+    if (off > covered) return;  // hole
+    covered = std::max(covered, off + part.size());
+  }
+  if (covered < *buf.total_len) return;
+
+  // Assemble.
+  std::vector<std::byte> whole(*buf.total_len);
+  for (const auto& [off, part] : buf.parts) {
+    const std::size_t n = std::min(part.size(), whole.size() - off);
+    std::memcpy(whole.data() + off, part.data(), n);
+  }
+  net::Ipv4Header first = buf.first_hdr;
+  host_.simulator().Cancel(buf.timer);
+  reassembly_.erase(it);
+  ++stats_.reassembled;
+
+  first.set_fragment(0, false);
+  first.total_length = static_cast<std::uint16_t>(sizeof(net::Ipv4Header) + whole.size());
+  if (deliver_) deliver_(net::Mbuf::FromBytes(whole), first);
+}
+
+}  // namespace proto

@@ -1,0 +1,253 @@
+// TCP: the shared transport implementation used by both Plexus and the
+// monolithic baseline (the paper: "Both Plexus and DIGITAL UNIX use the same
+// TCP/IP implementation and device drivers").
+//
+// Era-faithful feature set (4.3/4.4BSD-class, Reno):
+//   * three-way handshake, simultaneous open, RST handling
+//   * sliding window with receiver-advertised window (no window scaling)
+//   * MSS option negotiation on SYN
+//   * Jacobson RTT estimation with Karn's algorithm, exponential backoff
+//   * slow start, congestion avoidance, fast retransmit + fast recovery
+//   * delayed ACK (ack every second segment or after a short timer)
+//   * zero-window persist probes
+//   * orderly close through FIN-WAIT/CLOSING/LAST-ACK/TIME-WAIT (2MSL)
+//
+// The connection object is wiring-agnostic: it emits finished TCP segments
+// through Callbacks::send_segment and receives whole segments via Input.
+// All methods must be invoked from within a CPU task on the owning host;
+// internal timers submit their own kernel-priority tasks.
+#ifndef PLEXUS_PROTO_TCP_H_
+#define PLEXUS_PROTO_TCP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "net/headers.h"
+#include "net/mbuf.h"
+#include "proto/tcp_seq.h"
+#include "sim/host.h"
+#include "sim/simulator.h"
+
+namespace proto {
+
+struct TcpConfig {
+  std::size_t mss = 1460;               // our maximum segment size offer
+  std::size_t send_buffer = 64 * 1024;  // bytes of unacknowledged + queued data
+  std::size_t recv_window = 48 * 1024;  // advertised window (<= 65535)
+  sim::Duration rto_initial = sim::Duration::Millis(1000);
+  sim::Duration rto_min = sim::Duration::Millis(200);
+  sim::Duration rto_max = sim::Duration::Seconds(64);
+  sim::Duration delayed_ack = sim::Duration::Millis(50);
+  sim::Duration msl = sim::Duration::Seconds(15);
+  sim::Duration persist_interval = sim::Duration::Millis(500);
+  bool delayed_ack_enabled = true;
+  std::uint32_t initial_cwnd_segments = 1;
+};
+
+struct TcpEndpoints {
+  net::Ipv4Address local_ip;
+  std::uint16_t local_port = 0;
+  net::Ipv4Address remote_ip;
+  std::uint16_t remote_port = 0;
+};
+
+class TcpConnection {
+ public:
+  enum class State {
+    kClosed,
+    kListen,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinWait1,
+    kFinWait2,
+    kCloseWait,
+    kClosing,
+    kLastAck,
+    kTimeWait,
+  };
+
+  struct Callbacks {
+    // Emits a finished TCP segment (header + payload) toward IP.
+    std::function<void(net::MbufPtr segment, net::Ipv4Address src, net::Ipv4Address dst)>
+        send_segment;
+    std::function<void()> on_established;
+    // In-order application data.
+    std::function<void(std::span<const std::byte>)> on_data;
+    // Peer sent FIN (no more data will arrive).
+    std::function<void()> on_remote_close;
+    // Connection fully terminated (CLOSED reached from any path).
+    std::function<void()> on_closed;
+    std::function<void(const std::string& reason)> on_reset;
+    // Send buffer drained below half — the app may write more.
+    std::function<void()> on_send_ready;
+  };
+
+  struct Stats {
+    std::uint64_t segments_sent = 0;
+    std::uint64_t segments_received = 0;
+    std::uint64_t bytes_sent = 0;      // payload only, incl. retransmits
+    std::uint64_t bytes_received = 0;  // delivered in-order payload
+    std::uint64_t retransmissions = 0;
+    std::uint64_t fast_retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t dup_acks_received = 0;
+    std::uint64_t out_of_order_segments = 0;
+    std::uint64_t bad_checksums = 0;
+    std::uint64_t persist_probes = 0;
+  };
+
+  TcpConnection(sim::Host& host, TcpConfig config, TcpEndpoints endpoints, Callbacks callbacks);
+  ~TcpConnection();
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // Active open (client): sends SYN.
+  void Connect();
+  // Passive open (server side, created by a listener on SYN arrival).
+  void Listen();
+
+  // Queues application data; returns bytes accepted (bounded by the send
+  // buffer). Data flows as the window opens.
+  std::size_t Send(std::span<const std::byte> data);
+  std::size_t SendString(std::string_view s) {
+    return Send({reinterpret_cast<const std::byte*>(s.data()), s.size()});
+  }
+
+  // Graceful close: FIN after queued data drains.
+  void Close();
+  // Abortive close: RST now.
+  void Abort();
+
+  // Full TCP segment from IP (IP header stripped).
+  void Input(net::MbufPtr segment, net::Ipv4Address src_ip, net::Ipv4Address dst_ip);
+
+  // Receive-side flow control: by default delivered data is auto-consumed.
+  // With auto-consume off, delivered bytes shrink the advertised window
+  // until Consume() is called (used to exercise zero-window behavior).
+  void SetAutoConsume(bool v) { auto_consume_ = v; }
+  void Consume(std::size_t n);
+
+  State state() const { return state_; }
+  const TcpEndpoints& endpoints() const { return endpoints_; }
+  const Stats& stats() const { return stats_; }
+  const TcpConfig& config() const { return config_; }
+
+  // Introspection for tests and benches.
+  std::uint32_t cwnd() const { return cwnd_; }
+  std::uint32_t ssthresh() const { return ssthresh_; }
+  std::size_t bytes_in_flight() const { return SeqDiff(snd_una_, snd_nxt_); }
+  std::size_t send_queue_bytes() const { return send_buf_.size(); }
+  sim::Duration current_rto() const { return rto_; }
+  std::size_t effective_mss() const { return effective_mss_; }
+  std::size_t advertised_window() const;
+
+  static const char* StateName(State s);
+
+ private:
+  // --- segment emission ---
+  void SendControl(std::uint8_t flags, Seq seq, bool with_mss_option);
+  void SendDataSegment(Seq seq, std::size_t len, bool rtt_candidate);
+  void SendAckNow();
+  void EmitSegment(std::uint8_t flags, Seq seq, std::span<const std::byte> payload,
+                   bool with_mss_option);
+  void SendRst(Seq seq, Seq ack, bool with_ack);
+
+  // --- output engine ---
+  void TrySend();          // push data/FIN within window+cwnd
+  bool FinQueued() const { return fin_pending_; }
+
+  // --- input handling ---
+  void ProcessListen(const net::TcpHeader& hdr);
+  void ProcessSynSent(const net::TcpHeader& hdr);
+  void ProcessAck(const net::TcpHeader& hdr);
+  void ProcessData(net::MbufPtr segment, const net::TcpHeader& hdr, std::size_t payload_len);
+  void ProcessFin(Seq fin_seq);
+  void DeliverInOrder();
+  std::size_t ParseMssOption(const net::Mbuf& segment, const net::TcpHeader& hdr) const;
+
+  // --- timers ---
+  void ArmRexmt();
+  void CancelRexmt();
+  void OnRexmtTimeout();
+  void ArmDelack();
+  void OnDelackTimeout();
+  void ArmPersist();
+  void OnPersistTimeout();
+  void EnterTimeWait();
+  void OnTimeWaitTimeout();
+
+  // --- RTT / congestion ---
+  void StartRttTiming(Seq seq);
+  void UpdateRttOnAck(Seq acked_through);
+  void OpenCongestionWindow(std::uint32_t acked_bytes);
+
+  void EnterClosed(const std::string& reason, bool was_reset);
+
+  sim::Host& host_;
+  sim::Simulator& sim_;
+  TcpConfig config_;
+  TcpEndpoints endpoints_;
+  Callbacks cb_;
+  Stats stats_;
+
+  State state_ = State::kClosed;
+
+  // Send state.
+  Seq iss_ = 0;
+  Seq snd_una_ = 0;
+  Seq snd_nxt_ = 0;
+  Seq snd_max_ = 0;  // highest sequence ever sent (survives timeout rewind)
+  std::uint32_t snd_wnd_ = 0;
+  std::deque<std::byte> send_buf_;  // [snd_una_, snd_una_ + size)
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+  Seq fin_seq_ = 0;
+  bool syn_acked_ = false;
+
+  // Receive state.
+  Seq irs_ = 0;
+  Seq rcv_nxt_ = 0;
+  std::map<Seq, std::vector<std::byte>> ooo_;  // out-of-order segments
+  bool fin_received_ = false;
+  Seq peer_fin_seq_ = 0;
+  bool auto_consume_ = true;
+  std::size_t rcv_buffered_ = 0;  // delivered-but-unconsumed bytes
+  std::uint32_t last_advertised_wnd_ = 0;
+
+  // Congestion control (byte-based Reno).
+  std::uint32_t cwnd_ = 0;
+  std::uint32_t ssthresh_ = 0xffffffff;
+  std::uint32_t dupacks_ = 0;
+  bool in_fast_recovery_ = false;
+
+  // RTT estimation.
+  bool rtt_timing_ = false;
+  Seq rtt_seq_ = 0;
+  sim::TimePoint rtt_start_;
+  bool srtt_valid_ = false;
+  sim::Duration srtt_;
+  sim::Duration rttvar_;
+  sim::Duration rto_;
+
+  // Timers.
+  sim::EventId rexmt_timer_ = sim::kInvalidEventId;
+  sim::EventId delack_timer_ = sim::kInvalidEventId;
+  sim::EventId persist_timer_ = sim::kInvalidEventId;
+  sim::EventId time_wait_timer_ = sim::kInvalidEventId;
+  int rexmt_backoff_ = 0;
+  std::uint32_t delack_segments_ = 0;
+
+  std::size_t effective_mss_;
+  bool closed_reported_ = false;
+};
+
+}  // namespace proto
+
+#endif  // PLEXUS_PROTO_TCP_H_

@@ -1,0 +1,96 @@
+// TCP segment demultiplexing: full 4-tuple match first, then listening
+// ports (SYN), then RST generation for unknown destinations.
+//
+// Both wirings use this table; under Plexus it lives inside the TCP
+// protocol manager (the manager's guards consult it), under the baseline it
+// is the kernel's PCB lookup.
+#ifndef PLEXUS_PROTO_TCP_DEMUX_H_
+#define PLEXUS_PROTO_TCP_DEMUX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "net/headers.h"
+#include "net/mbuf.h"
+#include "net/view.h"
+#include "proto/tcp.h"
+
+namespace proto {
+
+class TcpDemux {
+ public:
+  // Called when a SYN arrives for a listening port; must return a
+  // TcpConnection in LISTEN state (already registered by the factory via
+  // Register) or nullptr to refuse.
+  using ConnectionFactory = std::function<TcpConnection*(const TcpEndpoints&)>;
+  // Called for segments with no matching connection or listener; the wiring
+  // emits a RST. Arguments: the offending header, src/dst IP, payload length.
+  using RstSender = std::function<void(const net::TcpHeader&, net::Ipv4Address src,
+                                       net::Ipv4Address dst, std::size_t payload_len)>;
+
+  void SetRstSender(RstSender s) { rst_sender_ = std::move(s); }
+
+  bool Listen(std::uint16_t port, ConnectionFactory factory) {
+    return listeners_.emplace(port, std::move(factory)).second;
+  }
+  void StopListening(std::uint16_t port) { listeners_.erase(port); }
+  bool IsListening(std::uint16_t port) const { return listeners_.contains(port); }
+
+  void Register(TcpConnection* conn) { table_[KeyOf(conn->endpoints())] = conn; }
+  void Unregister(const TcpEndpoints& ep) { table_.erase(KeyOf(ep)); }
+
+  TcpConnection* Find(const TcpEndpoints& ep) const {
+    auto it = table_.find(KeyOf(ep));
+    return it == table_.end() ? nullptr : it->second;
+  }
+
+  std::size_t connection_count() const { return table_.size(); }
+
+  // Routes a full TCP segment (IP header stripped) to its connection.
+  void Input(net::MbufPtr segment, net::Ipv4Address src_ip, net::Ipv4Address dst_ip) {
+    net::TcpHeader hdr;
+    try {
+      hdr = net::ViewPacket<net::TcpHeader>(*segment);
+    } catch (const net::ViewError&) {
+      return;
+    }
+    const TcpEndpoints ep{dst_ip, hdr.dst_port.value(), src_ip, hdr.src_port.value()};
+    if (TcpConnection* conn = Find(ep)) {
+      conn->Input(std::move(segment), src_ip, dst_ip);
+      return;
+    }
+    const bool is_syn_only = (hdr.flags & net::tcpflag::kSyn) && !(hdr.flags & net::tcpflag::kAck);
+    if (is_syn_only) {
+      auto it = listeners_.find(ep.local_port);
+      if (it != listeners_.end()) {
+        if (TcpConnection* conn = it->second(ep)) {
+          conn->Input(std::move(segment), src_ip, dst_ip);
+          return;
+        }
+      }
+    }
+    if (!(hdr.flags & net::tcpflag::kRst) && rst_sender_) {
+      const std::size_t payload = segment->PacketLength() >= hdr.header_length()
+                                      ? segment->PacketLength() - hdr.header_length()
+                                      : 0;
+      rst_sender_(hdr, src_ip, dst_ip, payload);
+    }
+  }
+
+ private:
+  using Key = std::tuple<std::uint32_t, std::uint16_t, std::uint32_t, std::uint16_t>;
+  static Key KeyOf(const TcpEndpoints& ep) {
+    return {ep.local_ip.value(), ep.local_port, ep.remote_ip.value(), ep.remote_port};
+  }
+
+  std::map<Key, TcpConnection*> table_;
+  std::map<std::uint16_t, ConnectionFactory> listeners_;
+  RstSender rst_sender_;
+};
+
+}  // namespace proto
+
+#endif  // PLEXUS_PROTO_TCP_DEMUX_H_

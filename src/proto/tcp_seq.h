@@ -1,0 +1,21 @@
+// Wrap-safe 32-bit TCP sequence-number arithmetic (RFC 793 style).
+#ifndef PLEXUS_PROTO_TCP_SEQ_H_
+#define PLEXUS_PROTO_TCP_SEQ_H_
+
+#include <cstdint>
+
+namespace proto {
+
+using Seq = std::uint32_t;
+
+inline bool SeqLt(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) < 0; }
+inline bool SeqLe(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) <= 0; }
+inline bool SeqGt(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) > 0; }
+inline bool SeqGe(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) >= 0; }
+
+// Distance from a to b (b - a), meaningful when SeqLe(a, b).
+inline std::uint32_t SeqDiff(Seq a, Seq b) { return b - a; }
+
+}  // namespace proto
+
+#endif  // PLEXUS_PROTO_TCP_SEQ_H_

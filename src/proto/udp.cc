@@ -1,0 +1,86 @@
+#include "proto/udp.h"
+
+#include "net/view.h"
+#include "proto/ip.h"
+#include "proto/transport_checksum.h"
+
+namespace proto {
+
+UdpLayer::UdpLayer(sim::Host& host, Ipv4Layer& ip) : host_(host), ip_(ip) {}
+
+void UdpLayer::Output(net::MbufPtr payload, net::Ipv4Address src_ip, std::uint16_t src_port,
+                      net::Ipv4Address dst_ip, std::uint16_t dst_port, bool checksum) {
+  host_.Charge(host_.costs().udp_output);
+  // Multi-homed hosts: the source is the outgoing interface's address (the
+  // pseudo-header checksum must match what IP will put on the wire).
+  if (src_ip.IsAny()) src_ip = ip_.SourceForDestination(dst_ip);
+
+  net::UdpHeader hdr;
+  hdr.src_port = src_port;
+  hdr.dst_port = dst_port;
+  hdr.length = static_cast<std::uint16_t>(sizeof(hdr) + payload->PacketLength());
+  hdr.checksum = 0;
+
+  auto room = payload->Prepend(sizeof(hdr));
+  net::Store(room, hdr);
+
+  if (checksum) {
+    host_.Charge(host_.costs().checksum_per_byte *
+                 static_cast<std::int64_t>(payload->PacketLength()));
+    std::uint16_t sum = TransportChecksum(src_ip, dst_ip, net::ipproto::kUdp, *payload);
+    if (sum == 0) sum = 0xffff;  // RFC 768: transmitted 0 means "no checksum"
+    hdr.checksum = sum;
+    net::Store(room, hdr);
+  }
+
+  ++stats_.tx_datagrams;
+  ip_.Output(std::move(payload), src_ip, dst_ip, net::ipproto::kUdp);
+}
+
+void UdpLayer::Input(net::MbufPtr packet, net::Ipv4Address src_ip, net::Ipv4Address dst_ip) {
+  host_.Charge(host_.costs().udp_input);
+  net::UdpHeader hdr;
+  try {
+    hdr = net::ViewPacket<net::UdpHeader>(*packet);
+  } catch (const net::ViewError&) {
+    ++stats_.rx_bad_header;
+    return;
+  }
+  const std::size_t claimed = hdr.length.value();
+  if (claimed < sizeof(hdr) || claimed > packet->PacketLength()) {
+    ++stats_.rx_bad_header;
+    return;
+  }
+  if (packet->PacketLength() > claimed) {
+    packet->TrimBack(packet->PacketLength() - claimed);  // strip padding
+  }
+  if (hdr.checksum.value() != 0) {
+    host_.Charge(host_.costs().checksum_per_byte *
+                 static_cast<std::int64_t>(packet->PacketLength()));
+    if (TransportChecksum(src_ip, dst_ip, net::ipproto::kUdp, *packet) != 0) {
+      ++stats_.rx_bad_checksum;
+      return;
+    }
+  }
+
+  packet->TrimFront(sizeof(hdr));
+  ++stats_.rx_datagrams;
+  const UdpDatagram info{src_ip, hdr.src_port.value(), dst_ip, hdr.dst_port.value()};
+
+  auto it = receivers_.find(info.dst_port);
+  if (it != receivers_.end()) {
+    it->second(std::move(packet), info);
+  } else if (default_receiver_) {
+    default_receiver_(std::move(packet), info);
+  } else {
+    ++stats_.rx_no_port;
+  }
+}
+
+bool UdpLayer::Bind(std::uint16_t port, Receiver receiver) {
+  return receivers_.emplace(port, std::move(receiver)).second;
+}
+
+void UdpLayer::Unbind(std::uint16_t port) { receivers_.erase(port); }
+
+}  // namespace proto

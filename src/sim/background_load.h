@@ -1,0 +1,58 @@
+// A compute-bound background workload for scheduling experiments.
+//
+// Submits fixed-size CPU slices at thread priority so that a target
+// long-run utilization is consumed by "other applications". Interrupt- and
+// kernel-priority work preempts between slices; other thread-priority work
+// (like the monolithic baseline's awakened receive processes) queues behind
+// whichever slice is running — which is exactly the scheduling interference
+// the paper says in-kernel extensions avoid.
+#ifndef PLEXUS_SIM_BACKGROUND_LOAD_H_
+#define PLEXUS_SIM_BACKGROUND_LOAD_H_
+
+#include "sim/host.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sim {
+
+class BackgroundLoad {
+ public:
+  // utilization in [0, 1); slice is the scheduler quantum.
+  BackgroundLoad(Host& host, double utilization, Duration slice = Duration::Millis(1))
+      : host_(host), utilization_(utilization), slice_(slice) {}
+  ~BackgroundLoad() { Stop(); }
+  BackgroundLoad(const BackgroundLoad&) = delete;
+  BackgroundLoad& operator=(const BackgroundLoad&) = delete;
+
+  void Start() {
+    if (utilization_ <= 0.0) return;
+    running_ = true;
+    Tick();
+  }
+
+  void Stop() {
+    running_ = false;
+    host_.simulator().Cancel(timer_);
+    timer_ = kInvalidEventId;
+  }
+
+ private:
+  void Tick() {
+    if (!running_) return;
+    const auto period =
+        Duration::Nanos(static_cast<std::int64_t>(static_cast<double>(slice_.ns()) /
+                                                  utilization_));
+    timer_ = host_.simulator().Schedule(period, [this] { Tick(); });
+    host_.Submit(Priority::kThread, [this] { host_.Charge(slice_); });
+  }
+
+  Host& host_;
+  double utilization_;
+  Duration slice_;
+  bool running_ = false;
+  EventId timer_ = kInvalidEventId;
+};
+
+}  // namespace sim
+
+#endif  // PLEXUS_SIM_BACKGROUND_LOAD_H_

@@ -1,0 +1,93 @@
+#include "sim/cpu.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sim {
+
+void Cpu::Submit(Priority p, Task work) {
+  const int prio = static_cast<int>(p);
+  queues_[prio].push_back(Pending{std::move(work), Duration::Zero(), {}});
+  if (in_logic_) return;  // StartPending re-checks priorities after the logic
+  if (running_ && prio < running_->prio) PreemptRunning();
+  MaybeStartNext();
+}
+
+std::size_t Cpu::queued() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+void Cpu::PreemptRunning() {
+  assert(running_.has_value());
+  ++preemptions_;
+  sim_.Cancel(running_->end_event);
+  const Duration elapsed = sim_.Now() - running_->slice_start;
+  const Duration remaining = running_->end - sim_.Now();
+  busy_total_ += elapsed;  // the consumed part of the slice retires now
+  queues_[running_->prio].push_front(
+      Pending{nullptr, remaining, std::move(running_->after)});
+  running_.reset();
+}
+
+void Cpu::MaybeStartNext() {
+  if (running_ || in_logic_) return;
+  for (int prio = 0; prio < kNumPriorities; ++prio) {
+    if (!queues_[prio].empty()) {
+      Pending p = std::move(queues_[prio].front());
+      queues_[prio].pop_front();
+      StartPending(prio, std::move(p));
+      return;
+    }
+  }
+}
+
+void Cpu::StartPending(int prio, Pending p) {
+  Duration busy;
+  std::vector<std::function<void()>> after;
+  if (p.work) {
+    // Fresh task: run its logic now; it occupies the CPU for what it
+    // charged. Nested Submits during the logic only enqueue; priorities are
+    // re-checked below once the charge is known.
+    CpuContext ctx(sim_.Now());
+    in_logic_ = true;
+    p.work(ctx);
+    in_logic_ = false;
+    busy = ctx.charged();
+    after = std::move(ctx.after_);
+  } else {
+    busy = p.remaining;
+    after = std::move(p.after);
+  }
+
+  // Same-instant preemption: if strictly higher-priority work arrived while
+  // the logic ran, suspend this slice before consuming any time.
+  for (int higher = 0; higher < prio; ++higher) {
+    if (!queues_[higher].empty()) {
+      queues_[prio].push_front(Pending{nullptr, busy, std::move(after)});
+      MaybeStartNext();
+      return;
+    }
+  }
+
+  Running r;
+  r.prio = prio;
+  r.slice_start = sim_.Now();
+  r.end = sim_.Now() + busy;
+  r.after = std::move(after);
+  r.end_event = sim_.Schedule(busy, [this] { CompleteRunning(); });
+  running_.emplace(std::move(r));
+}
+
+void Cpu::CompleteRunning() {
+  assert(running_.has_value());
+  busy_total_ += sim_.Now() - running_->slice_start;
+  ++tasks_run_;
+  auto after = std::move(running_->after);
+  running_.reset();
+  for (const auto& fn : after) fn();
+  MaybeStartNext();
+}
+
+}  // namespace sim

@@ -1,0 +1,80 @@
+// A simulated workstation: one CPU, a cost model, and an identity.
+//
+// Host is the charging façade the protocol code talks to. Protocol modules
+// never see Cpu or CpuContext directly; they run inside a task submitted via
+// Host::Submit and record consumed CPU time with Host::Charge. Because the
+// simulator is single-threaded, the "current context" is a plain member.
+#ifndef PLEXUS_SIM_HOST_H_
+#define PLEXUS_SIM_HOST_H_
+
+#include <cassert>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace sim {
+
+class Host {
+ public:
+  Host(Simulator& s, std::string name, CostModel costs, std::uint64_t seed = 1)
+      : sim_(s), name_(std::move(name)), costs_(costs), cpu_(s), rng_(seed) {}
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+  virtual ~Host() = default;
+
+  const std::string& name() const { return name_; }
+  Simulator& simulator() { return sim_; }
+  TimePoint Now() const { return sim_.Now(); }
+  Cpu& cpu() { return cpu_; }
+  const Cpu& cpu() const { return cpu_; }
+  const CostModel& costs() const { return costs_; }
+  CostModel& mutable_costs() { return costs_; }
+  Random& rng() { return rng_; }
+
+  // Submits work to this host's CPU. While the work runs, Charge()/After()
+  // apply to its task context.
+  void Submit(Priority p, std::function<void()> work) {
+    cpu_.Submit(p, [this, work = std::move(work)](CpuContext& ctx) {
+      CpuContext* prev = current_;
+      current_ = &ctx;
+      work();
+      current_ = prev;
+    });
+  }
+
+  // Records d of CPU time against the currently running task. Must only be
+  // called from within work submitted via Submit().
+  void Charge(Duration d) {
+    assert(current_ != nullptr && "Charge() outside of a CPU task");
+    current_->Charge(d);
+  }
+
+  // Schedules fn for the completion instant of the current task.
+  void AfterTask(std::function<void()> fn) {
+    assert(current_ != nullptr && "AfterTask() outside of a CPU task");
+    current_->After(std::move(fn));
+  }
+
+  bool in_task() const { return current_ != nullptr; }
+  Duration charged_so_far() const {
+    assert(current_ != nullptr);
+    return current_->charged();
+  }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  CostModel costs_;
+  Cpu cpu_;
+  Random rng_;
+  CpuContext* current_ = nullptr;
+};
+
+}  // namespace sim
+
+#endif  // PLEXUS_SIM_HOST_H_

@@ -1,0 +1,75 @@
+// Deterministic, seedable pseudo-random source for the simulator.
+//
+// Everything stochastic in the simulation (loss, jitter, workload arrival)
+// draws from one of these so that a run is exactly reproducible from its
+// seed. xoshiro256** — small, fast, good statistical quality.
+#ifndef PLEXUS_SIM_RANDOM_H_
+#define PLEXUS_SIM_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace sim {
+
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t UniformU64(std::uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(UniformU64(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Exponentially distributed duration with the given mean.
+  Duration Exponential(Duration mean) {
+    double u = UniformDouble();
+    if (u <= 0.0) u = 1e-18;
+    return Duration::Nanos(static_cast<std::int64_t>(-std::log(u) * static_cast<double>(mean.ns())));
+  }
+
+  Duration UniformDuration(Duration lo, Duration hi) {
+    return Duration::Nanos(UniformInt(lo.ns(), hi.ns()));
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace sim
+
+#endif  // PLEXUS_SIM_RANDOM_H_

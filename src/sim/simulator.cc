@@ -1,0 +1,72 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sim {
+
+EventId Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  assert(fn && "scheduling an empty callback");
+  if (when < now_) when = now_;  // never schedule into the past
+  EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  if (pending_.contains(id)) cancelled_.insert(id);
+}
+
+bool Simulator::PopNext(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; move out via const_cast is fragile,
+    // so copy the small fields and move the closure through a local.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    pending_.erase(e.id);
+    if (cancelled_.erase(e.id) > 0) continue;  // lazily dropped
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::Run() {
+  stopped_ = false;
+  std::size_t fired = 0;
+  Entry e;
+  while (!stopped_ && PopNext(e)) {
+    now_ = e.when;
+    e.fn();
+    ++fired;
+    ++events_processed_;
+  }
+  return fired;
+}
+
+std::size_t Simulator::RunUntil(TimePoint t) {
+  stopped_ = false;
+  std::size_t fired = 0;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.top().when > t) break;
+    Entry e;
+    if (!PopNext(e)) break;
+    if (e.when > t) {
+      // Re-insert: the popped entry is beyond the horizon (only possible when
+      // the heap head was cancelled and the next live entry is later).
+      pending_.insert(e.id);
+      queue_.push(std::move(e));
+      break;
+    }
+    now_ = e.when;
+    e.fn();
+    ++fired;
+    ++events_processed_;
+  }
+  if (now_ < t) now_ = t;
+  return fired;
+}
+
+}  // namespace sim

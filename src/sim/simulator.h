@@ -1,0 +1,87 @@
+// The discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock and an ordered queue of pending events.
+// Events scheduled for the same instant fire in FIFO order of scheduling,
+// which keeps runs deterministic. Cancellation is lazy: a cancelled entry
+// stays in the heap but is skipped when popped.
+#ifndef PLEXUS_SIM_SIMULATOR_H_
+#define PLEXUS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint Now() const { return now_; }
+
+  // Schedules fn to run after delay (>= 0). Returns an id usable with Cancel.
+  EventId Schedule(Duration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  EventId ScheduleAt(TimePoint when, std::function<void()> fn);
+
+  // Cancels a pending event. Safe to call with an already-fired or invalid id.
+  void Cancel(EventId id);
+
+  // True if the given id is still pending.
+  bool IsPending(EventId id) const { return id != kInvalidEventId && !cancelled_.contains(id) && pending_.contains(id); }
+
+  // Runs until the queue drains or Stop() is called. Returns events fired.
+  std::size_t Run();
+
+  // Runs events with timestamp <= t; afterwards Now() == max(t, Now()).
+  std::size_t RunUntil(TimePoint t);
+
+  std::size_t RunFor(Duration d) { return RunUntil(now_ + d); }
+
+  // Requests that the run loop return after the current event.
+  void Stop() { stopped_ = true; }
+
+  std::size_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return pending_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // tie-break: FIFO among same-instant events
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the next runnable entry (skipping cancelled), or returns false.
+  bool PopNext(Entry& out);
+
+  TimePoint now_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t events_processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace sim
+
+#endif  // PLEXUS_SIM_SIMULATOR_H_

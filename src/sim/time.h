@@ -1,0 +1,93 @@
+// Virtual-time primitives for the discrete-event simulator.
+//
+// All simulated time is kept in integer nanoseconds. Strong types keep
+// durations and absolute instants from being mixed up and make call sites
+// self-describing (Duration::Micros(350) rather than a bare 350000).
+#ifndef PLEXUS_SIM_TIME_H_
+#define PLEXUS_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace sim {
+
+// A signed span of virtual time, in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration Micros(std::int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration Millis(std::int64_t ms) { return Duration(ms * 1000 * 1000); }
+  static constexpr Duration Seconds(std::int64_t s) { return Duration(s * 1000 * 1000 * 1000); }
+  static constexpr Duration SecondsF(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr Duration Max() { return Duration(std::numeric_limits<std::int64_t>::max()); }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  // d * count for per-byte costs: Duration::Nanos(15) * len.
+  friend constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+ private:
+  constexpr explicit Duration(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+// An absolute instant of virtual time (nanoseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint FromNanos(std::int64_t n) { return TimePoint(n); }
+  static constexpr TimePoint Max() { return TimePoint(std::numeric_limits<std::int64_t>::max()); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ns_ + d.ns()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(ns_ - d.ns()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration::Nanos(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.ns();
+    return *this;
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.ns() << "ns"; }
+inline std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << "t+" << t.ns() << "ns"; }
+
+}  // namespace sim
+
+#endif  // PLEXUS_SIM_TIME_H_

@@ -1,0 +1,35 @@
+// Minimal tracing for debugging simulations.
+//
+// Disabled by default; tests or tools flip Trace::Enable() to watch the
+// packet flow. Kept deliberately simple (fprintf-style) — this is a debug
+// aid, not an event-log format.
+#ifndef PLEXUS_SIM_TRACE_H_
+#define PLEXUS_SIM_TRACE_H_
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.h"
+
+namespace sim {
+
+class Trace {
+ public:
+  static void Enable(bool on) { enabled_ = on; }
+  static bool enabled() { return enabled_; }
+
+  template <typename... Args>
+  static void Log(TimePoint now, const char* fmt, Args... args) {
+    if (!enabled_) return;
+    std::fprintf(stderr, "[%12.3fus] ", now.us());
+    std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  inline static bool enabled_ = false;
+};
+
+}  // namespace sim
+
+#endif  // PLEXUS_SIM_TRACE_H_

@@ -1,0 +1,91 @@
+// Logical protection domains (paper Section 2).
+//
+// A domain is a set of named interfaces an extension may be linked against.
+// Domains are "first-class kernel resources; they are referenced by typesafe
+// pointers (capabilities), and can be created, copied, and passed around" —
+// here a DomainPtr (shared_ptr) plays the capability role: an extension can
+// only be linked against a domain somebody handed it a pointer to.
+//
+// Exported symbols are std::any values (typically interface pointers or
+// std::function objects); the dynamic linker resolves an extension's import
+// list against the domain and fails the link on any miss, which is how
+// Plexus "restricts direct access to lower level interfaces, ensuring that
+// applications do not snoop or spoof network packets".
+#ifndef PLEXUS_SPIN_DOMAIN_H_
+#define PLEXUS_SPIN_DOMAIN_H_
+
+#include <any>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spin {
+
+class Domain;
+using DomainPtr = std::shared_ptr<Domain>;
+
+class Domain {
+ public:
+  explicit Domain(std::string name) : name_(std::move(name)) {}
+
+  static DomainPtr Create(std::string name) { return std::make_shared<Domain>(std::move(name)); }
+
+  const std::string& name() const { return name_; }
+
+  // Publishes an interface under a fully-qualified symbol name, e.g.
+  // "Ethernet.InstallHandler". Re-exporting replaces the previous value.
+  void Export(const std::string& symbol, std::any value) { symbols_[symbol] = std::move(value); }
+
+  // Links another domain's exports into this one (domain aggregation: "there
+  // is one logical protection domain that includes all interfaces within the
+  // kernel"). Symbols are resolved at lookup time, so later exports in the
+  // imported domain are visible too.
+  void Import(DomainPtr other) { imports_.push_back(std::move(other)); }
+
+  bool Contains(const std::string& symbol) const { return Resolve(symbol).has_value(); }
+
+  std::optional<std::any> Resolve(const std::string& symbol) const {
+    auto it = symbols_.find(symbol);
+    if (it != symbols_.end()) return it->second;
+    for (const auto& d : imports_) {
+      if (auto v = d->Resolve(symbol)) return v;
+    }
+    return std::nullopt;
+  }
+
+  // Typed resolution helper.
+  template <typename T>
+  std::optional<T> ResolveAs(const std::string& symbol) const {
+    auto v = Resolve(symbol);
+    if (!v) return std::nullopt;
+    if (const T* p = std::any_cast<T>(&*v)) return *p;
+    return std::nullopt;
+  }
+
+  std::vector<std::string> OwnSymbols() const {
+    std::vector<std::string> out;
+    out.reserve(symbols_.size());
+    for (const auto& [k, _] : symbols_) out.push_back(k);
+    return out;
+  }
+
+  // A shallow copy of this domain's direct exports and imports ("can be
+  // created, copied, and passed around").
+  DomainPtr Clone(std::string new_name) const {
+    auto d = Create(std::move(new_name));
+    d->symbols_ = symbols_;
+    d->imports_ = imports_;
+    return d;
+  }
+
+ private:
+  std::string name_;
+  std::unordered_map<std::string, std::any> symbols_;
+  std::vector<DomainPtr> imports_;
+};
+
+}  // namespace spin
+
+#endif  // PLEXUS_SPIN_DOMAIN_H_

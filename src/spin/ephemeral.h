@@ -1,0 +1,55 @@
+// The EPHEMERAL handler contract (paper Section 3.3).
+//
+// In SPIN, EPHEMERAL is a compile-time property: the Modula-3 compiler
+// proves an ephemeral procedure calls only ephemeral procedures, so it can
+// be asynchronously terminated and never blocks. C++ has no such effect
+// system, so we enforce the contract at the two points where it matters:
+//
+//  1. Install time — a protocol manager "can verify that a potential event
+//     handler ... is in fact ephemeral by querying the type of the handler"
+//     (paper). Here the handler declares HandlerOptions::ephemeral, and
+//     events that run in interrupt context reject non-ephemeral handlers.
+//
+//  2. Run time — while an ephemeral handler executes, an EphemeralScope is
+//     active; any API that can block (socket waits, thread sleeps) calls
+//     AssertMayBlock() and raises EphemeralViolation if invoked inside the
+//     scope. This converts the compiler's static "ephemeral procedures only
+//     call ephemeral procedures" rule into a checked runtime invariant.
+#ifndef PLEXUS_SPIN_EPHEMERAL_H_
+#define PLEXUS_SPIN_EPHEMERAL_H_
+
+#include <stdexcept>
+
+namespace spin {
+
+class EphemeralViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+class EphemeralScope {
+ public:
+  EphemeralScope() : prev_(active_) { active_ = true; }
+  ~EphemeralScope() { active_ = prev_; }
+  EphemeralScope(const EphemeralScope&) = delete;
+  EphemeralScope& operator=(const EphemeralScope&) = delete;
+
+  static bool active() { return active_; }
+
+ private:
+  bool prev_;
+  // The simulator is single-threaded; a plain static suffices.
+  inline static bool active_ = false;
+};
+
+// Call from any potentially blocking operation.
+inline void AssertMayBlock(const char* what = "blocking operation") {
+  if (EphemeralScope::active()) {
+    throw EphemeralViolation(std::string("EPHEMERAL contract violated: ") + what +
+                             " called from an ephemeral (interrupt-level) handler");
+  }
+}
+
+}  // namespace spin
+
+#endif  // PLEXUS_SPIN_EPHEMERAL_H_

@@ -1,0 +1,210 @@
+// Typed events with guards — the heart of the SPIN/Plexus architecture.
+//
+// An Event<Args...> corresponds to a procedure declaration inside a SPIN
+// interface (e.g. Ethernet.PacketRecv). Raising the event "calls" every
+// installed handler whose guard predicate evaluates true; guards are the
+// packet filters that demultiplex the protocol graph (paper Sections 2-3).
+//
+// Handlers carry HandlerOptions:
+//   * ephemeral     — the handler honors the EPHEMERAL contract and may be
+//                     installed on interrupt-context events.
+//   * declared_cost — virtual CPU time one invocation consumes (charged to
+//                     the host when a Dispatcher with a host is attached).
+//   * time_limit    — optional budget assigned by the protocol manager; a
+//                     handler whose cost exceeds it is terminated: its
+//                     side effects are abandoned and on_terminated fires.
+//
+// Events with requires_ephemeral() reject non-ephemeral handlers at install
+// time, exactly where the paper's manager "can verify that a potential
+// event handler being installed on its PacketRecv event is in fact
+// ephemeral ... If the procedure is not ephemeral, the manager can reject
+// the handler."
+#ifndef PLEXUS_SPIN_EVENT_H_
+#define PLEXUS_SPIN_EVENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "spin/dispatcher.h"
+#include "spin/ephemeral.h"
+#include "spin/result.h"
+
+namespace spin {
+
+using HandlerId = std::uint64_t;
+inline constexpr HandlerId kInvalidHandlerId = 0;
+
+struct HandlerOptions {
+  bool ephemeral = false;
+  sim::Duration declared_cost = sim::Duration::Zero();
+  sim::Duration time_limit = sim::Duration::Zero();  // zero = unlimited
+  std::string name;                                  // for stats/debugging
+  std::function<void()> on_terminated;               // fired when over budget
+};
+
+struct HandlerStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t guard_rejections = 0;
+  std::uint64_t terminations = 0;
+};
+
+template <typename... Args>
+class Event {
+ public:
+  using Handler = std::function<void(Args...)>;
+  using Guard = std::function<bool(Args...)>;
+
+  explicit Event(std::string name, Dispatcher* dispatcher = nullptr)
+      : name_(std::move(name)), dispatcher_(dispatcher) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Marks this event as raised in interrupt context: only ephemeral
+  // handlers may be installed.
+  void set_requires_ephemeral(bool v) { requires_ephemeral_ = v; }
+  bool requires_ephemeral() const { return requires_ephemeral_; }
+
+  // Installs a handler with an optional guard. A null guard always passes
+  // (an unconditional handler).
+  Result<HandlerId> Install(Handler handler, Guard guard = nullptr, HandlerOptions opts = {}) {
+    if (!handler) return Errorf("Install(" + name_ + "): null handler");
+    if (requires_ephemeral_ && !opts.ephemeral) {
+      return Errorf("Install(" + name_ + "): event runs at interrupt level; handler '" +
+                    opts.name + "' is not EPHEMERAL");
+    }
+    if (opts.time_limit > sim::Duration::Zero() && !opts.ephemeral) {
+      return Errorf("Install(" + name_ + "): a time limit may only be assigned to an "
+                    "EPHEMERAL handler");
+    }
+    if (dispatcher_ != nullptr) dispatcher_->ChargeInstall();
+    const HandlerId id = next_id_++;
+    entries_.push_back(Entry{id, std::move(guard), std::move(handler), std::move(opts), {}, true});
+    return id;
+  }
+
+  bool Uninstall(HandlerId id) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->id == id && it->alive) {
+        if (raising_ > 0) {
+          // A raise is walking the deque: mark dead, sweep afterwards.
+          it->alive = false;
+          needs_sweep_ = true;
+        } else {
+          entries_.erase(it);
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Raises the event: evaluates each handler's guard and invokes those that
+  // pass, in installation order. Returns the number of handlers that ran to
+  // completion (terminated handlers do not count).
+  //
+  // Reentrancy: handlers installed during a raise are not visited by that
+  // raise (snapshot bound); handlers uninstalled during a raise are marked
+  // dead and skipped. std::deque keeps references stable across push_back,
+  // so a handler may install new handlers while we hold Entry&.
+  std::size_t Raise(Args... args) {
+    if (dispatcher_ != nullptr) dispatcher_->CountRaise();
+    std::size_t invoked = 0;
+    const std::size_t bound = entries_.size();
+    ++raising_;
+    for (std::size_t i = 0; i < bound; ++i) {
+      Entry& e = entries_[i];
+      if (!e.alive) continue;  // uninstalled mid-raise
+      if (e.guard) {
+        if (dispatcher_ != nullptr) dispatcher_->ChargeGuard();
+        if (!e.guard(args...)) {
+          ++e.stats.guard_rejections;
+          if (dispatcher_ != nullptr) dispatcher_->CountGuardReject();
+          continue;
+        }
+      }
+      if (e.opts.time_limit > sim::Duration::Zero() &&
+          e.opts.declared_cost > e.opts.time_limit) {
+        // Over budget: the handler is prematurely terminated. The budget it
+        // burned before termination is still charged to the CPU.
+        ++e.stats.terminations;
+        if (dispatcher_ != nullptr) {
+          dispatcher_->CountTermination();
+          dispatcher_->Charge(e.opts.time_limit);
+        }
+        if (e.opts.on_terminated) e.opts.on_terminated();
+        continue;
+      }
+      if (dispatcher_ != nullptr) {
+        dispatcher_->ChargeDispatch();
+        dispatcher_->Charge(e.opts.declared_cost);
+      }
+      ++e.stats.invocations;
+      if (e.opts.ephemeral) {
+        EphemeralScope scope;
+        e.handler(args...);
+      } else {
+        e.handler(args...);
+      }
+      ++invoked;
+    }
+    if (--raising_ == 0 && needs_sweep_) {
+      needs_sweep_ = false;
+      std::erase_if(entries_, [](const Entry& e) { return !e.alive; });
+    }
+    return invoked;
+  }
+
+  std::size_t handler_count() const {
+    std::size_t n = 0;
+    for (const Entry& e : entries_) {
+      if (e.alive) ++n;
+    }
+    return n;
+  }
+
+  HandlerStats stats(HandlerId id) const {
+    for (const Entry& e : entries_) {
+      if (e.id == id) return e.stats;
+    }
+    return {};
+  }
+
+  // Names of live handlers in installation order (graph introspection).
+  std::vector<std::string> HandlerNames() const {
+    std::vector<std::string> out;
+    for (const Entry& e : entries_) {
+      if (!e.alive) continue;
+      out.push_back(e.opts.name.empty() ? ("handler#" + std::to_string(e.id)) : e.opts.name);
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    HandlerId id;
+    Guard guard;
+    Handler handler;
+    HandlerOptions opts;
+    HandlerStats stats;
+    bool alive = true;
+  };
+
+  std::string name_;
+  Dispatcher* dispatcher_;
+  bool requires_ephemeral_ = false;
+  std::deque<Entry> entries_;
+  int raising_ = 0;
+  bool needs_sweep_ = false;
+  HandlerId next_id_ = 1;
+};
+
+}  // namespace spin
+
+#endif  // PLEXUS_SPIN_EVENT_H_

@@ -1,0 +1,57 @@
+#include "spin/linker.h"
+
+namespace spin {
+
+Result<ExtensionId> DynamicLinker::Link(Extension ext, const DomainPtr& domain) {
+  return DoLink(std::move(ext), domain, /*require_signature=*/true);
+}
+
+Result<ExtensionId> DynamicLinker::LinkUnsafe(Extension ext, const DomainPtr& domain) {
+  return DoLink(std::move(ext), domain, /*require_signature=*/false);
+}
+
+Result<ExtensionId> DynamicLinker::DoLink(Extension ext, const DomainPtr& domain,
+                                          bool require_signature) {
+  if (domain == nullptr) {
+    return Errorf("link(" + ext.name() + "): no protection domain capability supplied");
+  }
+  if (require_signature && !ext.is_signed()) {
+    return Errorf("link(" + ext.name() + "): object file not signed by the typesafe compiler");
+  }
+
+  SymbolTable table;
+  std::string unresolved;
+  for (const std::string& symbol : ext.imports()) {
+    auto v = domain->Resolve(symbol);
+    if (!v) {
+      if (!unresolved.empty()) unresolved += ", ";
+      unresolved += symbol;
+      continue;
+    }
+    table.Put(symbol, std::move(*v));
+  }
+  if (!unresolved.empty()) {
+    return Errorf("link(" + ext.name() + ") against domain '" + domain->name() +
+                  "': unresolved symbols: " + unresolved);
+  }
+
+  const ExtensionId id = next_id_++;
+  loaded_.emplace(id, Loaded{ext.name(), std::move(ext.cleanup_)});
+  if (host_ != nullptr && host_->in_task()) {
+    // Linking cost scales with the number of symbols to patch.
+    host_->Charge(sim::Duration::Micros(50) +
+                  sim::Duration::Micros(5) * static_cast<std::int64_t>(ext.imports().size()));
+  }
+  if (ext.init_) ext.init_(table);
+  return id;
+}
+
+bool DynamicLinker::Unlink(ExtensionId id) {
+  auto it = loaded_.find(id);
+  if (it == loaded_.end()) return false;
+  if (it->second.cleanup) it->second.cleanup();
+  loaded_.erase(it);
+  return true;
+}
+
+}  // namespace spin

@@ -1,0 +1,55 @@
+// A minimal Result<T> (C++23 std::expected is not available under C++20).
+//
+// Used by the extension services where the paper's system reports failures
+// to the caller (link failures, handler-install rejections) rather than
+// throwing: these are expected, recoverable outcomes.
+#ifndef PLEXUS_SPIN_RESULT_H_
+#define PLEXUS_SPIN_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace spin {
+
+struct Error {
+  std::string message;
+};
+
+inline Error Errorf(std::string msg) { return Error{std::move(msg)}; }
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}
+  Result(Error e) : v_(std::move(e)) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+}  // namespace spin
+
+#endif  // PLEXUS_SPIN_RESULT_H_

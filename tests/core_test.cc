@@ -1,0 +1,207 @@
+// Tests for Plexus-graph internals not covered by the integration suite:
+// thread-mode execution details, EPHEMERAL violations surfacing through the
+// full stack, handler time budgets at the graph level, IP reinjection, and
+// per-host domain isolation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/plexus.h"
+#include "net/checksum.h"
+#include "drivers/device_profile.h"
+#include "drivers/medium.h"
+#include "sim/simulator.h"
+
+namespace core {
+namespace {
+
+using drivers::DeviceProfile;
+using drivers::EthernetSegment;
+
+struct Pair {
+  explicit Pair(HandlerMode mode = HandlerMode::kInterrupt)
+      : segment(sim),
+        a(sim, "a", sim::CostModel::Default1996(), DeviceProfile::Ethernet10(),
+          {net::MacAddress::FromId(1), net::Ipv4Address(10, 0, 0, 1), 24}, mode, 1),
+        b(sim, "b", sim::CostModel::Default1996(), DeviceProfile::Ethernet10(),
+          {net::MacAddress::FromId(2), net::Ipv4Address(10, 0, 0, 2), 24}, mode, 2) {
+    a.AttachTo(segment);
+    b.AttachTo(segment);
+    a.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+    b.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  }
+  sim::Simulator sim;
+  EthernetSegment segment;
+  PlexusHost a, b;
+};
+
+TEST(CoreGraph, InterruptModeRunsHandlerInsideEphemeralScope) {
+  Pair net;
+  bool in_scope = false;
+  auto rx = net.b.udp().CreateEndpoint(7).value();
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  rx->InstallReceiveHandler(
+      [&](const net::Mbuf&, const proto::UdpDatagram&) {
+        in_scope = spin::EphemeralScope::active();
+      },
+      opts);
+  auto tx = net.a.udp().CreateEndpoint(5000).value();
+  net.a.Run([&] { tx->Send(net::Mbuf::FromString("x"), net::Ipv4Address(10, 0, 0, 2), 7); });
+  net.sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_TRUE(in_scope);
+}
+
+TEST(CoreGraph, ThreadModeRunsHandlerOutsideEphemeralScope) {
+  Pair net(HandlerMode::kThread);
+  bool handler_ran = false, in_scope = true;
+  auto rx = net.b.udp().CreateEndpoint(7).value();
+  rx->InstallReceiveHandler([&](const net::Mbuf&, const proto::UdpDatagram&) {
+    handler_ran = true;
+    in_scope = spin::EphemeralScope::active();
+  });
+  auto tx = net.a.udp().CreateEndpoint(5000).value();
+  net.a.Run([&] { tx->Send(net::Mbuf::FromString("x"), net::Ipv4Address(10, 0, 0, 2), 7); });
+  net.sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_TRUE(handler_ran);
+  EXPECT_FALSE(in_scope);  // a thread handler may block: no scope
+}
+
+TEST(CoreGraph, BlockingCallInInterruptHandlerIsCaught) {
+  // A handler that calls a blocking API inside the interrupt violates the
+  // EPHEMERAL contract and raises EphemeralViolation.
+  Pair net;
+  auto rx = net.b.udp().CreateEndpoint(7).value();
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;  // claims to be ephemeral...
+  rx->InstallReceiveHandler(
+      [&](const net::Mbuf&, const proto::UdpDatagram&) {
+        spin::AssertMayBlock("mutex wait");  // ...but blocks
+      },
+      opts);
+  auto tx = net.a.udp().CreateEndpoint(5000).value();
+  net.a.Run([&] { tx->Send(net::Mbuf::FromString("x"), net::Ipv4Address(10, 0, 0, 2), 7); });
+  EXPECT_THROW(net.sim.RunFor(sim::Duration::Seconds(1)), spin::EphemeralViolation);
+}
+
+TEST(CoreGraph, TimeBudgetEnforcedOnGraphHandler) {
+  Pair net;
+  int ran = 0, terminated = 0;
+  auto rx = net.b.udp().CreateEndpoint(7).value();
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  opts.declared_cost = sim::Duration::Millis(5);   // way over budget
+  opts.time_limit = sim::Duration::Micros(100);    // manager-assigned limit
+  opts.on_terminated = [&] { ++terminated; };
+  ASSERT_TRUE(rx->InstallReceiveHandler(
+                    [&](const net::Mbuf&, const proto::UdpDatagram&) { ++ran; }, opts)
+                  .ok());
+  auto tx = net.a.udp().CreateEndpoint(5000).value();
+  for (int i = 0; i < 3; ++i) {
+    net.a.Run([&] { tx->Send(net::Mbuf::FromString("x"), net::Ipv4Address(10, 0, 0, 2), 7); });
+  }
+  net.sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(terminated, 3);
+}
+
+TEST(CoreGraph, ThreadModeChargesSpawnCosts) {
+  // The same traffic must consume more CPU in thread mode (spawn + handoff
+  // per graph hop).
+  auto busy_for = [](HandlerMode mode) {
+    Pair net(mode);
+    auto rx = net.b.udp().CreateEndpoint(7).value();
+    spin::HandlerOptions opts;
+    opts.ephemeral = true;
+    (void)rx->InstallReceiveHandler([](const net::Mbuf&, const proto::UdpDatagram&) {}, opts);
+    auto tx = net.a.udp().CreateEndpoint(5000).value();
+    for (int i = 0; i < 10; ++i) {
+      net.a.Run([&] {
+        tx->Send(net::Mbuf::FromString("x"), net::Ipv4Address(10, 0, 0, 2), 7);
+      });
+    }
+    net.sim.RunFor(sim::Duration::Seconds(2));
+    return net.b.host().cpu().busy_total();
+  };
+  EXPECT_GT(busy_for(HandlerMode::kThread).ns(),
+            busy_for(HandlerMode::kInterrupt).ns());
+}
+
+TEST(CoreGraph, IpReinjectSendsTowardNewDestination) {
+  Pair net;
+  // Craft an IP packet addressed to b, then reinject it on a toward b.
+  int delivered = 0;
+  auto rx = net.b.udp().CreateEndpoint(7).value();
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  rx->InstallReceiveHandler([&](const net::Mbuf&, const proto::UdpDatagram&) { ++delivered; },
+                            opts);
+
+  net.a.Run([&] {
+    // Build a full UDP/IP packet by sending through the normal path once,
+    // then reinject a captured copy. Simplest: construct via the layers.
+    net::UdpHeader uh;
+    uh.src_port = 5000;
+    uh.dst_port = 7;
+    uh.length = 8 + 4;
+    uh.checksum = 0;  // checksum-off datagram
+    auto payload = net::Mbuf::Allocate(8 + 4);
+    net::StorePacket(*payload, uh);
+    net::Ipv4Header ih;
+    ih.total_length = static_cast<std::uint16_t>(20 + payload->PacketLength());
+    ih.protocol = net::ipproto::kUdp;
+    ih.src = net::Ipv4Address(10, 0, 0, 1);
+    ih.dst = net::Ipv4Address(10, 0, 0, 2);
+    // Header checksum.
+    std::byte raw[20];
+    ih.checksum = 0;
+    std::memcpy(raw, &ih, 20);
+    ih.checksum = net::Checksum({raw, 20});
+    auto room = payload->Prepend(20);
+    net::Store(room, ih);
+    net.a.ip().Reinject(std::move(payload), net::Ipv4Address(10, 0, 0, 2));
+  });
+  net.sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(CoreGraph, DomainsAreIsolatedPerHost) {
+  Pair net;
+  // a's app domain resolves a's UdpManager, never b's.
+  auto a_mgr = net.a.app_domain()->ResolveAs<UdpManager*>("UdpManager");
+  auto b_mgr = net.b.app_domain()->ResolveAs<UdpManager*>("UdpManager");
+  ASSERT_TRUE(a_mgr.has_value());
+  ASSERT_TRUE(b_mgr.has_value());
+  EXPECT_NE(*a_mgr, *b_mgr);
+  EXPECT_EQ(*a_mgr, &net.a.udp());
+}
+
+TEST(CoreGraph, KernelDomainSupersetOfAppDomain) {
+  Pair net;
+  for (const char* sym : {"UdpManager", "TcpManager", "Mbuf.Allocate"}) {
+    EXPECT_TRUE(net.a.app_domain()->Contains(sym)) << sym;
+    EXPECT_TRUE(net.a.kernel_domain()->Contains(sym)) << sym;
+  }
+  for (const char* sym : {"EthernetManager", "IpManager", "ActiveMessages"}) {
+    EXPECT_FALSE(net.a.app_domain()->Contains(sym)) << sym;
+    EXPECT_TRUE(net.a.kernel_domain()->Contains(sym)) << sym;
+  }
+}
+
+TEST(CoreGraph, HandlerInstallChargedToCpu) {
+  Pair net;
+  auto rx = net.b.udp().CreateEndpoint(7).value();
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  const auto before = net.b.host().cpu().busy_total();
+  net.b.Run([&] {
+    (void)rx->InstallReceiveHandler([](const net::Mbuf&, const proto::UdpDatagram&) {}, opts);
+  });
+  net.sim.RunFor(sim::Duration::Millis(10));
+  EXPECT_GE((net.b.host().cpu().busy_total() - before).ns(),
+            net.b.host().costs().handler_install.ns());
+}
+
+}  // namespace
+}  // namespace core

@@ -1,0 +1,105 @@
+// Tests for the simulated disk and frame store.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "drivers/disk.h"
+#include "sim/cost_model.h"
+#include "sim/host.h"
+
+namespace drivers {
+namespace {
+
+struct DiskFixture {
+  explicit DiskFixture(DiskProfile profile = {})
+      : host(sim, "h", sim::CostModel::Default1996()), disk(host, profile) {}
+
+  sim::Simulator sim;
+  sim::Host host;
+  Disk disk;
+};
+
+TEST(Disk, ReadCompletesWithRequestedLength) {
+  DiskFixture f;
+  std::size_t got = 0;
+  f.host.Submit(sim::Priority::kKernel, [&] {
+    f.disk.Read(0, 4096, [&](net::MbufPtr data) { got = data->PacketLength(); });
+  });
+  f.sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(got, 4096u);
+  EXPECT_EQ(f.disk.stats().reads, 1u);
+  EXPECT_EQ(f.disk.stats().bytes, 4096u);
+}
+
+TEST(Disk, ServiceTimeMatchesProfile) {
+  DiskFixture f;
+  double completed_at = -1;
+  f.host.Submit(sim::Priority::kKernel, [&] {
+    f.disk.Read(0, 20000, [&](net::MbufPtr) { completed_at = f.sim.Now().us(); });
+  });
+  f.sim.RunFor(sim::Duration::Seconds(1));
+  // seek 500 + rotation 300 + 20000B at 20MB/s = 1000us, + interrupt task.
+  const double expected = 500 + 300 + 20000 * 8.0 / 160.0;  // us
+  EXPECT_NEAR(completed_at, expected, 20.0);
+}
+
+TEST(Disk, RequestsSerializeOnOneArm) {
+  DiskFixture f;
+  std::vector<double> completions;
+  f.host.Submit(sim::Priority::kKernel, [&] {
+    for (int i = 0; i < 3; ++i) {
+      f.disk.Read(static_cast<std::uint64_t>(i) * 8192, 8192,
+                  [&](net::MbufPtr) { completions.push_back(f.sim.Now().us()); });
+    }
+  });
+  f.sim.RunFor(sim::Duration::Seconds(1));
+  ASSERT_EQ(completions.size(), 3u);
+  const double service = 500 + 300 + 8192 * 8.0 / 160.0;
+  EXPECT_NEAR(completions[1] - completions[0], service, 20.0);
+  EXPECT_NEAR(completions[2] - completions[1], service, 20.0);
+}
+
+TEST(Disk, SlowProfileIsSlower) {
+  DiskFixture fast;
+  DiskFixture slow{DiskProfile::Slow1996()};
+  double fast_at = -1, slow_at = -1;
+  fast.host.Submit(sim::Priority::kKernel, [&] {
+    fast.disk.Read(0, 12500, [&](net::MbufPtr) { fast_at = fast.sim.Now().us(); });
+  });
+  slow.host.Submit(sim::Priority::kKernel, [&] {
+    slow.disk.Read(0, 12500, [&](net::MbufPtr) { slow_at = slow.sim.Now().us(); });
+  });
+  fast.sim.RunFor(sim::Duration::Seconds(1));
+  slow.sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_GT(slow_at, fast_at * 5);
+}
+
+TEST(Disk, CpuChargedOnlyForFsPathNotTransfer) {
+  DiskFixture f;
+  f.host.Submit(sim::Priority::kKernel, [&] { f.disk.Read(0, 100000, [](net::MbufPtr) {}); });
+  f.sim.RunFor(sim::Duration::Seconds(1));
+  // DMA: the multi-ms transfer must not appear as CPU busy time.
+  const auto& cm = f.host.costs();
+  const auto expected_cpu = sim::Duration::Micros(80) + sim::Duration::Nanos(4) * 100000 +
+                            cm.interrupt_entry + cm.interrupt_exit;
+  EXPECT_EQ(f.host.cpu().busy_total().ns(), expected_cpu.ns());
+}
+
+TEST(FrameStore, FramesAddressedByIndexAndLooping) {
+  DiskFixture f;
+  Disk disk2(f.host);
+  FrameStore store(disk2, 1000, 10);
+  std::vector<std::vector<std::byte>> frames;
+  f.host.Submit(sim::Priority::kKernel, [&] {
+    store.ReadFrame(3, [&](net::MbufPtr d) { frames.push_back(d->Linearize()); });
+    store.ReadFrame(13, [&](net::MbufPtr d) { frames.push_back(d->Linearize()); });
+    store.ReadFrame(4, [&](net::MbufPtr d) { frames.push_back(d->Linearize()); });
+  });
+  f.sim.RunFor(sim::Duration::Seconds(1));
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], frames[1]);  // 13 % 10 == 3: same frame
+  EXPECT_NE(frames[0], frames[2]);  // different frame, different content
+}
+
+}  // namespace
+}  // namespace drivers

@@ -1,0 +1,170 @@
+// Unit tests for the HTTP layer over a mock in-memory ByteStream.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "proto/http.h"
+
+namespace proto {
+namespace {
+
+// Two cross-connected in-memory streams with explicit pumping, so tests can
+// fragment the byte flow arbitrarily.
+class MockStream : public ByteStream {
+ public:
+  std::size_t Write(std::span<const std::byte> data) override {
+    outbox.insert(outbox.end(), data.begin(), data.end());
+    return data.size();
+  }
+  void SetOnData(std::function<void(std::span<const std::byte>)> cb) override {
+    on_data = std::move(cb);
+  }
+  void SetOnClose(std::function<void()> cb) override { on_close = std::move(cb); }
+  void CloseStream() override { close_requested = true; }
+
+  // Delivers up to n bytes from `peer`'s outbox into our on_data.
+  static void Pump(MockStream& from, MockStream& to, std::size_t n = SIZE_MAX) {
+    const std::size_t take = std::min(n, from.outbox.size());
+    if (take == 0) return;
+    std::vector<std::byte> chunk(from.outbox.begin(),
+                                 from.outbox.begin() + static_cast<std::ptrdiff_t>(take));
+    from.outbox.erase(from.outbox.begin(),
+                      from.outbox.begin() + static_cast<std::ptrdiff_t>(take));
+    if (to.on_data) to.on_data(chunk);
+  }
+  static void PumpClose(MockStream& from, MockStream& to) {
+    if (from.close_requested && to.on_close) to.on_close();
+  }
+
+  std::deque<std::byte> outbox;
+  std::function<void(std::span<const std::byte>)> on_data;
+  std::function<void()> on_close;
+  bool close_requested = false;
+};
+
+struct HttpFixture {
+  MockStream client_stream;  // client side
+  MockStream server_stream;  // server side
+
+  void PumpAll() {
+    for (int i = 0; i < 10; ++i) {
+      MockStream::Pump(client_stream, server_stream);
+      MockStream::Pump(server_stream, client_stream);
+    }
+    MockStream::PumpClose(server_stream, client_stream);
+    MockStream::PumpClose(client_stream, server_stream);
+  }
+};
+
+TEST(Http, SimpleGet) {
+  HttpFixture f;
+  HttpServerConnection server(f.server_stream, [](const std::string& path) {
+    return std::optional<std::string>("you asked for " + path);
+  });
+  HttpClient::Response resp;
+  HttpClient client(f.client_stream, [&](const HttpClient::Response& r) { resp = r; });
+  client.Get("/page");
+  f.PumpAll();
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "you asked for /page");
+  EXPECT_EQ(server.last_path(), "/page");
+}
+
+TEST(Http, NotFound) {
+  HttpFixture f;
+  HttpServerConnection server(f.server_stream,
+                              [](const std::string&) { return std::nullopt; });
+  HttpClient::Response resp;
+  HttpClient client(f.client_stream, [&](const HttpClient::Response& r) { resp = r; });
+  client.Get("/ghost");
+  f.PumpAll();
+  EXPECT_EQ(resp.status, 404);
+  EXPECT_TRUE(resp.body.empty());
+}
+
+TEST(Http, RequestArrivingInTinyFragments) {
+  HttpFixture f;
+  HttpServerConnection server(f.server_stream, [](const std::string& path) {
+    return std::optional<std::string>("ok:" + path);
+  });
+  HttpClient::Response resp;
+  HttpClient client(f.client_stream, [&](const HttpClient::Response& r) { resp = r; });
+  client.Get("/fragmented");
+  // Deliver the request two bytes at a time.
+  while (!f.client_stream.outbox.empty()) {
+    MockStream::Pump(f.client_stream, f.server_stream, 2);
+  }
+  f.PumpAll();
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "ok:/fragmented");
+}
+
+TEST(Http, MalformedRequestLineGets400) {
+  HttpFixture f;
+  HttpServerConnection server(f.server_stream, [](const std::string&) {
+    return std::optional<std::string>("never");
+  });
+  f.server_stream.on_data(
+      {reinterpret_cast<const std::byte*>("NONSENSE\r\n\r\n"), 12});
+  // The server responded with 400 directly into its outbox.
+  std::string out(reinterpret_cast<const char*>(&*f.server_stream.outbox.begin()),
+                  f.server_stream.outbox.size());
+  EXPECT_NE(out.find("400"), std::string::npos);
+}
+
+TEST(Http, PostRejectedWith400) {
+  HttpFixture f;
+  HttpServerConnection server(f.server_stream, [](const std::string&) {
+    return std::optional<std::string>("never");
+  });
+  const char* req = "POST /upload HTTP/1.0\r\n\r\n";
+  f.server_stream.on_data({reinterpret_cast<const std::byte*>(req), strlen(req)});
+  std::string out(reinterpret_cast<const char*>(&*f.server_stream.outbox.begin()),
+                  f.server_stream.outbox.size());
+  EXPECT_NE(out.find("400 Bad Request"), std::string::npos);
+}
+
+TEST(Http, LargeBodyRoundTrips) {
+  HttpFixture f;
+  const std::string big(100 * 1024, 'B');
+  HttpServerConnection server(f.server_stream,
+                              [&](const std::string&) { return std::optional(big); });
+  HttpClient::Response resp;
+  HttpClient client(f.client_stream, [&](const HttpClient::Response& r) { resp = r; });
+  client.Get("/big");
+  f.PumpAll();
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.size(), big.size());
+  EXPECT_EQ(resp.body, big);
+}
+
+TEST(Http, ResponseCarriesContentLengthHeader) {
+  HttpFixture f;
+  HttpServerConnection server(f.server_stream, [](const std::string&) {
+    return std::optional<std::string>("12345");
+  });
+  const char* req = "GET / HTTP/1.0\r\n\r\n";
+  f.server_stream.on_data({reinterpret_cast<const std::byte*>(req), strlen(req)});
+  std::string out(reinterpret_cast<const char*>(&*f.server_stream.outbox.begin()),
+                  f.server_stream.outbox.size());
+  EXPECT_NE(out.find("Content-Length: 5"), std::string::npos);
+}
+
+TEST(Http, SecondRequestOnSameConnectionIgnored) {
+  // HTTP/1.0 close-delimited: one request per connection.
+  HttpFixture f;
+  int served = 0;
+  HttpServerConnection server(f.server_stream, [&](const std::string&) {
+    ++served;
+    return std::optional<std::string>("one");
+  });
+  const char* req = "GET /a HTTP/1.0\r\n\r\nGET /b HTTP/1.0\r\n\r\n";
+  f.server_stream.on_data({reinterpret_cast<const std::byte*>(req), strlen(req)});
+  EXPECT_EQ(served, 1);
+  EXPECT_TRUE(server.responded());
+}
+
+}  // namespace
+}  // namespace proto

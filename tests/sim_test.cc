@@ -1,0 +1,380 @@
+// Unit tests for the discrete-event simulation substrate.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/host.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sim {
+namespace {
+
+TEST(Duration, ArithmeticAndConversions) {
+  EXPECT_EQ(Duration::Micros(3).ns(), 3000);
+  EXPECT_EQ(Duration::Millis(2).ns(), 2'000'000);
+  EXPECT_EQ(Duration::Seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ((Duration::Micros(5) + Duration::Micros(7)).us(), 12.0);
+  EXPECT_EQ((Duration::Micros(5) * 3).us(), 15.0);
+  EXPECT_EQ(Duration::Nanos(15) * 100, Duration::Nanos(1500));
+  EXPECT_DOUBLE_EQ(Duration::Micros(10) / Duration::Micros(4), 2.5);
+  EXPECT_LT(Duration::Micros(1), Duration::Micros(2));
+}
+
+TEST(TimePoint, Arithmetic) {
+  TimePoint t0;
+  TimePoint t1 = t0 + Duration::Micros(10);
+  EXPECT_EQ((t1 - t0).us(), 10.0);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(Simulator, RunsEventsInTimestampOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.Schedule(Duration::Micros(30), [&] { order.push_back(3); });
+  s.Schedule(Duration::Micros(10), [&] { order.push_back(1); });
+  s.Schedule(Duration::Micros(20), [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), TimePoint() + Duration::Micros(30));
+}
+
+TEST(Simulator, SameInstantIsFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.Schedule(Duration::Micros(5), [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  EventId id = s.Schedule(Duration::Micros(5), [&] { fired = true; });
+  EXPECT_TRUE(s.IsPending(id));
+  s.Cancel(id);
+  EXPECT_FALSE(s.IsPending(id));
+  s.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelOfFiredEventIsSafe) {
+  Simulator s;
+  EventId id = s.Schedule(Duration::Micros(1), [] {});
+  s.Run();
+  s.Cancel(id);  // must not crash or corrupt
+  s.Schedule(Duration::Micros(1), [] {});
+  EXPECT_EQ(s.Run(), 1u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) s.Schedule(Duration::Micros(10), tick);
+  };
+  s.Schedule(Duration::Micros(10), tick);
+  s.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.Now().us(), 50.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.Schedule(Duration::Micros(i * 10), [&] { ++count; });
+  }
+  s.RunUntil(TimePoint() + Duration::Micros(35));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.Now().us(), 35.0);
+  s.Run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulator s;
+  s.RunUntil(TimePoint() + Duration::Millis(5));
+  EXPECT_EQ(s.Now().ns(), Duration::Millis(5).ns());
+}
+
+TEST(Simulator, StopAbortsRun) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.Schedule(Duration::Micros(i), [&] {
+      if (++count == 3) s.Stop();
+    });
+  }
+  s.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, ScheduleInPastClampsToNow) {
+  Simulator s;
+  s.Schedule(Duration::Micros(10), [&] {
+    bool ran = false;
+    s.ScheduleAt(TimePoint(), [&ran] { ran = true; });
+    (void)ran;
+  });
+  EXPECT_NO_FATAL_FAILURE(s.Run());
+  EXPECT_EQ(s.Now().us(), 10.0);
+}
+
+TEST(Cpu, SerializesTasks) {
+  Simulator s;
+  Cpu cpu(s);
+  std::vector<double> completion_us;
+  for (int i = 0; i < 3; ++i) {
+    cpu.Submit(Priority::kKernel, [&](CpuContext& ctx) {
+      ctx.Charge(Duration::Micros(10));
+      ctx.After([&] { completion_us.push_back(s.Now().us()); });
+    });
+  }
+  s.Run();
+  ASSERT_EQ(completion_us.size(), 3u);
+  EXPECT_EQ(completion_us[0], 10.0);
+  EXPECT_EQ(completion_us[1], 20.0);
+  EXPECT_EQ(completion_us[2], 30.0);
+  EXPECT_EQ(cpu.busy_total().us(), 30.0);
+  EXPECT_EQ(cpu.tasks_run(), 3u);
+}
+
+TEST(Cpu, InterruptPriorityRunsBeforeQueuedThreadWork) {
+  Simulator s;
+  Cpu cpu(s);
+  std::vector<std::string> order;
+  // One task running now; while it runs, a thread task and an interrupt
+  // arrive. The interrupt must run next despite arriving later.
+  cpu.Submit(Priority::kKernel, [&](CpuContext& ctx) {
+    ctx.Charge(Duration::Micros(10));
+    order.push_back("first");
+  });
+  cpu.Submit(Priority::kThread, [&](CpuContext& ctx) {
+    ctx.Charge(Duration::Micros(1));
+    order.push_back("thread");
+  });
+  cpu.Submit(Priority::kInterrupt, [&](CpuContext& ctx) {
+    ctx.Charge(Duration::Micros(1));
+    order.push_back("interrupt");
+  });
+  s.Run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "first");
+  EXPECT_EQ(order[1], "interrupt");
+  EXPECT_EQ(order[2], "thread");
+}
+
+TEST(Cpu, ZeroCostTaskCompletesImmediately) {
+  Simulator s;
+  Cpu cpu(s);
+  bool done = false;
+  cpu.Submit(Priority::kKernel, [&](CpuContext& ctx) { ctx.After([&] { done = true; }); });
+  s.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(s.Now(), TimePoint());
+}
+
+TEST(Cpu, InterruptPreemptsRunningThreadTask) {
+  Simulator s;
+  Cpu cpu(s);
+  std::vector<std::pair<std::string, double>> done;
+  // A long thread task starts at t=0.
+  cpu.Submit(Priority::kThread, [&](CpuContext& ctx) {
+    ctx.Charge(Duration::Millis(10));
+    ctx.After([&] { done.emplace_back("thread", s.Now().us()); });
+  });
+  // An interrupt arrives at t=2ms: it must run immediately, and the thread
+  // task's remainder resumes afterwards, completing at 10ms + 1ms.
+  s.Schedule(Duration::Millis(2), [&] {
+    cpu.Submit(Priority::kInterrupt, [&](CpuContext& ctx) {
+      ctx.Charge(Duration::Millis(1));
+      ctx.After([&] { done.emplace_back("interrupt", s.Now().us()); });
+    });
+  });
+  s.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, "interrupt");
+  EXPECT_DOUBLE_EQ(done[0].second, 3000.0);
+  EXPECT_EQ(done[1].first, "thread");
+  EXPECT_DOUBLE_EQ(done[1].second, 11000.0);  // 10ms work + 1ms preemption
+  EXPECT_EQ(cpu.preemptions(), 1u);
+  EXPECT_EQ(cpu.busy_total().ms(), 11.0);
+}
+
+TEST(Cpu, SamePriorityDoesNotPreempt) {
+  Simulator s;
+  Cpu cpu(s);
+  std::vector<std::string> order;
+  cpu.Submit(Priority::kKernel, [&](CpuContext& ctx) {
+    ctx.Charge(Duration::Millis(5));
+    ctx.After([&] { order.push_back("first"); });
+  });
+  s.Schedule(Duration::Millis(1), [&] {
+    cpu.Submit(Priority::kKernel, [&](CpuContext& ctx) {
+      ctx.Charge(Duration::Millis(1));
+      ctx.After([&] { order.push_back("second"); });
+    });
+  });
+  s.Run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "first");
+  EXPECT_EQ(cpu.preemptions(), 0u);
+}
+
+TEST(Cpu, NestedHigherPrioritySubmitSuspendsFreshTask) {
+  // A kernel task that submits an interrupt during its own logic: the
+  // interrupt wins the same-instant tie; the kernel work's busy time and
+  // completion side effects still happen afterwards.
+  Simulator s;
+  Cpu cpu(s);
+  std::vector<std::pair<std::string, double>> done;
+  cpu.Submit(Priority::kKernel, [&](CpuContext& ctx) {
+    ctx.Charge(Duration::Millis(4));
+    cpu.Submit(Priority::kInterrupt, [&](CpuContext& ictx) {
+      ictx.Charge(Duration::Millis(1));
+      ictx.After([&] { done.emplace_back("interrupt", s.Now().us()); });
+    });
+    ctx.After([&] { done.emplace_back("kernel", s.Now().us()); });
+  });
+  s.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, "interrupt");
+  EXPECT_DOUBLE_EQ(done[0].second, 1000.0);
+  EXPECT_EQ(done[1].first, "kernel");
+  EXPECT_DOUBLE_EQ(done[1].second, 5000.0);
+  EXPECT_EQ(cpu.busy_total().ms(), 5.0);
+}
+
+TEST(Cpu, PreemptedChainRetainsFifoWithinPriority) {
+  Simulator s;
+  Cpu cpu(s);
+  std::vector<std::string> order;
+  for (int i = 0; i < 2; ++i) {
+    cpu.Submit(Priority::kThread, [&, i](CpuContext& ctx) {
+      ctx.Charge(Duration::Millis(3));
+      ctx.After([&, i] { order.push_back("t" + std::to_string(i)); });
+    });
+  }
+  s.Schedule(Duration::Millis(1), [&] {
+    cpu.Submit(Priority::kInterrupt, [&](CpuContext& ctx) {
+      ctx.Charge(Duration::Micros(100));
+      ctx.After([&] { order.push_back("irq"); });
+    });
+  });
+  s.Run();
+  // irq at 1.1ms; t0 resumes and completes; then t1.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "irq");
+  EXPECT_EQ(order[1], "t0");
+  EXPECT_EQ(order[2], "t1");
+}
+
+TEST(Cpu, UtilizationHelper) {
+  EXPECT_DOUBLE_EQ(Cpu::Utilization(Duration::Micros(50), Duration::Micros(100)), 0.5);
+  EXPECT_DOUBLE_EQ(Cpu::Utilization(Duration::Micros(200), Duration::Micros(100)), 1.0);
+  EXPECT_DOUBLE_EQ(Cpu::Utilization(Duration::Zero(), Duration::Zero()), 0.0);
+}
+
+TEST(Host, ChargeAccumulatesIntoTask) {
+  Simulator s;
+  Host h(s, "alpha", CostModel::Default1996());
+  double done_at = -1;
+  h.Submit(Priority::kKernel, [&] {
+    h.Charge(Duration::Micros(7));
+    h.Charge(Duration::Micros(3));
+    h.AfterTask([&] { done_at = s.Now().us(); });
+  });
+  s.Run();
+  EXPECT_EQ(done_at, 10.0);
+  EXPECT_EQ(h.cpu().busy_total().us(), 10.0);
+}
+
+TEST(Host, NestedSubmitKeepsContextsSeparate) {
+  Simulator s;
+  Host h(s, "alpha", CostModel::Default1996());
+  double inner_done = -1, outer_done = -1;
+  h.Submit(Priority::kKernel, [&] {
+    h.Charge(Duration::Micros(5));
+    // A task submitted from within a task queues behind it.
+    h.Submit(Priority::kKernel, [&] {
+      h.Charge(Duration::Micros(2));
+      h.AfterTask([&] { inner_done = s.Now().us(); });
+    });
+    h.AfterTask([&] { outer_done = s.Now().us(); });
+  });
+  s.Run();
+  EXPECT_EQ(outer_done, 5.0);
+  EXPECT_EQ(inner_done, 7.0);
+}
+
+TEST(Random, DeterministicFromSeed) {
+  Random a(42), b(42), c(43);
+  bool all_equal = true, any_diff_seed_differs = false;
+  for (int i = 0; i < 100; ++i) {
+    auto va = a.NextU64();
+    if (va != b.NextU64()) all_equal = false;
+    if (va != c.NextU64()) any_diff_seed_differs = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_differs);
+}
+
+TEST(Random, UniformDoubleInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Random, UniformIntInclusiveBounds) {
+  Random r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, BernoulliExtremes) {
+  Random r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(Random, ExponentialMeanRoughlyCorrect) {
+  Random r(11);
+  const Duration mean = Duration::Micros(100);
+  std::int64_t total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += r.Exponential(mean).ns();
+  const double avg_us = static_cast<double>(total) / n / 1000.0;
+  EXPECT_NEAR(avg_us, 100.0, 5.0);
+}
+
+TEST(CostModel, PresetsDiffer) {
+  auto def = CostModel::Default1996();
+  auto fast = CostModel::FastDriver1996();
+  auto modern = CostModel::ModernHypothetical();
+  EXPECT_LT(fast.interrupt_entry, def.interrupt_entry);
+  EXPECT_LT(modern.syscall_entry, def.syscall_entry);
+  EXPECT_LT(modern.copy_per_byte, def.copy_per_byte);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,375 @@
+// Unit tests for the SPIN extension services: events/guards, protection
+// domains, dynamic linking, and the EPHEMERAL contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/mbuf.h"
+#include "sim/host.h"
+#include "spin/dispatcher.h"
+#include "spin/domain.h"
+#include "spin/ephemeral.h"
+#include "spin/event.h"
+#include "spin/linker.h"
+
+namespace spin {
+namespace {
+
+using net::Mbuf;
+using net::MbufPtr;
+
+TEST(Event, RaisesInvokeHandlersInInstallOrder) {
+  Event<int> ev("Test.Event");
+  std::vector<std::string> order;
+  ASSERT_TRUE(ev.Install([&](int) { order.push_back("a"); }));
+  ASSERT_TRUE(ev.Install([&](int) { order.push_back("b"); }));
+  EXPECT_EQ(ev.Raise(1), 2u);
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Event, GuardFiltersHandlers) {
+  Event<int> ev("Test.Event");
+  int evens = 0, odds = 0;
+  ev.Install([&](int) { ++evens; }, [](int v) { return v % 2 == 0; });
+  ev.Install([&](int) { ++odds; }, [](int v) { return v % 2 == 1; });
+  for (int i = 0; i < 10; ++i) ev.Raise(i);
+  EXPECT_EQ(evens, 5);
+  EXPECT_EQ(odds, 5);
+}
+
+TEST(Event, NullGuardAlwaysPasses) {
+  Event<> ev("Test.Unconditional");
+  int count = 0;
+  ev.Install([&] { ++count; });
+  ev.Raise();
+  ev.Raise();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Event, InstallRejectsNullHandler) {
+  Event<int> ev("Test.Event");
+  auto r = ev.Install(nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Event, UninstallStopsDelivery) {
+  Event<int> ev("Test.Event");
+  int count = 0;
+  auto id = ev.Install([&](int) { ++count; });
+  ASSERT_TRUE(id.ok());
+  ev.Raise(0);
+  EXPECT_TRUE(ev.Uninstall(id.value()));
+  ev.Raise(0);
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(ev.Uninstall(id.value()));  // second time: unknown
+}
+
+TEST(Event, HandlerMayUninstallItselfDuringRaise) {
+  Event<> ev("Test.SelfRemove");
+  int count = 0;
+  HandlerId self = kInvalidHandlerId;
+  auto id = ev.Install([&] {
+    ++count;
+    ev.Uninstall(self);
+  });
+  ASSERT_TRUE(id.ok());
+  self = id.value();
+  ev.Raise();
+  ev.Raise();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Event, HandlerMayInstallAnotherDuringRaise) {
+  // A newly installed handler must not fire during the raise that installed
+  // it (snapshot semantics).
+  Event<> ev("Test.InstallDuring");
+  int second_count = 0;
+  ev.Install([&] {
+    ev.Install([&] { ++second_count; });
+  });
+  ev.Raise();
+  EXPECT_EQ(second_count, 0);
+  ev.Raise();
+  EXPECT_EQ(second_count, 1);
+}
+
+TEST(Event, RequiresEphemeralRejectsPlainHandler) {
+  Event<int> ev("Ethernet.PacketRecv");
+  ev.set_requires_ephemeral(true);
+  auto r = ev.Install([](int) {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("EPHEMERAL"), std::string::npos);
+
+  HandlerOptions opts;
+  opts.ephemeral = true;
+  auto r2 = ev.Install([](int) {}, nullptr, opts);
+  EXPECT_TRUE(r2.ok());
+}
+
+TEST(Event, TimeLimitRequiresEphemeral) {
+  Event<int> ev("Test.Event");
+  HandlerOptions opts;
+  opts.time_limit = sim::Duration::Micros(10);
+  auto r = ev.Install([](int) {}, nullptr, opts);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Event, OverBudgetHandlerIsTerminated) {
+  Event<int> ev("Test.Event");
+  int ran = 0, terminated = 0;
+  HandlerOptions opts;
+  opts.ephemeral = true;
+  opts.declared_cost = sim::Duration::Micros(100);
+  opts.time_limit = sim::Duration::Micros(10);
+  opts.on_terminated = [&] { ++terminated; };
+  auto id = ev.Install([&](int) { ++ran; }, nullptr, opts);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(ev.Raise(1), 0u);  // terminated handlers don't count as invoked
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(terminated, 1);
+  EXPECT_EQ(ev.stats(id.value()).terminations, 1u);
+}
+
+TEST(Event, WithinBudgetHandlerRuns) {
+  Event<int> ev("Test.Event");
+  int ran = 0;
+  HandlerOptions opts;
+  opts.ephemeral = true;
+  opts.declared_cost = sim::Duration::Micros(5);
+  opts.time_limit = sim::Duration::Micros(10);
+  ASSERT_TRUE(ev.Install([&](int) { ++ran; }, nullptr, opts).ok());
+  EXPECT_EQ(ev.Raise(1), 1u);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Event, StatsTrackGuardRejections) {
+  Event<int> ev("Test.Event");
+  auto id = ev.Install([](int) {}, [](int v) { return v > 5; });
+  ASSERT_TRUE(id.ok());
+  ev.Raise(1);
+  ev.Raise(9);
+  auto st = ev.stats(id.value());
+  EXPECT_EQ(st.invocations, 1u);
+  EXPECT_EQ(st.guard_rejections, 1u);
+}
+
+TEST(Event, PassesMbufByConstRef) {
+  // The paper's READONLY buffers: handlers get const Mbuf& and cannot
+  // mutate without an explicit DeepCopy.
+  Event<const Mbuf&> ev("Ethernet.PacketRecv");
+  std::string seen;
+  ev.Install([&](const Mbuf& m) {
+    seen = m.ToString();
+    MbufPtr copy = m.DeepCopy();  // the only mutation path
+    copy->CopyIn(0, {reinterpret_cast<const std::byte*>("X"), 1});
+  });
+  MbufPtr m = Mbuf::FromString("ro");
+  ev.Raise(*m);
+  EXPECT_EQ(seen, "ro");
+  EXPECT_EQ(m->ToString(), "ro");
+}
+
+TEST(Dispatcher, ChargesCostsToHostTask) {
+  sim::Simulator s;
+  sim::Host h(s, "alpha", sim::CostModel::Default1996());
+  Dispatcher d(&h);
+  Event<int> ev("Test.Event", &d);
+  ev.Install([](int) {}, [](int) { return true; });
+
+  h.Submit(sim::Priority::kKernel, [&] { ev.Raise(1); });
+  s.Run();
+  const auto& cm = h.costs();
+  EXPECT_EQ(h.cpu().busy_total().ns(), (cm.guard_eval + cm.event_dispatch).ns());
+  auto st = d.stats();
+  EXPECT_EQ(st.raises, 1u);
+  EXPECT_EQ(st.guard_evals, 1u);
+  EXPECT_EQ(st.handler_invocations, 1u);
+}
+
+TEST(Dispatcher, CountsAcrossEvents) {
+  Dispatcher d(nullptr);
+  Event<int> a("A", &d), b("B", &d);
+  a.Install([](int) {}, [](int v) { return v > 0; });
+  b.Install([](int) {});
+  a.Raise(1);
+  a.Raise(-1);
+  b.Raise(0);
+  auto st = d.stats();
+  EXPECT_EQ(st.raises, 3u);
+  EXPECT_EQ(st.handler_invocations, 2u);
+  EXPECT_EQ(st.guard_rejections, 1u);
+}
+
+TEST(Ephemeral, ScopeDetectsBlockingCall) {
+  EXPECT_NO_THROW(AssertMayBlock());
+  {
+    EphemeralScope scope;
+    EXPECT_TRUE(EphemeralScope::active());
+    EXPECT_THROW(AssertMayBlock("test wait"), EphemeralViolation);
+  }
+  EXPECT_FALSE(EphemeralScope::active());
+  EXPECT_NO_THROW(AssertMayBlock());
+}
+
+TEST(Ephemeral, EventRunsEphemeralHandlerInScope) {
+  Event<> ev("Test.Interrupt");
+  ev.set_requires_ephemeral(true);
+  bool was_active = false;
+  HandlerOptions opts;
+  opts.ephemeral = true;
+  ASSERT_TRUE(ev.Install([&] { was_active = EphemeralScope::active(); }, nullptr, opts).ok());
+  ev.Raise();
+  EXPECT_TRUE(was_active);
+  EXPECT_FALSE(EphemeralScope::active());
+}
+
+TEST(Ephemeral, BlockingInsideEphemeralHandlerThrows) {
+  Event<> ev("Test.Interrupt");
+  HandlerOptions opts;
+  opts.ephemeral = true;
+  ASSERT_TRUE(ev.Install([] { AssertMayBlock("socket wait"); }, nullptr, opts).ok());
+  EXPECT_THROW(ev.Raise(), EphemeralViolation);
+}
+
+TEST(Domain, ExportAndResolve) {
+  auto d = Domain::Create("kernel");
+  d->Export("Mbuf.Allocate", std::string("alloc-iface"));
+  EXPECT_TRUE(d->Contains("Mbuf.Allocate"));
+  EXPECT_FALSE(d->Contains("VM.MapPage"));
+  auto v = d->ResolveAs<std::string>("Mbuf.Allocate");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "alloc-iface");
+}
+
+TEST(Domain, ImportMakesSymbolsVisible) {
+  auto base = Domain::Create("base");
+  base->Export("Ethernet.PacketRecv", 1);
+  auto app = Domain::Create("app");
+  app->Import(base);
+  EXPECT_TRUE(app->Contains("Ethernet.PacketRecv"));
+  // Later exports into the imported domain are visible too.
+  base->Export("Ethernet.PacketSend", 2);
+  EXPECT_TRUE(app->Contains("Ethernet.PacketSend"));
+}
+
+TEST(Domain, OwnSymbolsExcludesImports) {
+  auto base = Domain::Create("base");
+  base->Export("X", 1);
+  auto app = Domain::Create("app");
+  app->Export("Y", 2);
+  app->Import(base);
+  auto own = app->OwnSymbols();
+  EXPECT_EQ(own.size(), 1u);
+  EXPECT_EQ(own[0], "Y");
+}
+
+TEST(Domain, CloneIsIndependentCapability) {
+  auto d = Domain::Create("orig");
+  d->Export("A", 1);
+  auto c = d->Clone("copy");
+  c->Export("B", 2);
+  EXPECT_TRUE(c->Contains("A"));
+  EXPECT_TRUE(c->Contains("B"));
+  EXPECT_FALSE(d->Contains("B"));
+}
+
+TEST(Linker, LinkResolvesImportsAndRunsInit) {
+  DynamicLinker linker;
+  auto domain = Domain::Create("net-extensions");
+  domain->Export("Udp.InstallHandler", std::string("udp"));
+
+  bool init_ran = false;
+  Extension ext("my-protocol");
+  ext.Require("Udp.InstallHandler").OnInit([&](const SymbolTable& t) {
+    init_ran = true;
+    EXPECT_EQ(t.GetAs<std::string>("Udp.InstallHandler"), "udp");
+  });
+  auto r = linker.Link(std::move(ext), domain);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_TRUE(init_ran);
+  EXPECT_EQ(linker.loaded_count(), 1u);
+}
+
+TEST(Linker, LinkFailsOnUnresolvedSymbol) {
+  DynamicLinker linker;
+  auto domain = Domain::Create("restricted");
+  domain->Export("Udp.InstallHandler", 1);
+
+  bool init_ran = false;
+  Extension ext("snooper");
+  ext.Require("Udp.InstallHandler")
+      .Require("Ethernet.RawAccess")  // not in the domain
+      .OnInit([&](const SymbolTable&) { init_ran = true; });
+  auto r = linker.Link(std::move(ext), domain);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("Ethernet.RawAccess"), std::string::npos);
+  EXPECT_FALSE(init_ran);
+  EXPECT_EQ(linker.loaded_count(), 0u);
+}
+
+TEST(Linker, UnsignedExtensionRejected) {
+  DynamicLinker linker;
+  auto domain = Domain::Create("d");
+  Extension ext("hand-written-asm");
+  ext.SetSigned(false);
+  auto r = linker.Link(std::move(ext), domain);
+  EXPECT_FALSE(r.ok());
+  // ... but the trusted escape hatch accepts it (vendor TCP/IP case).
+  Extension ext2("vendor-tcp");
+  ext2.SetSigned(false);
+  EXPECT_TRUE(linker.LinkUnsafe(std::move(ext2), domain).ok());
+}
+
+TEST(Linker, NullDomainRejected) {
+  DynamicLinker linker;
+  Extension ext("no-capability");
+  auto r = linker.Link(std::move(ext), nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Linker, UnlinkRunsCleanup) {
+  DynamicLinker linker;
+  auto domain = Domain::Create("d");
+  bool cleaned = false;
+  Extension ext("transient");
+  ext.OnCleanup([&] { cleaned = true; });
+  auto r = linker.Link(std::move(ext), domain);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(linker.Unlink(r.value()));
+  EXPECT_TRUE(cleaned);
+  EXPECT_EQ(linker.loaded_count(), 0u);
+  EXPECT_FALSE(linker.Unlink(r.value()));
+}
+
+TEST(Linker, InstallUninstallMidTrafficViaExtension) {
+  // Runtime adaptation: an extension installs a handler at link time and
+  // removes it at unlink time; traffic before/during/after confirms.
+  Event<int> packet_recv("Udp.PacketRecv");
+  DynamicLinker linker;
+  auto domain = Domain::Create("udp-domain");
+  domain->Export("Udp.PacketRecv", &packet_recv);
+
+  int received = 0;
+  HandlerId installed = kInvalidHandlerId;
+  Extension ext("counter");
+  ext.Require("Udp.PacketRecv")
+      .OnInit([&](const SymbolTable& t) {
+        auto* ev = t.GetAs<Event<int>*>("Udp.PacketRecv");
+        auto id = ev->Install([&](int) { ++received; });
+        installed = id.value();
+      })
+      .OnCleanup([&] { packet_recv.Uninstall(installed); });
+
+  packet_recv.Raise(0);  // before link: nobody listening
+  auto r = linker.Link(std::move(ext), domain);
+  ASSERT_TRUE(r.ok());
+  packet_recv.Raise(0);
+  packet_recv.Raise(0);
+  linker.Unlink(r.value());
+  packet_recv.Raise(0);  // after unlink
+  EXPECT_EQ(received, 2);
+}
+
+}  // namespace
+}  // namespace spin
