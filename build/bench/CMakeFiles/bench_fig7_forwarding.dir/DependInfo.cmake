@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_forwarding.cc" "bench/CMakeFiles/bench_fig7_forwarding.dir/fig7_forwarding.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_forwarding.dir/fig7_forwarding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/plexus_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/plexus_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/plexus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spin/CMakeFiles/plexus_spin.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/plexus_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/plexus_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivers/CMakeFiles/plexus_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/plexus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/plexus_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dispatch.dir/micro_dispatch.cc.o"
+  "CMakeFiles/bench_micro_dispatch.dir/micro_dispatch.cc.o.d"
+  "bench_micro_dispatch"
+  "bench_micro_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ephemeral.dir/micro_ephemeral.cc.o"
+  "CMakeFiles/bench_micro_ephemeral.dir/micro_ephemeral.cc.o.d"
+  "bench_micro_ephemeral"
+  "bench_micro_ephemeral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ephemeral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

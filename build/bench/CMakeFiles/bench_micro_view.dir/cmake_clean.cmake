@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_view.dir/micro_view.cc.o"
+  "CMakeFiles/bench_micro_view.dir/micro_view.cc.o.d"
+  "bench_micro_view"
+  "bench_micro_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_tcp_throughput.dir/tab1_tcp_throughput.cc.o"
+  "CMakeFiles/bench_tab1_tcp_throughput.dir/tab1_tcp_throughput.cc.o.d"
+  "bench_tab1_tcp_throughput"
+  "bench_tab1_tcp_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_tcp_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_web_http.dir/web_http.cc.o"
+  "CMakeFiles/bench_web_http.dir/web_http.cc.o.d"
+  "bench_web_http"
+  "bench_web_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_web_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

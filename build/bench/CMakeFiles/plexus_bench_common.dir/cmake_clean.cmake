@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plexus_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/plexus_bench_common.dir/bench_common.cc.o.d"
+  "libplexus_bench_common.a"
+  "libplexus_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plexus_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

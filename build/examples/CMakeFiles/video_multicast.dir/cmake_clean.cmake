@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_multicast.dir/video_multicast.cpp.o"
+  "CMakeFiles/video_multicast.dir/video_multicast.cpp.o.d"
+  "video_multicast"
+  "video_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

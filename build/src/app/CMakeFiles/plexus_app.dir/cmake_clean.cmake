@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plexus_app.dir/forwarder.cc.o"
+  "CMakeFiles/plexus_app.dir/forwarder.cc.o.d"
+  "CMakeFiles/plexus_app.dir/video.cc.o"
+  "CMakeFiles/plexus_app.dir/video.cc.o.d"
+  "libplexus_app.a"
+  "libplexus_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plexus_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plexus_core.dir/plexus.cc.o"
+  "CMakeFiles/plexus_core.dir/plexus.cc.o.d"
+  "libplexus_core.a"
+  "libplexus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plexus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

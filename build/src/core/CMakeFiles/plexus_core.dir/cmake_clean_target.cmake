@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplexus_core.a"
+)

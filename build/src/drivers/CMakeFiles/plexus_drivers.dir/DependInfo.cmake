@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drivers/disk.cc" "src/drivers/CMakeFiles/plexus_drivers.dir/disk.cc.o" "gcc" "src/drivers/CMakeFiles/plexus_drivers.dir/disk.cc.o.d"
+  "/root/repo/src/drivers/medium.cc" "src/drivers/CMakeFiles/plexus_drivers.dir/medium.cc.o" "gcc" "src/drivers/CMakeFiles/plexus_drivers.dir/medium.cc.o.d"
+  "/root/repo/src/drivers/nic.cc" "src/drivers/CMakeFiles/plexus_drivers.dir/nic.cc.o" "gcc" "src/drivers/CMakeFiles/plexus_drivers.dir/nic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/plexus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/plexus_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plexus_drivers.dir/disk.cc.o"
+  "CMakeFiles/plexus_drivers.dir/disk.cc.o.d"
+  "CMakeFiles/plexus_drivers.dir/medium.cc.o"
+  "CMakeFiles/plexus_drivers.dir/medium.cc.o.d"
+  "CMakeFiles/plexus_drivers.dir/nic.cc.o"
+  "CMakeFiles/plexus_drivers.dir/nic.cc.o.d"
+  "libplexus_drivers.a"
+  "libplexus_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plexus_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

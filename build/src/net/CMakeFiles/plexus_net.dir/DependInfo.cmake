@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cc" "src/net/CMakeFiles/plexus_net.dir/address.cc.o" "gcc" "src/net/CMakeFiles/plexus_net.dir/address.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/plexus_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/plexus_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/mbuf.cc" "src/net/CMakeFiles/plexus_net.dir/mbuf.cc.o" "gcc" "src/net/CMakeFiles/plexus_net.dir/mbuf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

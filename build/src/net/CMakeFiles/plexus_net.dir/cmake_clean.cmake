@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plexus_net.dir/address.cc.o"
+  "CMakeFiles/plexus_net.dir/address.cc.o.d"
+  "CMakeFiles/plexus_net.dir/checksum.cc.o"
+  "CMakeFiles/plexus_net.dir/checksum.cc.o.d"
+  "CMakeFiles/plexus_net.dir/mbuf.cc.o"
+  "CMakeFiles/plexus_net.dir/mbuf.cc.o.d"
+  "libplexus_net.a"
+  "libplexus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plexus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

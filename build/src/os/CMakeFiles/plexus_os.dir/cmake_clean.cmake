@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plexus_os.dir/socket_host.cc.o"
+  "CMakeFiles/plexus_os.dir/socket_host.cc.o.d"
+  "CMakeFiles/plexus_os.dir/sockets.cc.o"
+  "CMakeFiles/plexus_os.dir/sockets.cc.o.d"
+  "libplexus_os.a"
+  "libplexus_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plexus_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

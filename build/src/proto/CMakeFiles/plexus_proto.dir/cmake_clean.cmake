@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plexus_proto.dir/arp.cc.o"
+  "CMakeFiles/plexus_proto.dir/arp.cc.o.d"
+  "CMakeFiles/plexus_proto.dir/http.cc.o"
+  "CMakeFiles/plexus_proto.dir/http.cc.o.d"
+  "CMakeFiles/plexus_proto.dir/icmp.cc.o"
+  "CMakeFiles/plexus_proto.dir/icmp.cc.o.d"
+  "CMakeFiles/plexus_proto.dir/ip.cc.o"
+  "CMakeFiles/plexus_proto.dir/ip.cc.o.d"
+  "CMakeFiles/plexus_proto.dir/tcp.cc.o"
+  "CMakeFiles/plexus_proto.dir/tcp.cc.o.d"
+  "CMakeFiles/plexus_proto.dir/udp.cc.o"
+  "CMakeFiles/plexus_proto.dir/udp.cc.o.d"
+  "libplexus_proto.a"
+  "libplexus_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plexus_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

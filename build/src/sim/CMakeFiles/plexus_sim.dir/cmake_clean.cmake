@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plexus_sim.dir/cpu.cc.o"
+  "CMakeFiles/plexus_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/plexus_sim.dir/simulator.cc.o"
+  "CMakeFiles/plexus_sim.dir/simulator.cc.o.d"
+  "libplexus_sim.a"
+  "libplexus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plexus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

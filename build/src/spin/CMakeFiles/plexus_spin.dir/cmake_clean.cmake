@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plexus_spin.dir/linker.cc.o"
+  "CMakeFiles/plexus_spin.dir/linker.cc.o.d"
+  "libplexus_spin.a"
+  "libplexus_spin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plexus_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

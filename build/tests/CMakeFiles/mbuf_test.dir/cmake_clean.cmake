@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbuf_test.dir/mbuf_test.cc.o"
+  "CMakeFiles/mbuf_test.dir/mbuf_test.cc.o.d"
+  "mbuf_test"
+  "mbuf_test.pdb"
+  "mbuf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbuf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

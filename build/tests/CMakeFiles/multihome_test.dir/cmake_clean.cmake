@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihome_test.dir/multihome_test.cc.o"
+  "CMakeFiles/multihome_test.dir/multihome_test.cc.o.d"
+  "multihome_test"
+  "multihome_test.pdb"
+  "multihome_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihome_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

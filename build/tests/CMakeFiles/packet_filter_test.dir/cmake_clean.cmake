@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_filter_test.dir/packet_filter_test.cc.o"
+  "CMakeFiles/packet_filter_test.dir/packet_filter_test.cc.o.d"
+  "packet_filter_test"
+  "packet_filter_test.pdb"
+  "packet_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

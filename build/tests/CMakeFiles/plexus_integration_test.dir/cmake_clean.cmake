@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plexus_integration_test.dir/plexus_integration_test.cc.o"
+  "CMakeFiles/plexus_integration_test.dir/plexus_integration_test.cc.o.d"
+  "plexus_integration_test"
+  "plexus_integration_test.pdb"
+  "plexus_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plexus_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
