@@ -2,9 +2,12 @@
 // demonstrated with the active-message workload the paper uses, plus the
 // time-limit termination machinery.
 #include <cstdio>
+#include <stdexcept>
 
 #include "bench/bench_common.h"
 #include "drivers/medium.h"
+#include "sim/host.h"
+#include "spin/dispatcher.h"
 #include "spin/event.h"
 
 namespace {
@@ -78,5 +81,64 @@ int main() {
   std::printf("  shape: interrupt < thread and budget enforced: %s\n",
               (at_interrupt < in_thread && ran == 0 && terminated == 1000) ? "HOLDS"
                                                                            : "VIOLATED");
+
+  // Fault containment: a storm of misbehaving handlers (one throws, one
+  // burns CPU past its measured budget) next to a healthy one. The healthy
+  // handler must see every raise, the offenders must be quarantined after
+  // their strikes, and the CPU must be billed exactly dispatch + budget for
+  // each measured termination — no runaway charging.
+  bench::PrintHeader("fault containment under a misbehaving-extension storm");
+  sim::Simulator fsim;
+  sim::Host fhost(fsim, "bench", sim::CostModel::Default1996());
+  spin::Dispatcher fdisp(&fhost);
+  spin::Event<int> storm("Bench.FaultStorm", &fdisp);
+
+  int healthy_runs = 0, burner_completed = 0;
+  (void)storm.Install([&](int) { ++healthy_runs; });
+
+  spin::HandlerOptions crasher;
+  crasher.name = "crasher";
+  crasher.fault.isolate = true;
+  crasher.fault.max_strikes = 3;
+  (void)storm.Install([](int) { throw std::runtime_error("storm bug"); }, nullptr, crasher);
+
+  spin::HandlerOptions burner;
+  burner.name = "burner";
+  burner.ephemeral = true;
+  burner.declared_cost = sim::Duration::Micros(5);
+  burner.time_limit = sim::Duration::Micros(50);
+  burner.fault.isolate = true;
+  burner.fault.max_strikes = 3;
+  (void)storm.Install(
+      [&](int) {
+        fhost.Charge(sim::Duration::Millis(1));  // way past the 50us budget
+        ++burner_completed;                      // abandoned by the fence
+      },
+      nullptr, burner);
+
+  constexpr int kRaises = 1000;
+  fhost.Submit(sim::Priority::kKernel, [&] {
+    for (int i = 0; i < kRaises; ++i) storm.Raise(i);
+  });
+  fsim.Run();
+
+  const auto st = fdisp.stats();
+  // Billing: every surviving dispatch costs event_dispatch; each of the 3
+  // measured terminations additionally bills exactly the 50us budget.
+  const auto expected_busy =
+      sim::Duration::Nanos(fhost.costs().event_dispatch.ns() * (kRaises + 3 + 3)) +
+      sim::Duration::Micros(50 * 3);
+  std::printf("  %d raises: healthy=%d crasher faults=%llu burner terminations=%llu "
+              "quarantines=%llu\n",
+              kRaises, healthy_runs, static_cast<unsigned long long>(st.faults),
+              static_cast<unsigned long long>(st.terminations),
+              static_cast<unsigned long long>(st.quarantines));
+  std::printf("  cpu billed %.1f us (expected %.1f us)\n", fhost.cpu().busy_total().us(),
+              expected_busy.us());
+  const bool contained = healthy_runs == kRaises && burner_completed == 0 && st.faults == 3 &&
+                         st.terminations == 3 && st.quarantines == 2 &&
+                         fhost.cpu().busy_total().ns() == expected_busy.ns();
+  std::printf("  shape: healthy unaffected, offenders quarantined, billing exact: %s\n",
+              contained ? "HOLDS" : "VIOLATED");
   return 0;
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the suite under AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs every test. Catches the memory bugs the fault-containment machinery
+# must never introduce (use-after-free across handler quarantine, fence
+# lifetime mistakes during stack unwinding, ...).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPLEXUS_SANITIZE="address;undefined"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"

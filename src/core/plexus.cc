@@ -8,6 +8,18 @@
 
 namespace core {
 
+namespace {
+
+// Default containment for application-installed handlers: fence exceptions
+// at the dispatch boundary and quarantine after kDefaultMaxStrikes. A
+// caller-provided max_strikes (or a negative "never quarantine") wins.
+void ApplyAppFaultPolicy(spin::HandlerOptions& opts) {
+  opts.fault.isolate = true;
+  if (opts.fault.max_strikes == 0) opts.fault.max_strikes = kDefaultMaxStrikes;
+}
+
+}  // namespace
+
 // --- EthernetManager ---------------------------------------------------------
 
 EthernetManager::EthernetManager(PlexusHost& plexus, proto::EthLayer& eth)
@@ -32,6 +44,7 @@ spin::Result<spin::HandlerId> EthernetManager::InstallTypeHandler(
   auto guard = [ethertype](const net::Mbuf&, const net::EthernetHeader& hdr) {
     return hdr.type.value() == ethertype;
   };
+  ApplyAppFaultPolicy(opts);
   return packet_recv_.Install(std::move(handler), guard, std::move(opts));
 }
 
@@ -50,6 +63,7 @@ spin::Result<spin::HandlerId> EthernetManager::InstallFilteredHandler(
     return predicate.Eval(frame);
   };
   if (opts.name.empty()) opts.name = "filter:" + predicate.ToString();
+  ApplyAppFaultPolicy(opts);
   return packet_recv_.Install(std::move(handler), std::move(guard), std::move(opts));
 }
 
@@ -73,6 +87,24 @@ void IpManager::Output(net::MbufPtr payload, net::Ipv4Address dst, std::uint8_t 
                        net::Ipv4Address src_override) {
   ip_.Output(std::move(payload), src_override, dst, protocol);
 }
+
+spin::Result<spin::HandlerId> IpManager::InstallProtocolHandler(
+    std::uint8_t protocol,
+    std::function<void(const net::Mbuf&, const net::Ipv4Header&)> handler,
+    spin::HandlerOptions opts) {
+  if (protocol == net::ipproto::kIcmp || protocol == net::ipproto::kTcp ||
+      protocol == net::ipproto::kUdp) {
+    return spin::Errorf("InstallProtocolHandler: protocol " + std::to_string(protocol) +
+                        " is owned by a kernel manager");
+  }
+  auto guard = [protocol](const net::Mbuf&, const net::Ipv4Header& hdr) {
+    return hdr.protocol == protocol;
+  };
+  ApplyAppFaultPolicy(opts);
+  return packet_recv_.Install(std::move(handler), guard, std::move(opts));
+}
+
+bool IpManager::Uninstall(spin::HandlerId id) { return packet_recv_.Uninstall(id); }
 
 void IpManager::Reinject(net::MbufPtr packet, net::Ipv4Address dst) {
   auto route = ip_.routes().Lookup(dst);
@@ -119,6 +151,14 @@ spin::Result<spin::HandlerId> UdpEndpoint::InstallReceiveHandler(
   // to this endpoint's port reach the handler.
   auto guard = [port](const net::Mbuf&, const proto::UdpDatagram& info) {
     return info.dst_port == port;
+  };
+  ApplyAppFaultPolicy(opts);
+  // On quarantine the endpoint drops its claim on the (already
+  // auto-uninstalled) handler before the application learns about it.
+  opts.fault.on_quarantined = [this, user = std::move(opts.fault.on_quarantined)](
+                                  spin::HandlerId id, const spin::HandlerStats& st) {
+    std::erase(installed_, id);
+    if (user) user(id, st);
   };
   auto r = plexus_.udp().packet_recv().Install(std::move(handler), guard, std::move(opts));
   if (r.ok()) installed_.push_back(r.value());
@@ -316,6 +356,14 @@ spin::Result<spin::HandlerId> TcpManager::InstallSpecialImplementation(
       return false;
     }
   };
+  ApplyAppFaultPolicy(opts);
+  // Quarantine releases the special implementation's claimed ports, so the
+  // standard TCP implementation's guard admits them again.
+  opts.fault.on_quarantined = [this, user = std::move(opts.fault.on_quarantined)](
+                                  spin::HandlerId id, const spin::HandlerStats& st) {
+    special_ports_.erase(id);
+    if (user) user(id, st);
+  };
   auto r = packet_recv_.Install(std::move(handler), std::move(guard), std::move(opts));
   if (r.ok()) special_ports_[r.value()] = std::move(shared_ports);
   return r;
@@ -463,14 +511,22 @@ PlexusHost::PlexusHost(sim::Simulator& s, std::string name, sim::CostModel costs
 
 std::string PlexusHost::DescribeGraph() const {
   std::string out;
-  auto section = [&out](const std::string& event, const std::vector<std::string>& names) {
-    out += event + " (" + std::to_string(names.size()) + " handlers)\n";
-    for (const auto& n : names) out += "  - " + n + "\n";
+  auto section = [&out](const std::string& event, const std::vector<spin::HandlerInfo>& infos) {
+    std::size_t live = 0;
+    for (const auto& h : infos) live += h.alive ? 1 : 0;
+    out += event + " (" + std::to_string(live) + " handlers)\n";
+    for (const auto& h : infos) {
+      out += "  - " + h.name + " inv=" + std::to_string(h.stats.invocations) +
+             " term=" + std::to_string(h.stats.terminations) +
+             " faults=" + std::to_string(h.stats.faults);
+      if (h.stats.quarantined) out += " [quarantined]";
+      out += "\n";
+    }
   };
-  section("Ethernet.PacketRecv", eth_mgr_->packet_recv_.HandlerNames());
-  section("Ip.PacketRecv", ip_mgr_->packet_recv_.HandlerNames());
-  section("Udp.PacketRecv", udp_mgr_->packet_recv_.HandlerNames());
-  section("Tcp.PacketRecv", tcp_mgr_->packet_recv_.HandlerNames());
+  section("Ethernet.PacketRecv", eth_mgr_->packet_recv_.Describe());
+  section("Ip.PacketRecv", ip_mgr_->packet_recv_.Describe());
+  section("Udp.PacketRecv", udp_mgr_->packet_recv_.Describe());
+  section("Tcp.PacketRecv", tcp_mgr_->packet_recv_.Describe());
   return out;
 }
 

@@ -80,7 +80,19 @@ class PlexusHost;
 // protocol-specific manager, which ensures that applications neither spoof
 // nor snoop packets ... It installs event handlers and guards on the behalf
 // of untrusted applications." (Section 3.1)
+//
+// Fault containment: every manager assigns a default FaultPolicy to the
+// handlers it installs on behalf of applications — exceptions are fenced at
+// the dispatch boundary, and kDefaultMaxStrikes terminations/faults
+// quarantine the handler (Section 3.3's "asynchronously terminate an
+// over-budget handler", extended with strike-based removal). A caller may
+// pre-set fault.max_strikes (negative = never quarantine); its
+// on_quarantined callback is preserved, wrapped so the manager can release
+// guards and ports first.
 // ---------------------------------------------------------------------------
+
+// Strikes a manager allows an application handler before quarantining it.
+inline constexpr int kDefaultMaxStrikes = 3;
 
 // Ethernet manager: bottom of the graph. Owns Ethernet.PacketRecv and the
 // right to transmit raw frames. Applications may install EtherType-guarded
@@ -134,6 +146,16 @@ class IpManager {
   IpManager(PlexusHost& plexus, proto::Ipv4Layer& ip, proto::ArpService& arp);
 
   IpRecvEvent& packet_recv() { return packet_recv_; }
+
+  // Installs an application handler for one IP protocol number (an
+  // application-specific transport, Section 3.1). The manager builds the
+  // guard — the handler sees only its own protocol's packets — and refuses
+  // the kernel-owned protocols (ICMP/TCP/UDP).
+  spin::Result<spin::HandlerId> InstallProtocolHandler(
+      std::uint8_t protocol,
+      std::function<void(const net::Mbuf& payload, const net::Ipv4Header&)> handler,
+      spin::HandlerOptions opts = {});
+  bool Uninstall(spin::HandlerId id);
 
   // Privileged output (held by transport managers and trusted extensions).
   // src is overwritten with the host address unless the caller holds the

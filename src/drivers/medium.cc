@@ -10,29 +10,43 @@ namespace drivers {
 void PointToPointLink::Transmit(Nic* from, net::MbufPtr frame) {
   assert(taps_.size() == 2 && "point-to-point link needs exactly two taps");
   frame = MaybeCorrupt(std::move(frame));
+  auto shared = std::shared_ptr<net::Mbuf>(frame.release());
+  if (MaybeHold(from, shared)) return;  // released after the next transmit
+
   const int dir = (from == taps_[0]) ? 0 : 1;
   Nic* to = taps_[dir == 0 ? 1 : 0];
   const auto& profile = from->profile();
-  const std::size_t len = frame->PacketLength();
+  const std::size_t len = shared->PacketLength();
 
   const sim::TimePoint start = std::max(sim_.Now(), dir_free_[dir]);
   const sim::Duration ser = profile.SerializationDelay(len);
   dir_free_[dir] = start + ser;
 
+  const sim::TimePoint nominal_arrival = start + ser + profile.propagation;
   const int copies = FaultCopies();
-  auto shared = std::shared_ptr<net::Mbuf>(frame.release());
   for (int i = 0; i < copies; ++i) {
-    const sim::TimePoint arrival = start + ser + profile.propagation + Jitter();
+    const sim::TimePoint arrival = nominal_arrival + Jitter();
     sim_.ScheduleAt(arrival, [to, shared] {
       to->DeliverFromWire(net::MbufPtr(shared->ShareClone()), /*check_address=*/false);
+    });
+  }
+
+  if (auto [held_from, held] = TakeHeld(); held != nullptr) {
+    ++frames_carried_;
+    Nic* held_to = taps_[held_from == taps_[0] ? 1 : 0];
+    sim_.ScheduleAt(nominal_arrival + sim::Duration::Nanos(1), [held_to, held] {
+      held_to->DeliverFromWire(net::MbufPtr(held->ShareClone()), /*check_address=*/false);
     });
   }
 }
 
 void EthernetSegment::Transmit(Nic* from, net::MbufPtr frame) {
   frame = MaybeCorrupt(std::move(frame));
+  auto shared = std::shared_ptr<net::Mbuf>(frame.release());
+  if (MaybeHold(from, shared)) return;  // released after the next transmit
+
   const auto& profile = from->profile();
-  const std::size_t len = frame->PacketLength();
+  const std::size_t len = shared->PacketLength();
 
   // Half duplex: the segment carries one frame at a time. (Collisions are
   // modeled as serialization, which preserves throughput behavior without
@@ -41,14 +55,24 @@ void EthernetSegment::Transmit(Nic* from, net::MbufPtr frame) {
   const sim::Duration ser = profile.SerializationDelay(len);
   wire_free_ = start + ser;
 
+  const sim::TimePoint nominal_arrival = start + ser + profile.propagation;
   const int copies = FaultCopies();
-  auto shared = std::shared_ptr<net::Mbuf>(frame.release());
   for (int i = 0; i < copies; ++i) {
     for (Nic* tap : taps_) {
       if (tap == from) continue;
-      const sim::TimePoint arrival = start + ser + profile.propagation + Jitter();
+      const sim::TimePoint arrival = nominal_arrival + Jitter();
       sim_.ScheduleAt(arrival, [tap, shared] {
         tap->DeliverFromWire(net::MbufPtr(shared->ShareClone()), /*check_address=*/true);
+      });
+    }
+  }
+
+  if (auto [held_from, held] = TakeHeld(); held != nullptr) {
+    ++frames_carried_;
+    for (Nic* tap : taps_) {
+      if (tap == held_from) continue;
+      sim_.ScheduleAt(nominal_arrival + sim::Duration::Nanos(1), [tap, held] {
+        tap->DeliverFromWire(net::MbufPtr(held->ShareClone()), /*check_address=*/true);
       });
     }
   }

@@ -1,10 +1,12 @@
 // Transmission media connecting NICs: point-to-point links and a shared
 // Ethernet segment, with optional fault injection (loss, duplication,
-// jitter) for protocol robustness tests.
+// corruption, jitter, reordering) for protocol robustness tests.
 #ifndef PLEXUS_DRIVERS_MEDIUM_H_
 #define PLEXUS_DRIVERS_MEDIUM_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "net/mbuf.h"
@@ -21,6 +23,7 @@ struct Faults {
   double drop_probability = 0.0;
   double duplicate_probability = 0.0;
   double corrupt_probability = 0.0;  // flip one random byte of the frame
+  double reorder_probability = 0.0;  // hold the frame, deliver after the next one
   sim::Duration jitter_max = sim::Duration::Zero();  // extra uniform delay
 };
 
@@ -43,6 +46,7 @@ class Medium {
   std::uint64_t frames_dropped() const { return frames_dropped_; }
   std::uint64_t frames_carried() const { return frames_carried_; }
   std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+  std::uint64_t frames_reordered() const { return frames_reordered_; }
 
  protected:
   // Applies the fault model; returns the number of copies to deliver
@@ -62,6 +66,30 @@ class Medium {
   sim::Duration Jitter() {
     if (faults_.jitter_max.is_zero()) return sim::Duration::Zero();
     return rng_.UniformDuration(sim::Duration::Zero(), faults_.jitter_max);
+  }
+
+  // Reordering: at most one frame is held at a time; a held frame skips
+  // delivery and is released just after the *next* transmitted frame's
+  // arrival (so the two swap places on the wire). A frame held when the
+  // simulation ends is never delivered — indistinguishable from tail loss,
+  // which upper layers must tolerate anyway.
+  bool MaybeHold(Nic* from, std::shared_ptr<net::Mbuf> frame) {
+    if (faults_.reorder_probability <= 0.0 || held_frame_ != nullptr ||
+        !rng_.Bernoulli(faults_.reorder_probability)) {
+      return false;
+    }
+    ++frames_reordered_;
+    held_from_ = from;
+    held_frame_ = std::move(frame);
+    return true;
+  }
+
+  // Returns {original sender, frame} of the held frame, clearing the hold.
+  std::pair<Nic*, std::shared_ptr<net::Mbuf>> TakeHeld() {
+    auto out = std::make_pair(held_from_, std::move(held_frame_));
+    held_from_ = nullptr;
+    held_frame_ = nullptr;
+    return out;
   }
 
   // Possibly corrupts a frame in place (returns a clone with one byte
@@ -88,6 +116,9 @@ class Medium {
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_carried_ = 0;
   std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t frames_reordered_ = 0;
+  Nic* held_from_ = nullptr;
+  std::shared_ptr<net::Mbuf> held_frame_;
 };
 
 // Full-duplex point-to-point link (the ATM virtual circuit through the

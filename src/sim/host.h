@@ -19,6 +19,22 @@
 
 namespace sim {
 
+// A budget fence bounds the CPU time the code it brackets may charge.
+// While a fence is active, every Charge() accrues against its limit; the
+// charge that would cross the limit is truncated to exactly the remaining
+// budget (so the CPU is billed precisely the budget, no more) and the
+// fence's on_exceeded callback fires. The callback is expected to throw —
+// that is how the SPIN dispatcher asynchronously terminates an over-budget
+// handler mid-execution (paper Section 3.3). Fences nest: an inner fence
+// also accrues against every enclosing one, and the tightest fence trips.
+struct BudgetFence {
+  Duration limit;
+  Duration used;
+  std::function<void()> on_exceeded;  // must throw; re-fires if the fenced
+                                      // code swallows it and charges again
+  BudgetFence* prev = nullptr;
+};
+
 class Host {
  public:
   Host(Simulator& s, std::string name, CostModel costs, std::uint64_t seed = 1)
@@ -48,10 +64,43 @@ class Host {
   }
 
   // Records d of CPU time against the currently running task. Must only be
-  // called from within work submitted via Submit().
+  // called from within work submitted via Submit(). If a budget fence is
+  // active the charge is measured against it; crossing the tightest limit
+  // bills exactly the remaining budget and invokes that fence's
+  // on_exceeded (which throws, abandoning the fenced code's remaining side
+  // effects).
   void Charge(Duration d) {
     assert(current_ != nullptr && "Charge() outside of a CPU task");
-    current_->Charge(d);
+    if (fence_ == nullptr) {
+      current_->Charge(d);
+      return;
+    }
+    // Find the tightest remaining budget across active fences. A charge
+    // that lands exactly on a limit is still within budget; only exceeding
+    // it trips the fence.
+    Duration allow = d;
+    BudgetFence* tripped = nullptr;
+    for (BudgetFence* f = fence_; f != nullptr; f = f->prev) {
+      const Duration remaining = f->limit - f->used;
+      if (remaining < allow) {
+        allow = remaining;
+        tripped = f;
+      }
+    }
+    for (BudgetFence* f = fence_; f != nullptr; f = f->prev) f->used += allow;
+    current_->Charge(allow);
+    if (tripped != nullptr) tripped->on_exceeded();
+  }
+
+  // Activates / deactivates a budget fence for the current task. Strict
+  // stack discipline: the fence passed to Pop must be the innermost one.
+  void PushBudgetFence(BudgetFence* f) {
+    f->prev = fence_;
+    fence_ = f;
+  }
+  void PopBudgetFence(BudgetFence* f) {
+    assert(fence_ == f && "budget fences must pop in LIFO order");
+    fence_ = f->prev;
   }
 
   // Schedules fn for the completion instant of the current task.
@@ -73,6 +122,7 @@ class Host {
   Cpu cpu_;
   Random rng_;
   CpuContext* current_ = nullptr;
+  BudgetFence* fence_ = nullptr;  // innermost active fence (intrusive stack)
 };
 
 }  // namespace sim

@@ -43,19 +43,25 @@ class Dispatcher {
   void CountRaise() { ++raises_; }
   void CountGuardReject() { ++guard_rejections_; }
   void CountTermination() { ++terminations_; }
+  void CountFault() { ++faults_; }
+  void CountQuarantine() { ++quarantines_; }
 
   struct Stats {
     std::uint64_t raises = 0;
     std::uint64_t handler_invocations = 0;
     std::uint64_t guard_evals = 0;
     std::uint64_t guard_rejections = 0;
-    std::uint64_t terminations = 0;
+    std::uint64_t terminations = 0;  // over-budget handlers cut off mid-run
+    std::uint64_t faults = 0;        // exceptions fenced at the dispatch boundary
+    std::uint64_t quarantines = 0;   // handlers auto-uninstalled after max strikes
   };
   Stats stats() const {
-    return {raises_, handler_invocations_, guard_evals_, guard_rejections_, terminations_};
+    return {raises_,       handler_invocations_, guard_evals_, guard_rejections_,
+            terminations_, faults_,              quarantines_};
   }
   void ResetStats() {
-    raises_ = handler_invocations_ = guard_evals_ = guard_rejections_ = terminations_ = 0;
+    raises_ = handler_invocations_ = guard_evals_ = guard_rejections_ = terminations_ =
+        faults_ = quarantines_ = 0;
   }
 
  private:
@@ -65,6 +71,8 @@ class Dispatcher {
   std::uint64_t guard_evals_ = 0;
   std::uint64_t guard_rejections_ = 0;
   std::uint64_t terminations_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t quarantines_ = 0;
 };
 
 }  // namespace spin

@@ -19,12 +19,63 @@
 #define PLEXUS_SPIN_EPHEMERAL_H_
 
 #include <stdexcept>
+#include <string>
+
+#include "sim/host.h"
+#include "sim/time.h"
 
 namespace spin {
 
 class EphemeralViolation : public std::logic_error {
  public:
   using std::logic_error::logic_error;
+};
+
+// Thrown from inside sim::Host::Charge when a handler's measured CPU time
+// exceeds its manager-assigned budget: the asynchronous termination of
+// Section 3.3. Because EPHEMERAL handlers hold no locks and never block,
+// unwinding them mid-execution is safe; the dispatcher catches this at the
+// raise boundary, abandons the handler's remaining side effects, and moves
+// on to the next handler.
+class HandlerTerminated : public std::runtime_error {
+ public:
+  HandlerTerminated(const std::string& handler, sim::Duration limit)
+      : std::runtime_error("handler '" + handler + "' exceeded its " +
+                           std::to_string(limit.us()) + "us budget and was terminated"),
+        limit_(limit) {}
+
+  sim::Duration limit() const { return limit_; }
+
+ private:
+  sim::Duration limit_;
+};
+
+// RAII activation of a measured budget fence around one handler invocation.
+// A null host or zero limit makes the scope a no-op (free-running events
+// fall back to the declared-cost admission check).
+class BudgetScope {
+ public:
+  BudgetScope(sim::Host* host, sim::Duration limit, const std::string& handler_name)
+      : host_(host != nullptr && host->in_task() && limit > sim::Duration::Zero() ? host
+                                                                                 : nullptr) {
+    if (host_ == nullptr) return;
+    fence_.limit = limit;
+    fence_.used = sim::Duration::Zero();
+    fence_.on_exceeded = [handler_name, limit] { throw HandlerTerminated(handler_name, limit); };
+    host_->PushBudgetFence(&fence_);
+  }
+  // Runs during the unwind of a HandlerTerminated throw; must not throw.
+  ~BudgetScope() {
+    if (host_ != nullptr) host_->PopBudgetFence(&fence_);
+  }
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+
+  bool measured() const { return host_ != nullptr; }
+
+ private:
+  sim::Host* host_;
+  sim::BudgetFence fence_;
 };
 
 class EphemeralScope {

@@ -24,7 +24,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,18 +41,48 @@ namespace spin {
 using HandlerId = std::uint64_t;
 inline constexpr HandlerId kInvalidHandlerId = 0;
 
+struct HandlerStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t guard_rejections = 0;
+  std::uint64_t terminations = 0;  // cut off by the budget fence
+  std::uint64_t faults = 0;        // other exceptions fenced at the boundary
+  bool quarantined = false;
+  std::string last_fault;  // what() of the most recent termination/fault
+
+  std::uint64_t strikes() const { return terminations + faults; }
+};
+
+// Fault-containment policy for one handler, assigned by the protocol
+// manager that accepts the handler on behalf of an untrusted application.
+// With isolate set, anything escaping the handler (HandlerTerminated,
+// EphemeralViolation, net::ViewError, any std::exception) is caught at the
+// dispatch boundary and recorded as a fault instead of unwinding into the
+// interrupt path; the remaining handlers on the event still run. Each
+// termination or fault is a strike; after max_strikes the dispatcher
+// quarantines the handler: it is auto-uninstalled, the event keeps its
+// stats as a tombstone, and on_quarantined notifies the owning manager so
+// it can release guards and ports.
+struct FaultPolicy {
+  bool isolate = false;
+  int max_strikes = 0;  // <= 0: strikes accrue but never quarantine
+  std::function<void(HandlerId, const HandlerStats&)> on_quarantined;
+};
+
 struct HandlerOptions {
   bool ephemeral = false;
   sim::Duration declared_cost = sim::Duration::Zero();
   sim::Duration time_limit = sim::Duration::Zero();  // zero = unlimited
   std::string name;                                  // for stats/debugging
   std::function<void()> on_terminated;               // fired when over budget
+  FaultPolicy fault;
 };
 
-struct HandlerStats {
-  std::uint64_t invocations = 0;
-  std::uint64_t guard_rejections = 0;
-  std::uint64_t terminations = 0;
+// One row of Event::Describe(): live handlers plus quarantined tombstones.
+struct HandlerInfo {
+  HandlerId id = kInvalidHandlerId;
+  std::string name;
+  HandlerStats stats;
+  bool alive = false;
 };
 
 template <typename... Args>
@@ -97,6 +129,7 @@ class Event {
           it->alive = false;
           needs_sweep_ = true;
         } else {
+          Entomb(*it);
           entries_.erase(it);
         }
         return true;
@@ -107,7 +140,16 @@ class Event {
 
   // Raises the event: evaluates each handler's guard and invokes those that
   // pass, in installation order. Returns the number of handlers that ran to
-  // completion (terminated handlers do not count).
+  // completion (terminated and faulted handlers do not count).
+  //
+  // Fault containment: while a handler with a time limit runs, a measured
+  // budget fence is active — sim::Host::Charge trips it mid-handler once
+  // accumulated CPU time exceeds the limit, charging exactly the budget and
+  // abandoning the handler's remaining side effects. Handlers whose policy
+  // sets isolate additionally have every escaping exception fenced here, so
+  // one faulty extension degrades only itself, never the raise. Strikes
+  // accumulate per handler; crossing FaultPolicy::max_strikes quarantines
+  // it (auto-uninstall + tombstoned stats + on_quarantined notification).
   //
   // Reentrancy: handlers installed during a raise are not visited by that
   // raise (snapshot bound); handlers uninstalled during a raise are marked
@@ -129,33 +171,48 @@ class Event {
           continue;
         }
       }
-      if (e.opts.time_limit > sim::Duration::Zero() &&
+      sim::Host* host = dispatcher_ != nullptr ? dispatcher_->host() : nullptr;
+      const bool measurable =
+          host != nullptr && host->in_task() && e.opts.time_limit > sim::Duration::Zero();
+      if (!measurable && e.opts.time_limit > sim::Duration::Zero() &&
           e.opts.declared_cost > e.opts.time_limit) {
-        // Over budget: the handler is prematurely terminated. The budget it
+        // No measuring substrate (free-running event): fall back to the
+        // declared-cost admission check. The budget the handler would have
         // burned before termination is still charged to the CPU.
-        ++e.stats.terminations;
-        if (dispatcher_ != nullptr) {
-          dispatcher_->CountTermination();
-          dispatcher_->Charge(e.opts.time_limit);
-        }
-        if (e.opts.on_terminated) e.opts.on_terminated();
+        if (dispatcher_ != nullptr) dispatcher_->Charge(e.opts.time_limit);
+        RecordTermination(e, HandlerTerminated(DisplayName(e), e.opts.time_limit));
         continue;
       }
-      if (dispatcher_ != nullptr) {
-        dispatcher_->ChargeDispatch();
-        dispatcher_->Charge(e.opts.declared_cost);
+      if (dispatcher_ != nullptr) dispatcher_->ChargeDispatch();
+      try {
+        // The fence brackets the declared entry charge and the handler body:
+        // termination strikes whenever *measured* time crosses the limit,
+        // whether at admission or deep inside the handler.
+        BudgetScope budget(measurable ? host : nullptr, e.opts.time_limit, DisplayName(e));
+        if (dispatcher_ != nullptr) dispatcher_->Charge(e.opts.declared_cost);
+        ++e.stats.invocations;
+        if (e.opts.ephemeral) {
+          EphemeralScope scope;
+          e.handler(args...);
+        } else {
+          e.handler(args...);
+        }
+        ++invoked;
+      } catch (const HandlerTerminated& t) {
+        RecordTermination(e, t);
+      } catch (const std::exception& ex) {
+        if (!e.opts.fault.isolate) throw;  // trusted handler: propagate
+        RecordFault(e, ex.what());
+      } catch (...) {
+        if (!e.opts.fault.isolate) throw;
+        RecordFault(e, "non-standard exception");
       }
-      ++e.stats.invocations;
-      if (e.opts.ephemeral) {
-        EphemeralScope scope;
-        e.handler(args...);
-      } else {
-        e.handler(args...);
-      }
-      ++invoked;
     }
     if (--raising_ == 0 && needs_sweep_) {
       needs_sweep_ = false;
+      for (const Entry& e : entries_) {
+        if (!e.alive) Entomb(e);
+      }
       std::erase_if(entries_, [](const Entry& e) { return !e.alive; });
     }
     return invoked;
@@ -169,10 +226,15 @@ class Event {
     return n;
   }
 
+  // Stats survive uninstall and quarantine: swept handlers leave a
+  // tombstone, so post-quarantine assertions and DescribeGraph report true
+  // counts instead of silently zeroed ones.
   HandlerStats stats(HandlerId id) const {
     for (const Entry& e : entries_) {
       if (e.id == id) return e.stats;
     }
+    auto it = tombstones_.find(id);
+    if (it != tombstones_.end()) return it->second.stats;
     return {};
   }
 
@@ -181,7 +243,22 @@ class Event {
     std::vector<std::string> out;
     for (const Entry& e : entries_) {
       if (!e.alive) continue;
-      out.push_back(e.opts.name.empty() ? ("handler#" + std::to_string(e.id)) : e.opts.name);
+      out.push_back(DisplayName(e));
+    }
+    return out;
+  }
+
+  // Live handlers in installation order, then quarantined tombstones:
+  // the per-handler view DescribeGraph renders.
+  std::vector<HandlerInfo> Describe() const {
+    std::vector<HandlerInfo> out;
+    for (const Entry& e : entries_) {
+      if (!e.alive) continue;
+      out.push_back(HandlerInfo{e.id, DisplayName(e), e.stats, /*alive=*/true});
+    }
+    for (const auto& [id, t] : tombstones_) {
+      if (!t.stats.quarantined) continue;  // plain uninstalls stay out of the graph view
+      out.push_back(HandlerInfo{id, t.name, t.stats, /*alive=*/false});
     }
     return out;
   }
@@ -195,11 +272,53 @@ class Event {
     HandlerStats stats;
     bool alive = true;
   };
+  struct Tombstone {
+    std::string name;
+    HandlerStats stats;
+  };
+
+  static std::string DisplayName(const Entry& e) {
+    return e.opts.name.empty() ? ("handler#" + std::to_string(e.id)) : e.opts.name;
+  }
+
+  void Entomb(const Entry& e) { tombstones_[e.id] = Tombstone{DisplayName(e), e.stats}; }
+
+  void RecordTermination(Entry& e, const HandlerTerminated& t) {
+    ++e.stats.terminations;
+    e.stats.last_fault = t.what();
+    if (dispatcher_ != nullptr) dispatcher_->CountTermination();
+    if (e.opts.on_terminated) e.opts.on_terminated();
+    MaybeQuarantine(e);
+  }
+
+  void RecordFault(Entry& e, const std::string& what) {
+    ++e.stats.faults;
+    e.stats.last_fault = what;
+    if (dispatcher_ != nullptr) dispatcher_->CountFault();
+    MaybeQuarantine(e);
+  }
+
+  // Strike-based quarantine: once terminations + faults reach the policy's
+  // max_strikes the handler is removed from the event (its stats persist as
+  // a tombstone) and the owning manager is notified.
+  void MaybeQuarantine(Entry& e) {
+    const auto& policy = e.opts.fault;
+    if (policy.max_strikes <= 0 || !e.alive) return;
+    if (e.stats.strikes() < static_cast<std::uint64_t>(policy.max_strikes)) return;
+    e.stats.quarantined = true;
+    e.alive = false;
+    needs_sweep_ = true;  // quarantine always happens inside a raise
+    if (dispatcher_ != nullptr) dispatcher_->CountQuarantine();
+    if (policy.on_quarantined) policy.on_quarantined(e.id, e.stats);
+  }
 
   std::string name_;
   Dispatcher* dispatcher_;
   bool requires_ephemeral_ = false;
   std::deque<Entry> entries_;
+  // Stats of removed handlers, keyed by id. The simulator's handler
+  // population is small and ids are never reused, so this stays bounded.
+  std::map<HandlerId, Tombstone> tombstones_;
   int raising_ = 0;
   bool needs_sweep_ = false;
   HandlerId next_id_ = 1;

@@ -68,24 +68,34 @@ TEST(CoreGraph, ThreadModeRunsHandlerOutsideEphemeralScope) {
   EXPECT_FALSE(in_scope);  // a thread handler may block: no scope
 }
 
-TEST(CoreGraph, BlockingCallInInterruptHandlerIsCaught) {
+TEST(CoreGraph, BlockingCallInInterruptHandlerIsFencedNotFatal) {
   // A handler that calls a blocking API inside the interrupt violates the
-  // EPHEMERAL contract and raises EphemeralViolation.
+  // EPHEMERAL contract. The violation is fenced at the dispatch boundary —
+  // recorded as a fault against the handler, never unwinding into the NIC
+  // interrupt path — so the rest of the host keeps working.
   Pair net;
   auto rx = net.b.udp().CreateEndpoint(7).value();
   spin::HandlerOptions opts;
   opts.ephemeral = true;  // claims to be ephemeral...
-  rx->InstallReceiveHandler(
+  auto id = rx->InstallReceiveHandler(
       [&](const net::Mbuf&, const proto::UdpDatagram&) {
         spin::AssertMayBlock("mutex wait");  // ...but blocks
       },
       opts);
+  ASSERT_TRUE(id.ok());
   auto tx = net.a.udp().CreateEndpoint(5000).value();
   net.a.Run([&] { tx->Send(net::Mbuf::FromString("x"), net::Ipv4Address(10, 0, 0, 2), 7); });
-  EXPECT_THROW(net.sim.RunFor(sim::Duration::Seconds(1)), spin::EphemeralViolation);
+  EXPECT_NO_THROW(net.sim.RunFor(sim::Duration::Seconds(1)));
+  const auto st = net.b.udp().packet_recv().stats(id.value());
+  EXPECT_EQ(st.faults, 1u);
+  EXPECT_NE(st.last_fault.find("EPHEMERAL"), std::string::npos);
+  EXPECT_EQ(net.b.dispatcher().stats().faults, 1u);
 }
 
 TEST(CoreGraph, TimeBudgetEnforcedOnGraphHandler) {
+  // The declared entry cost is measured against the budget fence, so the
+  // handler is terminated at admission — and after kDefaultMaxStrikes
+  // terminations the manager-assigned policy quarantines it.
   Pair net;
   int ran = 0, terminated = 0;
   auto rx = net.b.udp().CreateEndpoint(7).value();
@@ -94,9 +104,9 @@ TEST(CoreGraph, TimeBudgetEnforcedOnGraphHandler) {
   opts.declared_cost = sim::Duration::Millis(5);   // way over budget
   opts.time_limit = sim::Duration::Micros(100);    // manager-assigned limit
   opts.on_terminated = [&] { ++terminated; };
-  ASSERT_TRUE(rx->InstallReceiveHandler(
-                    [&](const net::Mbuf&, const proto::UdpDatagram&) { ++ran; }, opts)
-                  .ok());
+  auto id = rx->InstallReceiveHandler(
+      [&](const net::Mbuf&, const proto::UdpDatagram&) { ++ran; }, opts);
+  ASSERT_TRUE(id.ok());
   auto tx = net.a.udp().CreateEndpoint(5000).value();
   for (int i = 0; i < 3; ++i) {
     net.a.Run([&] { tx->Send(net::Mbuf::FromString("x"), net::Ipv4Address(10, 0, 0, 2), 7); });
@@ -104,6 +114,10 @@ TEST(CoreGraph, TimeBudgetEnforcedOnGraphHandler) {
   net.sim.RunFor(sim::Duration::Seconds(1));
   EXPECT_EQ(ran, 0);
   EXPECT_EQ(terminated, 3);
+  const auto st = net.b.udp().packet_recv().stats(id.value());
+  EXPECT_EQ(st.terminations, 3u);
+  EXPECT_TRUE(st.quarantined);  // kDefaultMaxStrikes == 3
+  EXPECT_EQ(net.b.dispatcher().stats().quarantines, 1u);
 }
 
 TEST(CoreGraph, ThreadModeChargesSpawnCosts) {

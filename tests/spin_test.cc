@@ -116,6 +116,8 @@ TEST(Event, TimeLimitRequiresEphemeral) {
 }
 
 TEST(Event, OverBudgetHandlerIsTerminated) {
+  // Free-running event (no host to measure against): the declared-cost
+  // admission check still terminates the handler.
   Event<int> ev("Test.Event");
   int ran = 0, terminated = 0;
   HandlerOptions opts;
@@ -129,6 +131,138 @@ TEST(Event, OverBudgetHandlerIsTerminated) {
   EXPECT_EQ(ran, 0);
   EXPECT_EQ(terminated, 1);
   EXPECT_EQ(ev.stats(id.value()).terminations, 1u);
+}
+
+TEST(Event, MeasuredBudgetTerminatesMidHandler) {
+  // With a host attached, enforcement is *measured*: the handler declares
+  // an innocent cost, runs within budget for a while, then crosses the
+  // limit mid-execution. The fence cuts it off at that instant, bills the
+  // CPU exactly the budget, and abandons the rest of the handler.
+  sim::Simulator s;
+  sim::Host h(s, "alpha", sim::CostModel::Default1996());
+  Dispatcher d(&h);
+  Event<int> ev("Test.Event", &d);
+
+  int entered = 0, completed = 0, terminated = 0;
+  HandlerOptions opts;
+  opts.ephemeral = true;
+  opts.declared_cost = sim::Duration::Micros(5);  // passes admission
+  opts.time_limit = sim::Duration::Micros(50);
+  opts.on_terminated = [&] { ++terminated; };
+  auto id = ev.Install(
+      [&](int) {
+        ++entered;
+        h.Charge(sim::Duration::Micros(40));  // 45us used: still fine
+        h.Charge(sim::Duration::Micros(40));  // would be 85us: fence trips
+        ++completed;                          // abandoned
+      },
+      nullptr, opts);
+  ASSERT_TRUE(id.ok());
+
+  h.Submit(sim::Priority::kKernel, [&] { EXPECT_EQ(ev.Raise(1), 0u); });
+  s.Run();
+
+  EXPECT_EQ(entered, 1);
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(terminated, 1);
+  const auto st = ev.stats(id.value());
+  EXPECT_EQ(st.terminations, 1u);
+  EXPECT_EQ(st.invocations, 1u);  // it did start running
+  // CPU billed: dispatch overhead + exactly the 50us budget, not the 85us
+  // the handler tried to burn.
+  EXPECT_EQ(h.cpu().busy_total().ns(),
+            (h.costs().event_dispatch + sim::Duration::Micros(50)).ns());
+}
+
+TEST(Event, ExceptionFenceIsolatesThrowingHandler) {
+  Dispatcher d(nullptr);
+  Event<int> ev("Test.Event", &d);
+  HandlerOptions bad;
+  bad.name = "bad";
+  bad.fault.isolate = true;
+  auto bad_id = ev.Install([](int) { throw std::runtime_error("bug"); }, nullptr, bad);
+  ASSERT_TRUE(bad_id.ok());
+  int healthy = 0;
+  ASSERT_TRUE(ev.Install([&](int) { ++healthy; }).ok());
+
+  EXPECT_NO_THROW(ev.Raise(1));
+  EXPECT_EQ(healthy, 1);  // the raise continued past the fault
+  const auto st = ev.stats(bad_id.value());
+  EXPECT_EQ(st.faults, 1u);
+  EXPECT_EQ(st.last_fault, "bug");
+  EXPECT_EQ(d.stats().faults, 1u);
+}
+
+TEST(Event, UnisolatedHandlerStillPropagates) {
+  // Without a fault policy (trusted kernel handler) exceptions escape the
+  // raise exactly as before.
+  Event<int> ev("Test.Event");
+  ev.Install([](int) { throw std::runtime_error("kernel bug"); });
+  EXPECT_THROW(ev.Raise(1), std::runtime_error);
+}
+
+TEST(Event, QuarantineAfterMaxStrikes) {
+  Dispatcher d(nullptr);
+  Event<int> ev("Test.Event", &d);
+  HandlerOptions opts;
+  opts.name = "flaky";
+  opts.fault.isolate = true;
+  opts.fault.max_strikes = 2;
+  HandlerId quarantined_id = kInvalidHandlerId;
+  HandlerStats quarantined_stats;
+  opts.fault.on_quarantined = [&](HandlerId id, const HandlerStats& st) {
+    quarantined_id = id;
+    quarantined_stats = st;
+  };
+  int entered = 0;
+  auto id = ev.Install(
+      [&](int) {
+        ++entered;
+        throw std::runtime_error("flaky bug");
+      },
+      nullptr, opts);
+  ASSERT_TRUE(id.ok());
+
+  for (int i = 0; i < 5; ++i) ev.Raise(i);
+  EXPECT_EQ(entered, 2);  // struck out after max_strikes, never ran again
+  EXPECT_EQ(ev.handler_count(), 0u);
+  EXPECT_EQ(quarantined_id, id.value());
+  EXPECT_EQ(quarantined_stats.faults, 2u);
+  EXPECT_TRUE(quarantined_stats.quarantined);
+  EXPECT_EQ(d.stats().quarantines, 1u);
+
+  // Tombstone: stats survive the sweep with true counts.
+  const auto st = ev.stats(id.value());
+  EXPECT_EQ(st.faults, 2u);
+  EXPECT_EQ(st.invocations, 2u);
+  EXPECT_TRUE(st.quarantined);
+  EXPECT_FALSE(ev.Uninstall(id.value()));  // already removed
+
+  // Describe still lists the tombstone.
+  bool found = false;
+  for (const auto& h : ev.Describe()) {
+    if (h.id == id.value()) {
+      found = true;
+      EXPECT_FALSE(h.alive);
+      EXPECT_EQ(h.name, "flaky");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Event, StatsSurviveUninstallAsTombstone) {
+  Event<int> ev("Test.Event");
+  int ran = 0;
+  auto id = ev.Install([&](int) { ++ran; });
+  ASSERT_TRUE(id.ok());
+  ev.Raise(1);
+  ev.Raise(2);
+  ASSERT_TRUE(ev.Uninstall(id.value()));
+  const auto st = ev.stats(id.value());
+  EXPECT_EQ(st.invocations, 2u);  // not silently zeroed
+  EXPECT_FALSE(st.quarantined);
+  // Plain uninstalls do not linger in the graph view.
+  EXPECT_TRUE(ev.Describe().empty());
 }
 
 TEST(Event, WithinBudgetHandlerRuns) {
