@@ -1,7 +1,10 @@
 #include "bench/bench_common.h"
 
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "app/forwarder.h"
@@ -9,10 +12,26 @@
 #include "drivers/medium.h"
 #include "os/socket_host.h"
 #include "os/sockets.h"
+#include "sim/tracer.h"
 
 namespace bench {
 
 namespace {
+
+// Arms the tracer before the run when the caller asked for it.
+void BeginCapture(sim::Simulator& sim, RunObservability* obs) {
+  if (obs != nullptr && obs->enable_tracing) sim.tracer().SetEnabled(true);
+}
+
+// Collects the per-host metrics snapshots and the tracer's ledgers after
+// the run. Hosts are labeled "a" (client/sender) and "b" (server/receiver).
+void EndCapture(sim::Simulator& sim, sim::Host& a, sim::Host& b, RunObservability* obs) {
+  if (obs == nullptr) return;
+  obs->metrics_json =
+      "{\"a\":" + a.metrics().ToJson() + ",\"b\":" + b.metrics().ToJson() + "}";
+  obs->charge_breakdown_json = sim.tracer().ExportChargeBreakdownJson();
+  if (obs->enable_tracing) obs->chrome_trace_json = sim.tracer().ExportChromeJson();
+}
 
 core::PlexusHost::NetConfig PNet(int id) {
   return {net::MacAddress::FromId(static_cast<std::uint32_t>(id)),
@@ -45,8 +64,10 @@ proto::TcpConfig TcpConfigFor(const drivers::DeviceProfile& profile) {
 }  // namespace
 
 double PlexusUdpRttUs(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
-                      core::HandlerMode mode, std::size_t payload, int pings) {
+                      core::HandlerMode mode, std::size_t payload, int pings,
+                      RunObservability* obs) {
   sim::Simulator sim;
+  BeginCapture(sim, obs);
   auto medium = MakeMedium(sim, profile);
   core::PlexusHost a(sim, "a", costs, profile, PNet(1), mode, 11);
   core::PlexusHost b(sim, "b", costs, profile, PNet(2), mode, 22);
@@ -84,12 +105,14 @@ double PlexusUdpRttUs(const drivers::DeviceProfile& profile, const sim::CostMode
       opts);
   send_ping();
   sim.RunFor(sim::Duration::Seconds(30));
+  EndCapture(sim, a.host(), b.host(), obs);
   return completed > 1 ? total_us / (completed - 1) : -1.0;
 }
 
 double OsUdpRttUs(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
-                  std::size_t payload, int pings) {
+                  std::size_t payload, int pings, RunObservability* obs) {
   sim::Simulator sim;
+  BeginCapture(sim, obs);
   auto medium = MakeMedium(sim, profile);
   os::SocketHost a(sim, "a", costs, profile, ONet(1), 11);
   os::SocketHost b(sim, "b", costs, profile, ONet(2), 22);
@@ -120,6 +143,7 @@ double OsUdpRttUs(const drivers::DeviceProfile& profile, const sim::CostModel& c
   });
   send_ping();
   sim.RunFor(sim::Duration::Seconds(30));
+  EndCapture(sim, a.host(), b.host(), obs);
   return completed > 1 ? total_us / (completed - 1) : -1.0;
 }
 
@@ -187,8 +211,10 @@ double MeasureTcpTransfer(std::size_t transfer_bytes, sim::Simulator& sim, Setup
 }  // namespace
 
 double PlexusTcpThroughputMbps(const drivers::DeviceProfile& profile,
-                               const sim::CostModel& costs, std::size_t transfer_bytes) {
+                               const sim::CostModel& costs, std::size_t transfer_bytes,
+                               RunObservability* obs) {
   sim::Simulator sim;
+  BeginCapture(sim, obs);
   auto medium = MakeMedium(sim, profile);
   core::PlexusHost a(sim, "a", costs, profile, PNet(1), core::HandlerMode::kInterrupt, 11);
   core::PlexusHost b(sim, "b", costs, profile, PNet(2), core::HandlerMode::kInterrupt, 22);
@@ -204,7 +230,7 @@ double PlexusTcpThroughputMbps(const drivers::DeviceProfile& profile,
   std::size_t queued = 0;
   std::function<void()> pump;  // function scope: callbacks reference it later
 
-  return MeasureTcpTransfer(transfer_bytes, sim, [&](auto on_data) {
+  const double mbps = MeasureTcpTransfer(transfer_bytes, sim, [&](auto on_data) {
     b.tcp().Listen(5001, [on_data](std::shared_ptr<core::PlexusTcpEndpoint> ep) {
       ep->SetOnData(on_data);
     });
@@ -225,11 +251,14 @@ double PlexusTcpThroughputMbps(const drivers::DeviceProfile& profile,
       sender->SetOnEstablished([&] { pump(); });
     });
   });
+  EndCapture(sim, a.host(), b.host(), obs);
+  return mbps;
 }
 
 double OsTcpThroughputMbps(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
-                           std::size_t transfer_bytes) {
+                           std::size_t transfer_bytes, RunObservability* obs) {
   sim::Simulator sim;
+  BeginCapture(sim, obs);
   auto medium = MakeMedium(sim, profile);
   os::SocketHost a(sim, "a", costs, profile, ONet(1), 11);
   os::SocketHost b(sim, "b", costs, profile, ONet(2), 22);
@@ -247,7 +276,7 @@ double OsTcpThroughputMbps(const drivers::DeviceProfile& profile, const sim::Cos
   std::size_t queued = 0;
   std::function<void()> pump;  // function scope: callbacks reference it later
 
-  return MeasureTcpTransfer(transfer_bytes, sim, [&](auto on_data) {
+  const double mbps = MeasureTcpTransfer(transfer_bytes, sim, [&](auto on_data) {
     listener = std::make_unique<os::TcpListener>(
         b, 5001, [&receiver, on_data](std::shared_ptr<os::TcpSocket> s) {
           receiver = s;
@@ -269,6 +298,8 @@ double OsTcpThroughputMbps(const drivers::DeviceProfile& profile, const sim::Cos
     };
     sender->SetOnEstablished([&] { pump(); });
   });
+  EndCapture(sim, a.host(), b.host(), obs);
+  return mbps;
 }
 
 double DriverThroughputMbps(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
@@ -471,6 +502,78 @@ ForwardingResult DuForwarding(const sim::CostModel& costs) {
   sim.RunFor(sim::Duration::Seconds(60));
   if (rtts > 0) result.request_rtt_us = rtt_total / rtts;
   return result;
+}
+
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// Fixed three-decimal rendering so the JSON is byte-stable across runs.
+std::string FormatMeasured(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonReporter::ToJson() const {
+  std::ostringstream out;
+  out << "{\"schema\":\"plexus-bench-v1\",\"records\":[";
+  bool first_record = true;
+  for (const BenchRecord& r : records_) {
+    if (!first_record) out << ',';
+    first_record = false;
+    out << "{\"experiment\":" << JsonQuote(r.experiment)
+        << ",\"device\":" << JsonQuote(r.device)
+        << ",\"system\":" << JsonQuote(r.system)
+        << ",\"metric\":" << JsonQuote(r.metric)
+        << ",\"unit\":" << JsonQuote(r.unit)
+        << ",\"measured\":" << FormatMeasured(r.measured)
+        << ",\"paper_expected\":" << JsonQuote(r.paper_expected);
+    // Captured blobs are already JSON; embed them verbatim.
+    if (!r.metrics_json.empty()) out << ",\"metrics\":" << r.metrics_json;
+    if (!r.charge_breakdown_json.empty()) {
+      out << ",\"charge_breakdown\":" << r.charge_breakdown_json;
+    }
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool JsonReporter::WriteTo(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << ToJson() << '\n';
+  return static_cast<bool>(f);
+}
+
+std::string ArgAfter(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return "";
 }
 
 }  // namespace bench

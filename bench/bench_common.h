@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/plexus.h"
 #include "drivers/device_profile.h"
@@ -16,16 +17,30 @@
 
 namespace bench {
 
+// --- observability capture -------------------------------------------------------
+
+// Optional in/out argument for the measurement functions below. Tracing
+// never perturbs the virtual clock, so a traced run measures exactly the
+// same numbers as an untraced one; it only adds the Chrome trace and the
+// per-category CPU breakdown to the capture.
+struct RunObservability {
+  bool enable_tracing = false;        // in: switch the simulator's tracer on
+  std::string metrics_json;           // out: {"a":{...},"b":{...}} per-host registry
+  std::string charge_breakdown_json;  // out: per-category virtual-ns ledger
+  std::string chrome_trace_json;      // out: chrome://tracing events (traced runs)
+};
+
 // --- Figure 5: UDP round-trip latency ------------------------------------------
 
 // Application-to-application RTT for `payload` bytes over `profile`, with
 // the application as an in-kernel Plexus extension.
 double PlexusUdpRttUs(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
-                      core::HandlerMode mode, std::size_t payload = 8, int pings = 16);
+                      core::HandlerMode mode, std::size_t payload = 8, int pings = 16,
+                      RunObservability* obs = nullptr);
 
 // Same workload through the monolithic baseline's sockets.
 double OsUdpRttUs(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
-                  std::size_t payload = 8, int pings = 16);
+                  std::size_t payload = 8, int pings = 16, RunObservability* obs = nullptr);
 
 // "the minimal round trip time using our hardware as measured between the
 // device drivers": raw frame echo at interrupt level, no protocol stack.
@@ -36,10 +51,12 @@ double DriverUdpRttUs(const drivers::DeviceProfile& profile, const sim::CostMode
 
 double PlexusTcpThroughputMbps(const drivers::DeviceProfile& profile,
                                const sim::CostModel& costs,
-                               std::size_t transfer_bytes = 4 * 1024 * 1024);
+                               std::size_t transfer_bytes = 4 * 1024 * 1024,
+                               RunObservability* obs = nullptr);
 
 double OsTcpThroughputMbps(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
-                           std::size_t transfer_bytes = 4 * 1024 * 1024);
+                           std::size_t transfer_bytes = 4 * 1024 * 1024,
+                           RunObservability* obs = nullptr);
 
 // Driver-to-driver blast (the paper's ~53 Mb/s reliable ceiling on ATM).
 double DriverThroughputMbps(const drivers::DeviceProfile& profile, const sim::CostModel& costs,
@@ -67,6 +84,40 @@ struct ForwardingResult {
 };
 ForwardingResult PlexusForwarding(const sim::CostModel& costs);
 ForwardingResult DuForwarding(const sim::CostModel& costs);
+
+// --- machine-readable output ------------------------------------------------------
+
+// One measured cell of a paper table/figure: what the paper printed next to
+// what this reproduction measured, plus optional captured observability.
+struct BenchRecord {
+  std::string experiment;      // e.g. "fig5_udp_rtt"
+  std::string device;          // device profile name
+  std::string system;          // e.g. "plexus-interrupt", "digital-unix"
+  std::string metric;          // e.g. "rtt", "throughput"
+  std::string unit;            // e.g. "us", "Mb/s"
+  double measured = 0;
+  std::string paper_expected;  // verbatim from the paper ("<600", "8.9", ...)
+  std::string metrics_json;            // raw JSON, "" = not captured
+  std::string charge_breakdown_json;   // raw JSON, "" = not captured
+};
+
+// Accumulates records and writes {"schema":"plexus-bench-v1","records":[...]}.
+// Output is deterministic: records in Add order, doubles printed with a
+// fixed format, captured JSON embedded verbatim.
+class JsonReporter {
+ public:
+  void Add(BenchRecord r) { records_.push_back(std::move(r)); }
+  std::string ToJson() const;
+  bool WriteTo(const std::string& path) const;
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+// Returns the operand following `flag` in argv ("" if absent): the benches
+// take `--json <path>` and `--trace <path>`.
+std::string ArgAfter(int argc, char** argv, const std::string& flag);
 
 // --- table formatting -------------------------------------------------------------
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the benchmarks and produces the machine-readable results:
+#   BENCH_fig5.json        Figure 5 UDP RTT cells (paper-expected vs measured,
+#                          per-host metrics, per-layer CPU breakdown)
+#   BENCH_tab1.json        Section 4.2 TCP throughput cells
+#   BENCH_fig5_trace.json  Chrome trace of the traced Ethernet ping-pong
+#                          (open in chrome://tracing or Perfetto)
+# Also runs the dispatch microbenchmark, whose exit status asserts that
+# disabled tracing adds no measurable cost to Event::Raise.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-.}"
+
+cmake -B "$BUILD_DIR" -S .  # RelWithDebInfo by default (top-level CMakeLists)
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+  bench_fig5_udp_latency bench_tab1_tcp_throughput bench_micro_dispatch
+
+"$BUILD_DIR/bench/bench_fig5_udp_latency" \
+  --json "$OUT_DIR/BENCH_fig5.json" --trace "$OUT_DIR/BENCH_fig5_trace.json"
+"$BUILD_DIR/bench/bench_tab1_tcp_throughput" --json "$OUT_DIR/BENCH_tab1.json"
+"$BUILD_DIR/bench/bench_micro_dispatch" --benchmark_min_time=0.05
+
+echo "bench artifacts: $OUT_DIR/BENCH_fig5.json $OUT_DIR/BENCH_tab1.json" \
+     "$OUT_DIR/BENCH_fig5_trace.json"

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Builds the suite under AddressSanitizer + UndefinedBehaviorSanitizer and
-# runs every test. Catches the memory bugs the fault-containment machinery
-# must never introduce (use-after-free across handler quarantine, fence
-# lifetime mistakes during stack unwinding, ...).
+# runs every test twice: once plain, once with PLEXUS_TRACE=1 so every
+# simulator runs with the tracer recording. Catches the memory bugs the
+# fault-containment and tracing machinery must never introduce
+# (use-after-free across handler quarantine, fence lifetime mistakes during
+# stack unwinding, dangling span frames across ring eviction, ...).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,3 +18,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+
+echo "=== second pass: tracer enabled (PLEXUS_TRACE=1) ==="
+PLEXUS_TRACE=1 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"

@@ -4,7 +4,6 @@
 
 #include "net/view.h"
 #include "proto/transport_checksum.h"
-#include "sim/trace.h"
 
 namespace core {
 
@@ -527,6 +526,9 @@ std::string PlexusHost::DescribeGraph() const {
   section("Ip.PacketRecv", ip_mgr_->packet_recv_.Describe());
   section("Udp.PacketRecv", udp_mgr_->packet_recv_.Describe());
   section("Tcp.PacketRecv", tcp_mgr_->packet_recv_.Describe());
+  // Everything the host's modules counted (spin.*, ip.*, nicN.*, ...)
+  // alongside the per-handler rows above.
+  out += "metrics: " + host_.metrics().ToJson() + "\n";
   return out;
 }
 

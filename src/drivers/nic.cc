@@ -4,22 +4,42 @@
 
 #include "net/headers.h"
 #include "net/view.h"
-#include "sim/trace.h"
 
 namespace drivers {
 
 Nic::Nic(sim::Host& host, DeviceProfile profile, net::MacAddress mac)
-    : host_(host), profile_(std::move(profile)), mac_(mac), index_(next_index_++) {}
+    : host_(host),
+      profile_(std::move(profile)),
+      mac_(mac),
+      metrics_prefix_(host.metrics().UniqueName("nic") + "."),
+      tx_frames_(host.metrics().counter(metrics_prefix_ + "tx_frames")),
+      tx_bytes_(host.metrics().counter(metrics_prefix_ + "tx_bytes")),
+      rx_frames_(host.metrics().counter(metrics_prefix_ + "rx_frames")),
+      rx_bytes_(host.metrics().counter(metrics_prefix_ + "rx_bytes")),
+      rx_filtered_(host.metrics().counter(metrics_prefix_ + "rx_filtered")),
+      index_(next_index_++) {}
+
+void Nic::ResetStats() {
+  tx_frames_.Reset();
+  tx_bytes_.Reset();
+  rx_frames_.Reset();
+  rx_bytes_.Reset();
+  rx_filtered_.Reset();
+}
 
 void Nic::Transmit(net::MbufPtr frame) {
   assert(medium_ != nullptr && "NIC not attached to a medium");
   assert(host_.in_task() && "Transmit must run inside a CPU task");
+  // A frame that reaches the wire untagged can never be followed; tag here
+  // so even packets originated below IP (ARP, raw ethernet) are traceable.
+  if (host_.tracing() && frame->pkthdr().trace_id == 0) {
+    frame->pkthdr().trace_id = host_.tracer().NextTraceId();
+  }
+  sim::TraceSpan span(host_, "nic.tx", "driver", frame->pkthdr().trace_id);
   const std::size_t len = frame->PacketLength();
   host_.Charge(profile_.TxCpuCost(len));
-  stats_.tx_frames++;
-  stats_.tx_bytes += len;
-  sim::Trace::Log(host_.Now(), "%s %s tx %zu bytes", host_.name().c_str(),
-                  profile_.name.c_str(), len);
+  tx_frames_.Inc();
+  tx_bytes_.Inc(len);
   // The frame reaches the wire when the CPU finishes issuing the I/O.
   auto shared = std::shared_ptr<net::Mbuf>(frame.release());
   host_.AfterTask([this, shared]() mutable {
@@ -33,23 +53,29 @@ void Nic::DeliverFromWire(net::MbufPtr frame, bool check_address) {
     try {
       auto hdr = net::ViewPacket<net::EthernetHeader>(*frame);
       if (hdr.dst != mac_ && !hdr.dst.IsBroadcast() && !hdr.dst.IsMulticast()) {
-        ++stats_.rx_filtered;
+        rx_filtered_.Inc();
         return;
       }
     } catch (const net::ViewError&) {
-      ++stats_.rx_filtered;  // runt frame
+      rx_filtered_.Inc();  // runt frame
       return;
     }
   }
   const std::size_t len = frame->PacketLength();
-  stats_.rx_frames++;
-  stats_.rx_bytes += len;
+  rx_frames_.Inc();
+  rx_bytes_.Inc(len);
   frame->pkthdr().rcvif = index_;
 
   // Raise the device interrupt: driver receive work runs at interrupt
   // priority; the callback is the bottom of the protocol graph.
   auto shared = std::shared_ptr<net::Mbuf>(frame.release());
   host_.Submit(sim::Priority::kInterrupt, [this, shared, len]() mutable {
+    if (host_.tracing() && shared->pkthdr().trace_id == 0) {
+      shared->pkthdr().trace_id = host_.tracer().NextTraceId();
+    }
+    const std::uint64_t tid = shared->pkthdr().trace_id;
+    sim::PacketTraceScope packet_scope(host_, tid);
+    sim::TraceSpan span(host_, "nic.rx", "driver", tid);
     const auto& cm = host_.costs();
     host_.Charge(cm.interrupt_entry);
     host_.Charge(profile_.RxCpuCost(len));

@@ -67,8 +67,16 @@ class Nic {
   // Called by the medium when a frame arrives at this tap (no task context).
   void DeliverFromWire(net::MbufPtr frame, bool check_address);
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  // Snapshot of the registry-backed counters ("<metrics_prefix>tx_frames"
+  // etc. in host.metrics()).
+  Stats stats() const {
+    return Stats{tx_frames_.value(), tx_bytes_.value(), rx_frames_.value(),
+                 rx_bytes_.value(), rx_filtered_.value()};
+  }
+  void ResetStats();
+  // "nic0.", "nic1.", ... — per-host ordinal, deterministic across runs
+  // (unlike index(), which is process-global).
+  const std::string& metrics_prefix() const { return metrics_prefix_; }
 
  private:
   sim::Host& host_;
@@ -76,7 +84,12 @@ class Nic {
   net::MacAddress mac_;
   Medium* medium_ = nullptr;
   ReceiveCallback rx_callback_;
-  Stats stats_;
+  std::string metrics_prefix_;
+  sim::Counter& tx_frames_;
+  sim::Counter& tx_bytes_;
+  sim::Counter& rx_frames_;
+  sim::Counter& rx_bytes_;
+  sim::Counter& rx_filtered_;
   bool promiscuous_ = false;
   int index_;
 

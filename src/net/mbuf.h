@@ -126,6 +126,9 @@ class Mbuf {
   struct PacketHeader {
     int rcvif = -1;           // receiving interface index, -1 if locally built
     std::uint32_t flags = 0;  // consumer-defined
+    // Observability tag (sim::Tracer id); 0 = untraced. Follows the packet
+    // through copy/clone/split; reassembly restores the first fragment's id.
+    std::uint64_t trace_id = 0;
   };
   PacketHeader& pkthdr() { return pkthdr_; }
   const PacketHeader& pkthdr() const { return pkthdr_; }

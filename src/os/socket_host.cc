@@ -138,14 +138,26 @@ void SocketHost::Syscall(std::size_t copy_bytes, std::function<void()> kernel_wo
   host_.Submit(sim::Priority::kKernel,
                [this, copy_bytes, kernel_work = std::move(kernel_work)] {
                  const auto& cm = host_.costs();
-                 host_.Charge(cm.syscall_entry);
+                 syscalls_.Inc();
+                 {
+                   sim::TraceSpan trap(host_, "syscall.entry", "trap");
+                   host_.Charge(cm.syscall_entry);
+                 }
                  if (copy_bytes > 0) {
+                   sim::TraceSpan copy(host_, "copyin", "copy");
+                   copyin_bytes_.Inc(copy_bytes);
                    host_.Charge(cm.copy_fixed +
                                 cm.copy_per_byte * static_cast<std::int64_t>(copy_bytes));
                  }
-                 host_.Charge(cm.socket_layer);
+                 {
+                   sim::TraceSpan sock(host_, "socket.send", "socket");
+                   host_.Charge(cm.socket_layer);
+                 }
                  kernel_work();
-                 host_.Charge(cm.syscall_exit);
+                 {
+                   sim::TraceSpan trap(host_, "syscall.exit", "trap");
+                   host_.Charge(cm.syscall_exit);
+                 }
                });
 }
 
@@ -153,16 +165,31 @@ void SocketHost::DeliverToUser(std::size_t bytes, std::function<void()> app_call
   const auto& cm = host_.costs();
   // Socket-buffer enqueue + PCB demux, charged to the receiving (kernel)
   // task that is currently executing.
-  if (host_.in_task()) host_.Charge(cm.socket_demux);
+  if (host_.in_task()) {
+    sim::TraceSpan demux(host_, "socket.demux", "socket");
+    host_.Charge(cm.socket_demux);
+  }
+  sched_wakeups_.Inc();
   // The blocked process becomes runnable after the scheduler wakeup latency,
   // then pays a context switch, the copyout, and the trap return.
   host_.simulator().Schedule(cm.sched_wakeup, [this, bytes,
                                                app_callback = std::move(app_callback)] {
     host_.Submit(sim::Priority::kThread, [this, bytes, app_callback = std::move(app_callback)] {
       const auto& costs = host_.costs();
-      host_.Charge(costs.context_switch);
-      host_.Charge(costs.copy_fixed + costs.copy_per_byte * static_cast<std::int64_t>(bytes));
-      host_.Charge(costs.syscall_exit);
+      context_switches_.Inc();
+      {
+        sim::TraceSpan cs(host_, "ctx.switch", "sched");
+        host_.Charge(costs.context_switch);
+      }
+      {
+        sim::TraceSpan copy(host_, "copyout", "copy");
+        copyout_bytes_.Inc(bytes);
+        host_.Charge(costs.copy_fixed + costs.copy_per_byte * static_cast<std::int64_t>(bytes));
+      }
+      {
+        sim::TraceSpan trap(host_, "syscall.exit", "trap");
+        host_.Charge(costs.syscall_exit);
+      }
       app_callback();
     });
   });

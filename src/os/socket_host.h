@@ -96,6 +96,13 @@ class SocketHost {
   int IfIndexForRcvif(int rcvif) const;
 
   sim::Host host_;
+  // "os.*" counters: the baseline's trap/copy/schedule activity (the very
+  // costs the paper's Section 4 breakdown charges against this structure).
+  sim::Counter& syscalls_ = host_.metrics().counter("os.syscalls");
+  sim::Counter& copyin_bytes_ = host_.metrics().counter("os.copyin_bytes");
+  sim::Counter& copyout_bytes_ = host_.metrics().counter("os.copyout_bytes");
+  sim::Counter& context_switches_ = host_.metrics().counter("os.context_switches");
+  sim::Counter& sched_wakeups_ = host_.metrics().counter("os.sched_wakeups");
   NetConfig net_config_;
   std::map<int, int> rcvif_to_if_index_;  // NIC global index -> if_index
   std::vector<Iface> ifaces_;             // [0] is the primary interface

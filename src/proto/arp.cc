@@ -2,12 +2,20 @@
 
 #include "net/view.h"
 #include "proto/eth.h"
-#include "sim/trace.h"
 
 namespace proto {
 
 ArpService::ArpService(sim::Host& host, EthLayer& eth, net::Ipv4Address my_ip, Config config)
-    : host_(host), eth_(eth), my_ip_(my_ip), config_(config) {}
+    : host_(host),
+      eth_(eth),
+      my_ip_(my_ip),
+      config_(config),
+      requests_sent_(host.metrics().counter("arp.requests_sent")),
+      replies_sent_(host.metrics().counter("arp.replies_sent")),
+      replies_received_(host.metrics().counter("arp.replies_received")),
+      resolution_failures_(host.metrics().counter("arp.resolution_failures")),
+      timeouts_(host.metrics().counter("arp.timeouts")),
+      retries_(host.metrics().counter("arp.retries")) {}
 
 void ArpService::AddStatic(net::Ipv4Address ip, net::MacAddress mac) {
   cache_[ip] = Entry{mac, sim::TimePoint::Max(), /*is_static=*/true};
@@ -34,8 +42,10 @@ void ArpService::Resolve(net::Ipv4Address ip, ResolveCallback cb) {
 }
 
 void ArpService::SendRequest(net::Ipv4Address ip) {
+  sim::TraceSpan span(host_, "arp.request", "arp");
   host_.Charge(host_.costs().arp_process);
   ++stats_.requests_sent;
+  requests_sent_.Inc();
 
   net::ArpPacket pkt;
   pkt.htype = 1;
@@ -60,7 +70,11 @@ void ArpService::SendRequest(net::Ipv4Address ip) {
 void ArpService::RequestTimeout(net::Ipv4Address ip) {
   auto it = pending_.find(ip);
   if (it == pending_.end()) return;
+  ++stats_.timeouts;
+  timeouts_.Inc();
   if (it->second.retries_left-- > 0) {
+    ++stats_.retries;
+    retries_.Inc();
     // Retransmit the request from a fresh kernel task.
     host_.Submit(sim::Priority::kKernel, [this, ip] {
       if (pending_.contains(ip)) SendRequest(ip);
@@ -68,12 +82,14 @@ void ArpService::RequestTimeout(net::Ipv4Address ip) {
     return;
   }
   ++stats_.resolution_failures;
+  resolution_failures_.Inc();
   auto waiters = std::move(it->second.waiters);
   pending_.erase(it);
   for (auto& cb : waiters) cb(std::nullopt);
 }
 
 void ArpService::Input(net::MbufPtr payload) {
+  sim::TraceSpan span(host_, "arp.input", "arp", payload->pkthdr().trace_id);
   host_.Charge(host_.costs().arp_process);
   net::ArpPacket pkt;
   try {
@@ -92,6 +108,7 @@ void ArpService::Input(net::MbufPtr payload) {
       auto waiters = std::move(p->second.waiters);
       pending_.erase(p);
       ++stats_.replies_received;
+      replies_received_.Inc();
       for (auto& cb : waiters) cb(pkt.sender_mac);
     }
   }
@@ -99,6 +116,7 @@ void ArpService::Input(net::MbufPtr payload) {
   if (pkt.op.value() == net::arpop::kRequest && pkt.target_ip == my_ip_) {
     // Reply with our mapping.
     ++stats_.replies_sent;
+    replies_sent_.Inc();
     net::ArpPacket reply;
     reply.htype = 1;
     reply.ptype = net::ethertype::kIpv4;

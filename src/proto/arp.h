@@ -51,6 +51,8 @@ class ArpService {
     std::uint64_t replies_sent = 0;
     std::uint64_t replies_received = 0;
     std::uint64_t resolution_failures = 0;
+    std::uint64_t timeouts = 0;  // request timer fired (retry or failure)
+    std::uint64_t retries = 0;   // retransmitted requests
   };
   const Stats& stats() const { return stats_; }
 
@@ -75,7 +77,14 @@ class ArpService {
   Config config_;
   std::unordered_map<net::Ipv4Address, Entry> cache_;
   std::unordered_map<net::Ipv4Address, Pending> pending_;
-  Stats stats_;
+  Stats stats_;  // per-service view; "arp.*" registry counters aggregate
+                 // across every ArpService on the host
+  sim::Counter& requests_sent_;
+  sim::Counter& replies_sent_;
+  sim::Counter& replies_received_;
+  sim::Counter& resolution_failures_;
+  sim::Counter& timeouts_;
+  sim::Counter& retries_;
 };
 
 }  // namespace proto

@@ -38,6 +38,7 @@ class EthLayer {
 
   // Frames `payload` and transmits. Must run inside a CPU task.
   void Output(net::MbufPtr payload, net::MacAddress dst, std::uint16_t ethertype) {
+    sim::TraceSpan span(host_, "eth.output", "eth", payload->pkthdr().trace_id);
     host_.Charge(host_.costs().eth_output);
     net::EthernetHeader hdr;
     hdr.dst = dst;
@@ -63,6 +64,7 @@ class EthLayer {
 
  private:
   void Input(net::MbufPtr frame) {
+    sim::TraceSpan span(host_, "eth.input", "eth", frame->pkthdr().trace_id);
     host_.Charge(host_.costs().eth_input);
     net::EthernetHeader hdr;
     try {

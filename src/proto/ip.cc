@@ -5,7 +5,6 @@
 
 #include "net/checksum.h"
 #include "net/view.h"
-#include "sim/trace.h"
 
 namespace proto {
 
@@ -29,13 +28,20 @@ bool VerifyChecksum(const net::Ipv4Header& hdr) {
 
 void Ipv4Layer::Output(net::MbufPtr payload, net::Ipv4Address src, net::Ipv4Address dst,
                        std::uint8_t protocol, std::uint8_t ttl) {
+  // Locally originated packets are tagged here, the top of the send path;
+  // the id rides the mbuf pkthdr down through framing and the NIC, and is
+  // shared by every fragment (Split copies the pkthdr).
+  if (host_.tracing() && payload->pkthdr().trace_id == 0) {
+    payload->pkthdr().trace_id = host_.tracer().NextTraceId();
+  }
+  sim::TraceSpan span(host_, "ip.output", "ip", payload->pkthdr().trace_id);
   host_.Charge(host_.costs().ip_output);
 
   // Route first: the outgoing interface determines the source address and
   // the MTU for fragmentation.
   auto route = routes_.Lookup(dst);
   if (!route) {
-    ++stats_.no_route;
+    no_route_.Inc();
     return;
   }
   const Interface out_iface = InterfaceInfo(route->if_index);
@@ -55,11 +61,14 @@ void Ipv4Layer::Output(net::MbufPtr payload, net::Ipv4Address src, net::Ipv4Addr
     hdr.total_length = static_cast<std::uint16_t>(sizeof(hdr) + payload_len);
     hdr.set_fragment(0, false);
     FinalizeChecksum(hdr);
-    // Header checksum cost (16 bit sum over 20 bytes).
-    host_.Charge(host_.costs().checksum_per_byte * static_cast<std::int64_t>(sizeof(hdr)));
+    {
+      // Header checksum cost (16 bit sum over 20 bytes).
+      sim::TraceSpan cks(host_, "ip.checksum", "checksum");
+      host_.Charge(host_.costs().checksum_per_byte * static_cast<std::int64_t>(sizeof(hdr)));
+    }
     auto room = payload->Prepend(sizeof(hdr));
     net::Store(room, hdr);
-    ++stats_.tx_packets;
+    tx_packets_.Inc();
     RouteAndTransmit(std::move(payload), dst);
     return;
   }
@@ -68,7 +77,7 @@ void Ipv4Layer::Output(net::MbufPtr payload, net::Ipv4Address src, net::Ipv4Addr
   // last.
   const std::size_t frag_payload = max_payload & ~std::size_t{7};
   std::size_t offset = 0;
-  ++stats_.tx_packets;
+  tx_packets_.Inc();
   net::MbufPtr rest = std::move(payload);
   while (rest != nullptr && rest->PacketLength() > 0) {
     const std::size_t remaining = rest->PacketLength();
@@ -80,10 +89,13 @@ void Ipv4Layer::Output(net::MbufPtr payload, net::Ipv4Address src, net::Ipv4Addr
     fh.total_length = static_cast<std::uint16_t>(sizeof(fh) + take);
     fh.set_fragment(offset, /*more=*/!last);
     FinalizeChecksum(fh);
-    host_.Charge(host_.costs().checksum_per_byte * static_cast<std::int64_t>(sizeof(fh)));
+    {
+      sim::TraceSpan cks(host_, "ip.checksum", "checksum");
+      host_.Charge(host_.costs().checksum_per_byte * static_cast<std::int64_t>(sizeof(fh)));
+    }
     auto room = rest->Prepend(sizeof(fh));
     net::Store(room, fh);
-    ++stats_.tx_fragments;
+    tx_fragments_.Inc();
     RouteAndTransmit(std::move(rest), dst);
 
     rest = std::move(tail);
@@ -94,7 +106,7 @@ void Ipv4Layer::Output(net::MbufPtr payload, net::Ipv4Address src, net::Ipv4Addr
 void Ipv4Layer::RouteAndTransmit(net::MbufPtr packet, net::Ipv4Address dst) {
   auto route = routes_.Lookup(dst);
   if (!route) {
-    ++stats_.no_route;
+    no_route_.Inc();
     return;
   }
   const net::Ipv4Address next_hop = route->next_hop.IsAny() ? dst : route->next_hop;
@@ -102,26 +114,30 @@ void Ipv4Layer::RouteAndTransmit(net::MbufPtr packet, net::Ipv4Address dst) {
 }
 
 void Ipv4Layer::Input(net::MbufPtr packet) {
+  sim::TraceSpan span(host_, "ip.input", "ip", packet->pkthdr().trace_id);
   host_.Charge(host_.costs().ip_input);
-  ++stats_.rx_packets;
+  rx_packets_.Inc();
 
   net::Ipv4Header hdr;
   try {
     hdr = net::ViewPacket<net::Ipv4Header>(*packet);
   } catch (const net::ViewError&) {
-    ++stats_.rx_bad_header;
+    rx_bad_header_.Inc();
     return;
   }
   if (hdr.version() != 4 || hdr.header_length() < sizeof(net::Ipv4Header) ||
       hdr.total_length.value() < hdr.header_length() ||
       hdr.total_length.value() > packet->PacketLength()) {
-    ++stats_.rx_bad_header;
+    rx_bad_header_.Inc();
     return;
   }
-  host_.Charge(host_.costs().checksum_per_byte *
-               static_cast<std::int64_t>(hdr.header_length()));
+  {
+    sim::TraceSpan cks(host_, "ip.checksum", "checksum");
+    host_.Charge(host_.costs().checksum_per_byte *
+                 static_cast<std::int64_t>(hdr.header_length()));
+  }
   if (!VerifyChecksum(hdr)) {
-    ++stats_.rx_bad_checksum;
+    rx_bad_checksum_.Inc();
     return;
   }
 
@@ -140,7 +156,7 @@ void Ipv4Layer::Input(net::MbufPtr packet) {
   }
 
   if (hdr.more_fragments() || hdr.fragment_offset_bytes() != 0) {
-    ++stats_.rx_fragments;
+    rx_fragments_.Inc();
     HandleFragment(std::move(packet), hdr);
     return;
   }
@@ -151,7 +167,7 @@ void Ipv4Layer::Input(net::MbufPtr packet) {
 
 void Ipv4Layer::ForwardPacket(net::MbufPtr packet, net::Ipv4Header hdr) {
   if (hdr.ttl <= 1) {
-    ++stats_.ttl_exceeded;
+    ttl_exceeded_.Inc();
     if (icmp_notify_) icmp_notify_(hdr, net::icmptype::kTimeExceeded, 0);
     return;
   }
@@ -163,7 +179,7 @@ void Ipv4Layer::ForwardPacket(net::MbufPtr packet, net::Ipv4Header hdr) {
       static_cast<std::uint16_t>((static_cast<std::uint16_t>(hdr.ttl) << 8) | hdr.protocol);
   hdr.checksum = net::ChecksumAdjust(hdr.checksum.value(), old_word, new_word);
   net::StorePacket(*packet, hdr);
-  ++stats_.forwarded;
+  forwarded_.Inc();
   RouteAndTransmit(std::move(packet), hdr.dst);
 }
 
@@ -172,8 +188,12 @@ void Ipv4Layer::HandleFragment(net::MbufPtr packet, const net::Ipv4Header& hdr) 
   auto [it, fresh] = reassembly_.try_emplace(key);
   ReasmBuf& buf = it->second;
   if (fresh) {
+    buf.trace_id = packet->pkthdr().trace_id;
     buf.timer = host_.simulator().Schedule(config_.reassembly_timeout, [this, key] {
-      if (reassembly_.erase(key) > 0) ++stats_.reassembly_timeouts;
+      if (reassembly_.erase(key) > 0) {
+        reassembly_timeouts_.Inc();
+        host_.TraceInstant("ip.reassembly_timeout", "ip");
+      }
     });
   }
 
@@ -206,13 +226,18 @@ void Ipv4Layer::HandleFragment(net::MbufPtr packet, const net::Ipv4Header& hdr) 
     std::memcpy(whole.data() + off, part.data(), n);
   }
   net::Ipv4Header first = buf.first_hdr;
+  const std::uint64_t trace_id = buf.trace_id;
   host_.simulator().Cancel(buf.timer);
   reassembly_.erase(it);
-  ++stats_.reassembled;
+  reassembled_.Inc();
 
   first.set_fragment(0, false);
   first.total_length = static_cast<std::uint16_t>(sizeof(net::Ipv4Header) + whole.size());
-  if (deliver_) deliver_(net::Mbuf::FromBytes(whole), first);
+  if (deliver_) {
+    auto reassembled = net::Mbuf::FromBytes(whole);
+    reassembled->pkthdr().trace_id = trace_id;  // FromBytes starts a fresh pkthdr
+    deliver_(std::move(reassembled), first);
+  }
 }
 
 }  // namespace proto

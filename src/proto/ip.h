@@ -83,7 +83,20 @@ class Ipv4Layer {
   using IcmpNotify = std::function<void(const net::Ipv4Header& hdr, std::uint8_t icmp_type,
                                         std::uint8_t code)>;
 
-  Ipv4Layer(sim::Host& host, Config config) : host_(host), config_(config) {}
+  Ipv4Layer(sim::Host& host, Config config)
+      : host_(host),
+        config_(config),
+        tx_packets_(host.metrics().counter("ip.tx_packets")),
+        tx_fragments_(host.metrics().counter("ip.tx_fragments")),
+        rx_packets_(host.metrics().counter("ip.rx_packets")),
+        rx_bad_checksum_(host.metrics().counter("ip.rx_bad_checksum")),
+        rx_bad_header_(host.metrics().counter("ip.rx_bad_header")),
+        rx_fragments_(host.metrics().counter("ip.rx_fragments")),
+        reassembled_(host.metrics().counter("ip.reassembled")),
+        reassembly_timeouts_(host.metrics().counter("ip.reassembly_timeouts")),
+        forwarded_(host.metrics().counter("ip.forwarded")),
+        ttl_exceeded_(host.metrics().counter("ip.ttl_exceeded")),
+        no_route_(host.metrics().counter("ip.no_route")) {}
 
   const Config& config() const { return config_; }
   net::Ipv4Address address() const { return config_.address; }
@@ -143,7 +156,15 @@ class Ipv4Layer {
     std::uint64_t ttl_exceeded = 0;
     std::uint64_t no_route = 0;
   };
-  const Stats& stats() const { return stats_; }
+  // Snapshot of the registry-backed "ip.*" counters in host.metrics().
+  Stats stats() const {
+    return Stats{tx_packets_.value(),    tx_fragments_.value(),
+                 rx_packets_.value(),    rx_bad_checksum_.value(),
+                 rx_bad_header_.value(), rx_fragments_.value(),
+                 reassembled_.value(),   reassembly_timeouts_.value(),
+                 forwarded_.value(),     ttl_exceeded_.value(),
+                 no_route_.value()};
+  }
 
   // Exposed for tests.
   std::size_t pending_reassemblies() const { return reassembly_.size(); }
@@ -161,6 +182,10 @@ class Ipv4Layer {
     net::Ipv4Header first_hdr;
     bool have_first = false;
     sim::EventId timer = sim::kInvalidEventId;
+    // Mbuf::FromBytes builds the reassembled packet with a fresh pkthdr;
+    // the first arriving fragment's trace id is stashed here and restored
+    // so a traced packet survives fragmentation end to end.
+    std::uint64_t trace_id = 0;
   };
 
   void RouteAndTransmit(net::MbufPtr packet, net::Ipv4Address dst);
@@ -176,7 +201,17 @@ class Ipv4Layer {
   IcmpNotify icmp_notify_;
   std::map<ReasmKey, ReasmBuf> reassembly_;
   std::uint16_t next_id_ = 1;
-  Stats stats_;
+  sim::Counter& tx_packets_;
+  sim::Counter& tx_fragments_;
+  sim::Counter& rx_packets_;
+  sim::Counter& rx_bad_checksum_;
+  sim::Counter& rx_bad_header_;
+  sim::Counter& rx_fragments_;
+  sim::Counter& reassembled_;
+  sim::Counter& reassembly_timeouts_;
+  sim::Counter& forwarded_;
+  sim::Counter& ttl_exceeded_;
+  sim::Counter& no_route_;
 };
 
 }  // namespace proto

@@ -6,7 +6,6 @@
 
 #include "net/view.h"
 #include "proto/transport_checksum.h"
-#include "sim/trace.h"
 
 namespace proto {
 
@@ -43,7 +42,11 @@ TcpConnection::TcpConnection(sim::Host& host, TcpConfig config, TcpEndpoints end
       endpoints_(endpoints),
       cb_(std::move(callbacks)),
       rto_(config.rto_initial),
-      effective_mss_(config.mss) {
+      effective_mss_(config.mss),
+      retransmissions_ctr_(host.metrics().counter("tcp.retransmissions")),
+      timeouts_ctr_(host.metrics().counter("tcp.timeouts")),
+      rto_backoffs_ctr_(host.metrics().counter("tcp.rto_backoffs")),
+      cwnd_hist_(host.metrics().histogram("tcp.cwnd_bytes")) {
   assert(config_.recv_window <= 65535 && "no window scaling in this era");
 }
 
@@ -156,9 +159,13 @@ void TcpConnection::EmitSegment(std::uint8_t flags, Seq seq, std::span<const std
   }
   if (!payload.empty()) m->CopyIn(hdr_len, payload);
 
+  sim::TraceSpan span(host_, "tcp.output", "tcp", m->pkthdr().trace_id);
   host_.Charge(host_.costs().tcp_output);
-  host_.Charge(host_.costs().checksum_per_byte *
-               static_cast<std::int64_t>(m->PacketLength()));
+  {
+    sim::TraceSpan cks(host_, "tcp.checksum", "checksum");
+    host_.Charge(host_.costs().checksum_per_byte *
+                 static_cast<std::int64_t>(m->PacketLength()));
+  }
   hdr.checksum = TransportChecksum(endpoints_.local_ip, endpoints_.remote_ip,
                                    net::ipproto::kTcp, *m);
   net::StorePacket(*m, hdr);
@@ -290,6 +297,7 @@ std::size_t TcpConnection::ParseMssOption(const net::Mbuf& segment,
 
 void TcpConnection::Input(net::MbufPtr segment, net::Ipv4Address src_ip,
                           net::Ipv4Address dst_ip) {
+  sim::TraceSpan span(host_, "tcp.input", "tcp", segment->pkthdr().trace_id);
   host_.Charge(host_.costs().tcp_input);
   ++stats_.segments_received;
 
@@ -304,8 +312,11 @@ void TcpConnection::Input(net::MbufPtr segment, net::Ipv4Address src_ip,
     return;
   }
 
-  host_.Charge(host_.costs().checksum_per_byte *
-               static_cast<std::int64_t>(segment->PacketLength()));
+  {
+    sim::TraceSpan cks(host_, "tcp.checksum", "checksum");
+    host_.Charge(host_.costs().checksum_per_byte *
+                 static_cast<std::int64_t>(segment->PacketLength()));
+  }
   if (TransportChecksum(src_ip, dst_ip, net::ipproto::kTcp, *segment) != 0) {
     ++stats_.bad_checksums;
     return;
@@ -498,11 +509,12 @@ void TcpConnection::ProcessAck(const net::TcpHeader& hdr) {
         const std::size_t len = std::min<std::size_t>(effective_mss_, send_buf_.size());
         if (len > 0) {
           ++stats_.fast_retransmits;
-          ++stats_.retransmissions;
+          NoteRetransmission();
           SendDataSegment(snd_una_, len, /*rtt_candidate=*/false);
           rtt_timing_ = false;  // Karn: retransmitted segment can't time RTT
         }
         cwnd_ = ssthresh_ + 3 * static_cast<std::uint32_t>(effective_mss_);
+        RecordCwndSample();
         in_fast_recovery_ = true;
       } else if (dupacks_ > 3 && in_fast_recovery_) {
         cwnd_ += static_cast<std::uint32_t>(effective_mss_);
@@ -529,6 +541,7 @@ void TcpConnection::ProcessAck(const net::TcpHeader& hdr) {
 
   if (in_fast_recovery_) {
     cwnd_ = ssthresh_;  // deflate
+    RecordCwndSample();
     in_fast_recovery_ = false;
   } else {
     OpenCongestionWindow(data_acked);
@@ -684,6 +697,8 @@ void TcpConnection::CancelRexmt() {
 void TcpConnection::OnRexmtTimeout() {
   if (state_ == State::kClosed || state_ == State::kListen || state_ == State::kTimeWait) return;
   ++stats_.timeouts;
+  timeouts_ctr_.Inc();
+  rto_backoffs_ctr_.Inc();
   if (++rexmt_backoff_ > kMaxRexmtBackoff) {
     EnterClosed("retransmission limit exceeded", /*was_reset=*/true);
     return;
@@ -692,11 +707,11 @@ void TcpConnection::OnRexmtTimeout() {
 
   switch (state_) {
     case State::kSynSent:
-      ++stats_.retransmissions;
+      NoteRetransmission();
       SendControl(net::tcpflag::kSyn, iss_, /*with_mss_option=*/true);
       break;
     case State::kSynReceived:
-      ++stats_.retransmissions;
+      NoteRetransmission();
       SendControl(net::tcpflag::kSyn | net::tcpflag::kAck, iss_, /*with_mss_option=*/true);
       break;
     default: {
@@ -705,6 +720,7 @@ void TcpConnection::OnRexmtTimeout() {
       ssthresh_ = std::max<std::uint32_t>(flight / 2,
                                           2 * static_cast<std::uint32_t>(effective_mss_));
       cwnd_ = static_cast<std::uint32_t>(effective_mss_);
+      RecordCwndSample();
       in_fast_recovery_ = false;
       dupacks_ = 0;
       if (!send_buf_.empty()) {
@@ -712,10 +728,10 @@ void TcpConnection::OnRexmtTimeout() {
         // window. A sent-but-unacked FIN will be re-emitted after the data.
         snd_nxt_ = snd_una_;
         if (fin_sent_) fin_sent_ = false;
-        ++stats_.retransmissions;
+        NoteRetransmission();
         TrySend();
       } else if (fin_sent_) {
-        ++stats_.retransmissions;
+        NoteRetransmission();
         SendControl(net::tcpflag::kFin | net::tcpflag::kAck, fin_seq_, false);
       }
       break;
@@ -808,6 +824,7 @@ void TcpConnection::OpenCongestionWindow(std::uint32_t acked_bytes) {
   }
   // Clamp to the send buffer scale to avoid silly growth.
   cwnd_ = std::min<std::uint32_t>(cwnd_, 1 << 24);
+  RecordCwndSample();
 }
 
 void TcpConnection::EnterClosed(const std::string& reason, bool was_reset) {

@@ -246,6 +246,21 @@ class TcpConnection {
 
   std::size_t effective_mss_;
   bool closed_reported_ = false;
+
+  // Host-level aggregates ("tcp.*" in host.metrics(), shared by every
+  // connection on the host); stats_ stays the per-connection view.
+  sim::Counter& retransmissions_ctr_;
+  sim::Counter& timeouts_ctr_;
+  sim::Counter& rto_backoffs_ctr_;
+  sim::Histogram& cwnd_hist_;
+
+  void NoteRetransmission() {
+    ++stats_.retransmissions;
+    retransmissions_ctr_.Inc();
+  }
+  void RecordCwndSample() {
+    cwnd_hist_.Observe(static_cast<std::int64_t>(cwnd_));
+  }
 };
 
 }  // namespace proto

@@ -10,6 +10,12 @@ UdpLayer::UdpLayer(sim::Host& host, Ipv4Layer& ip) : host_(host), ip_(ip) {}
 
 void UdpLayer::Output(net::MbufPtr payload, net::Ipv4Address src_ip, std::uint16_t src_port,
                       net::Ipv4Address dst_ip, std::uint16_t dst_port, bool checksum) {
+  // Tag at the top of the send path so the UDP/IP/eth/NIC spans below all
+  // carry the same packet id.
+  if (host_.tracing() && payload->pkthdr().trace_id == 0) {
+    payload->pkthdr().trace_id = host_.tracer().NextTraceId();
+  }
+  sim::TraceSpan span(host_, "udp.output", "udp", payload->pkthdr().trace_id);
   host_.Charge(host_.costs().udp_output);
   // Multi-homed hosts: the source is the outgoing interface's address (the
   // pseudo-header checksum must match what IP will put on the wire).
@@ -25,6 +31,7 @@ void UdpLayer::Output(net::MbufPtr payload, net::Ipv4Address src_ip, std::uint16
   net::Store(room, hdr);
 
   if (checksum) {
+    sim::TraceSpan cks(host_, "udp.checksum", "checksum");
     host_.Charge(host_.costs().checksum_per_byte *
                  static_cast<std::int64_t>(payload->PacketLength()));
     std::uint16_t sum = TransportChecksum(src_ip, dst_ip, net::ipproto::kUdp, *payload);
@@ -38,6 +45,7 @@ void UdpLayer::Output(net::MbufPtr payload, net::Ipv4Address src_ip, std::uint16
 }
 
 void UdpLayer::Input(net::MbufPtr packet, net::Ipv4Address src_ip, net::Ipv4Address dst_ip) {
+  sim::TraceSpan span(host_, "udp.input", "udp", packet->pkthdr().trace_id);
   host_.Charge(host_.costs().udp_input);
   net::UdpHeader hdr;
   try {
@@ -55,6 +63,7 @@ void UdpLayer::Input(net::MbufPtr packet, net::Ipv4Address src_ip, net::Ipv4Addr
     packet->TrimBack(packet->PacketLength() - claimed);  // strip padding
   }
   if (hdr.checksum.value() != 0) {
+    sim::TraceSpan cks(host_, "udp.checksum", "checksum");
     host_.Charge(host_.costs().checksum_per_byte *
                  static_cast<std::int64_t>(packet->PacketLength()));
     if (TransportChecksum(src_ip, dst_ip, net::ipproto::kUdp, *packet) != 0) {

@@ -14,8 +14,10 @@
 
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
+#include "sim/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "sim/tracer.h"
 
 namespace sim {
 
@@ -38,7 +40,13 @@ struct BudgetFence {
 class Host {
  public:
   Host(Simulator& s, std::string name, CostModel costs, std::uint64_t seed = 1)
-      : sim_(s), name_(std::move(name)), costs_(costs), cpu_(s), rng_(seed) {}
+      : sim_(s),
+        name_(std::move(name)),
+        costs_(costs),
+        cpu_(s),
+        rng_(seed),
+        tracer_(&s.tracer()),
+        trace_track_(tracer_->RegisterTrack(name_)) {}
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
   virtual ~Host() = default;
@@ -51,6 +59,35 @@ class Host {
   const CostModel& costs() const { return costs_; }
   CostModel& mutable_costs() { return costs_; }
   Random& rng() { return rng_; }
+
+  // Per-host instruments. Protocol modules resolve named counters once at
+  // construction; snapshots/JSON come from the registry directly.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // This host's row in the simulation-wide trace.
+  Tracer& tracer() { return *tracer_; }
+  bool tracing() const { return tracer_->enabled(); }
+  int trace_track() const { return trace_track_; }
+
+  // The packet id the currently executing code path is working on behalf
+  // of; spans opened without an explicit id inherit it. Scoped via
+  // PacketTraceScope below.
+  std::uint64_t current_trace_id() const { return current_trace_id_; }
+  std::uint64_t SetCurrentTraceId(std::uint64_t id) {
+    return std::exchange(current_trace_id_, id);
+  }
+
+  // Marks a point event on this host's trace track (the structured
+  // replacement for the old printf-style sim::Trace::Log).
+  void TraceInstant(std::string name, std::string category,
+                    std::uint64_t trace_id = 0) {
+    if (!tracing()) return;
+    tracer_->RecordInstant(
+        trace_track_, Now(),
+        in_task() ? charged_so_far() : Duration::Zero(), std::move(name),
+        std::move(category), trace_id != 0 ? trace_id : current_trace_id_);
+  }
 
   // Submits work to this host's CPU. While the work runs, Charge()/After()
   // apply to its task context.
@@ -73,6 +110,7 @@ class Host {
     assert(current_ != nullptr && "Charge() outside of a CPU task");
     if (fence_ == nullptr) {
       current_->Charge(d);
+      tracer_->OnCharge(trace_track_, d);
       return;
     }
     // Find the tightest remaining budget across active fences. A charge
@@ -89,6 +127,10 @@ class Host {
     }
     for (BudgetFence* f = fence_; f != nullptr; f = f->prev) f->used += allow;
     current_->Charge(allow);
+    // Attribute what was actually billed: a fence-truncated charge must show
+    // up in the trace as the truncated amount, or the per-category ledger
+    // would exceed the CPU's busy time.
+    tracer_->OnCharge(trace_track_, allow);
     if (tripped != nullptr) tripped->on_exceeded();
   }
 
@@ -123,6 +165,59 @@ class Host {
   Random rng_;
   CpuContext* current_ = nullptr;
   BudgetFence* fence_ = nullptr;  // innermost active fence (intrusive stack)
+  MetricsRegistry metrics_;
+  Tracer* tracer_;
+  int trace_track_;
+  std::uint64_t current_trace_id_ = 0;
+};
+
+// RAII span on a host's trace track. Free when tracing is disabled: the
+// two-phase Begin() form lets call sites skip building dynamic span names
+// entirely (`if (host.tracing()) span.Begin(host, name + suffix, ...)`).
+// The destructor closes the span even when the scope unwinds via exception,
+// so terminated handlers still leave balanced traces.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(Host& h, std::string name, std::string category,
+            std::uint64_t trace_id = 0) {
+    Begin(h, std::move(name), std::move(category), trace_id);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan(track_);
+  }
+
+  void Begin(Host& h, std::string name, std::string category,
+             std::uint64_t trace_id = 0) {
+    if (!h.tracing() || tracer_ != nullptr) return;
+    tracer_ = &h.tracer();
+    track_ = h.trace_track();
+    tracer_->BeginSpan(
+        track_, h.Now(),
+        h.in_task() ? h.charged_so_far() : Duration::Zero(), std::move(name),
+        std::move(category), trace_id != 0 ? trace_id : h.current_trace_id());
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  int track_ = 0;
+};
+
+// Scopes the host's current packet trace id: spans opened inside inherit
+// it without every layer having to thread the id through its signatures.
+class PacketTraceScope {
+ public:
+  PacketTraceScope(Host& h, std::uint64_t id)
+      : host_(h), prev_(h.SetCurrentTraceId(id)) {}
+  PacketTraceScope(const PacketTraceScope&) = delete;
+  PacketTraceScope& operator=(const PacketTraceScope&) = delete;
+  ~PacketTraceScope() { host_.SetCurrentTraceId(prev_); }
+
+ private:
+  Host& host_;
+  std::uint64_t prev_;
 };
 
 }  // namespace sim

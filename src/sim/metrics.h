@@ -1,0 +1,154 @@
+// Per-host metrics: counters, gauges, and log-bucketed histograms.
+//
+// Every sim::Host owns a MetricsRegistry; protocol modules resolve named
+// instruments once (construction time) and bump them on the hot path with a
+// plain integer add — no map lookups per packet. Snapshots are deterministic:
+// instruments live in std::map keyed by name, so iteration order (and hence
+// JSON export) depends only on the names registered, never on registration
+// order or addresses. Virtual-time histograms bucket by powers of two of
+// nanoseconds: bucket 0 holds values <= 0, bucket i >= 1 holds
+// [2^(i-1), 2^i - 1], and the last bucket saturates.
+#ifndef PLEXUS_SIM_METRICS_H_
+#define PLEXUS_SIM_METRICS_H_
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "sim/time.h"
+
+namespace sim {
+
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { value_ += n; }
+  void Reset() { value_ = 0; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_ = v; }
+  void Add(std::int64_t d) { value_ += d; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  // Bucket 0: v <= 0. Bucket i in [1, 62]: v in [2^(i-1), 2^i - 1].
+  // Bucket 63 saturates (everything >= 2^62).
+  static int BucketIndex(std::int64_t v) {
+    if (v <= 0) return 0;
+    const int idx =
+        64 - std::countl_zero(static_cast<std::uint64_t>(v));  // 1+floor(lg v)
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+  // Largest value the bucket admits (inclusive). Bucket 0 -> 0; the
+  // saturating bucket -> INT64_MAX.
+  static std::int64_t BucketUpperBound(int idx) {
+    if (idx <= 0) return 0;
+    if (idx >= kBuckets - 1) return INT64_MAX;
+    return (std::int64_t{1} << idx) - 1;
+  }
+
+  void Observe(std::int64_t v) {
+    ++buckets_[BucketIndex(v)];
+    ++count_;
+    // Two's-complement wrap on purpose: an extreme observation (the
+    // saturating bucket admits INT64_MAX) must not be signed-overflow UB.
+    sum_ = static_cast<std::int64_t>(static_cast<std::uint64_t>(sum_) +
+                                     static_cast<std::uint64_t>(v));
+  }
+  void Observe(Duration d) { Observe(d.ns()); }
+
+  std::uint64_t bucket(int idx) const { return buckets_[idx]; }
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  void Reset() {
+    for (auto& b : buckets_) b = 0;
+    count_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // References returned stay valid for the registry's lifetime (node-based
+  // map storage); resolve once, bump forever.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  // Deterministic per-registry ordinal names ("nic0", "nic1", ...) for
+  // multi-instance modules. Never derived from process-global state, so two
+  // identical simulations in one process produce identical names.
+  std::string UniqueName(const std::string& prefix) {
+    return prefix + std::to_string(ordinals_[prefix]++);
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  // One JSON object; keys sorted by instrument name. Histograms export only
+  // occupied buckets as [upper_bound_ns, count] pairs.
+  std::string ToJson() const {
+    std::ostringstream out;
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      out << (first ? "" : ",") << '"' << name << "\":" << c.value();
+      first = false;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+      out << (first ? "" : ",") << '"' << name << "\":" << g.value();
+      first = false;
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+      out << (first ? "" : ",") << '"' << name << "\":{\"count\":" << h.count()
+          << ",\"sum\":" << h.sum() << ",\"buckets\":[";
+      bool bfirst = true;
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        if (h.bucket(i) == 0) continue;
+        out << (bfirst ? "" : ",") << '[' << Histogram::BucketUpperBound(i)
+            << ',' << h.bucket(i) << ']';
+        bfirst = false;
+      }
+      out << "]}";
+      first = false;
+    }
+    out << "}}";
+    return out.str();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, int> ordinals_;
+};
+
+}  // namespace sim
+
+#endif  // PLEXUS_SIM_METRICS_H_

@@ -3,7 +3,12 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/tracer.h"
+
 namespace sim {
+
+Simulator::Simulator() : tracer_(std::make_unique<Tracer>()) {}
+Simulator::~Simulator() = default;
 
 EventId Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
   assert(fn && "scheduling an empty callback");

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -20,13 +21,21 @@ namespace sim {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+class Tracer;
+
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   TimePoint Now() const { return now_; }
+
+  // The per-simulation structured trace (see sim/tracer.h). Always present;
+  // disabled (and free) unless SetEnabled or PLEXUS_TRACE turns it on.
+  Tracer& tracer() { return *tracer_; }
+  const Tracer& tracer() const { return *tracer_; }
 
   // Schedules fn to run after delay (>= 0). Returns an id usable with Cancel.
   EventId Schedule(Duration delay, std::function<void()> fn) {
@@ -80,6 +89,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::size_t events_processed_ = 0;
   bool stopped_ = false;
+  std::unique_ptr<Tracer> tracer_;
 };
 
 }  // namespace sim

@@ -5,12 +5,19 @@
 // call". The Dispatcher object carries the cost hooks (so simulated CPU
 // time is charged per guard evaluation and per handler invocation) and
 // aggregate statistics used by the microbenchmarks.
+//
+// The dispatch counters live in the host's MetricsRegistry under "spin.*",
+// so a single metrics snapshot covers drivers, protocols, and the
+// dispatcher alike; a host-less (unit-test) dispatcher backs them with a
+// private registry instead.
 #ifndef PLEXUS_SPIN_DISPATCHER_H_
 #define PLEXUS_SPIN_DISPATCHER_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "sim/host.h"
+#include "sim/metrics.h"
 #include "sim/time.h"
 
 namespace spin {
@@ -19,18 +26,28 @@ class Dispatcher {
  public:
   // host == nullptr creates a free-running dispatcher that charges no
   // simulated cost (pure unit-test use).
-  explicit Dispatcher(sim::Host* host = nullptr) : host_(host) {}
+  explicit Dispatcher(sim::Host* host = nullptr)
+      : host_(host),
+        local_(host == nullptr ? std::make_unique<sim::MetricsRegistry>()
+                               : nullptr),
+        raises_(registry().counter("spin.raises")),
+        handler_invocations_(registry().counter("spin.handler_invocations")),
+        guard_evals_(registry().counter("spin.guard_evals")),
+        guard_rejections_(registry().counter("spin.guard_rejections")),
+        terminations_(registry().counter("spin.terminations")),
+        faults_(registry().counter("spin.faults")),
+        quarantines_(registry().counter("spin.quarantines")) {}
   Dispatcher(const Dispatcher&) = delete;
   Dispatcher& operator=(const Dispatcher&) = delete;
 
   sim::Host* host() { return host_; }
 
   void ChargeGuard() {
-    ++guard_evals_;
+    guard_evals_.Inc();
     if (host_ != nullptr && host_->in_task()) host_->Charge(host_->costs().guard_eval);
   }
   void ChargeDispatch() {
-    ++handler_invocations_;
+    handler_invocations_.Inc();
     if (host_ != nullptr && host_->in_task()) host_->Charge(host_->costs().event_dispatch);
   }
   void ChargeInstall() {
@@ -40,11 +57,11 @@ class Dispatcher {
     if (host_ != nullptr && host_->in_task()) host_->Charge(d);
   }
 
-  void CountRaise() { ++raises_; }
-  void CountGuardReject() { ++guard_rejections_; }
-  void CountTermination() { ++terminations_; }
-  void CountFault() { ++faults_; }
-  void CountQuarantine() { ++quarantines_; }
+  void CountRaise() { raises_.Inc(); }
+  void CountGuardReject() { guard_rejections_.Inc(); }
+  void CountTermination() { terminations_.Inc(); }
+  void CountFault() { faults_.Inc(); }
+  void CountQuarantine() { quarantines_.Inc(); }
 
   struct Stats {
     std::uint64_t raises = 0;
@@ -56,23 +73,35 @@ class Dispatcher {
     std::uint64_t quarantines = 0;   // handlers auto-uninstalled after max strikes
   };
   Stats stats() const {
-    return {raises_,       handler_invocations_, guard_evals_, guard_rejections_,
-            terminations_, faults_,              quarantines_};
+    return {raises_.value(),       handler_invocations_.value(),
+            guard_evals_.value(),  guard_rejections_.value(),
+            terminations_.value(), faults_.value(),
+            quarantines_.value()};
   }
   void ResetStats() {
-    raises_ = handler_invocations_ = guard_evals_ = guard_rejections_ = terminations_ =
-        faults_ = quarantines_ = 0;
+    raises_.Reset();
+    handler_invocations_.Reset();
+    guard_evals_.Reset();
+    guard_rejections_.Reset();
+    terminations_.Reset();
+    faults_.Reset();
+    quarantines_.Reset();
   }
 
  private:
+  sim::MetricsRegistry& registry() {
+    return local_ != nullptr ? *local_ : host_->metrics();
+  }
+
   sim::Host* host_;
-  std::uint64_t raises_ = 0;
-  std::uint64_t handler_invocations_ = 0;
-  std::uint64_t guard_evals_ = 0;
-  std::uint64_t guard_rejections_ = 0;
-  std::uint64_t terminations_ = 0;
-  std::uint64_t faults_ = 0;
-  std::uint64_t quarantines_ = 0;
+  std::unique_ptr<sim::MetricsRegistry> local_;  // host-less fallback
+  sim::Counter& raises_;
+  sim::Counter& handler_invocations_;
+  sim::Counter& guard_evals_;
+  sim::Counter& guard_rejections_;
+  sim::Counter& terminations_;
+  sim::Counter& faults_;
+  sim::Counter& quarantines_;
 };
 
 }  // namespace spin

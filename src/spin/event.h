@@ -157,6 +157,12 @@ class Event {
   // so a handler may install new handlers while we hold Entry&.
   std::size_t Raise(Args... args) {
     if (dispatcher_ != nullptr) dispatcher_->CountRaise();
+    sim::Host* host = dispatcher_ != nullptr ? dispatcher_->host() : nullptr;
+    // One load + branch when tracing is off; span names (which may allocate)
+    // are only built on the enabled path.
+    const bool tracing = host != nullptr && host->tracing();
+    sim::TraceSpan raise_span;
+    if (tracing) raise_span.Begin(*host, name_, "dispatch");
     std::size_t invoked = 0;
     const std::size_t bound = entries_.size();
     ++raising_;
@@ -164,6 +170,8 @@ class Event {
       Entry& e = entries_[i];
       if (!e.alive) continue;  // uninstalled mid-raise
       if (e.guard) {
+        sim::TraceSpan guard_span;
+        if (tracing) guard_span.Begin(*host, "guard:" + DisplayName(e), "guard");
         if (dispatcher_ != nullptr) dispatcher_->ChargeGuard();
         if (!e.guard(args...)) {
           ++e.stats.guard_rejections;
@@ -171,7 +179,6 @@ class Event {
           continue;
         }
       }
-      sim::Host* host = dispatcher_ != nullptr ? dispatcher_->host() : nullptr;
       const bool measurable =
           host != nullptr && host->in_task() && e.opts.time_limit > sim::Duration::Zero();
       if (!measurable && e.opts.time_limit > sim::Duration::Zero() &&
@@ -185,6 +192,10 @@ class Event {
       }
       if (dispatcher_ != nullptr) dispatcher_->ChargeDispatch();
       try {
+        // Opened before the budget fence so a mid-handler termination still
+        // unwinds through the span and leaves a balanced trace.
+        sim::TraceSpan handler_span;
+        if (tracing) handler_span.Begin(*host, DisplayName(e), "handler");
         // The fence brackets the declared entry charge and the handler body:
         // termination strikes whenever *measured* time crosses the limit,
         // whether at admission or deep inside the handler.

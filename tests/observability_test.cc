@@ -1,0 +1,370 @@
+// Observability: the tracer (spans, charge attribution, Chrome export),
+// the metrics registry (histogram bucketing, JSON snapshots), per-packet
+// trace-id propagation across mbuf surgery and IP fragmentation, and the
+// determinism of every exported artifact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/plexus.h"
+#include "drivers/medium.h"
+#include "net/mbuf.h"
+#include "proto/ip.h"
+#include "sim/host.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "sim/tracer.h"
+
+namespace {
+
+// --- histogram bucket boundaries -------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  using sim::Histogram;
+  // Bucket 0 is the non-positive bucket.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-1), 0);
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MIN), 0);
+  // Bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex((std::int64_t{1} << 40) - 1), 40);
+  EXPECT_EQ(Histogram::BucketIndex(std::int64_t{1} << 40), 41);
+  // The top bucket saturates.
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MAX), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(std::int64_t{1} << 62), Histogram::kBuckets - 1);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBuckets - 1), INT64_MAX);
+
+  // Every representable value lands in a bucket whose bound admits it.
+  for (std::int64_t v : {std::int64_t{1}, std::int64_t{5}, std::int64_t{1023},
+                         std::int64_t{1024}, std::int64_t{1} << 35}) {
+    EXPECT_LE(v, Histogram::BucketUpperBound(Histogram::BucketIndex(v))) << v;
+  }
+
+  sim::Histogram h;
+  h.Observe(std::int64_t{0});
+  h.Observe(std::int64_t{1});
+  h.Observe(std::int64_t{3});
+  h.Observe(INT64_MAX);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(MetricsRegistry, JsonSnapshotAndUniqueNames) {
+  sim::MetricsRegistry reg;
+  reg.counter("b.count").Inc(3);
+  reg.counter("a.count").Inc();
+  reg.gauge("depth").Set(-2);
+  reg.histogram("lat").Observe(std::int64_t{3});
+  const std::string json = reg.ToJson();
+  // std::map ordering: "a.count" before "b.count" regardless of
+  // registration order.
+  EXPECT_NE(json.find("\"a.count\":1,\"b.count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\":-2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat\":{\"count\":1,\"sum\":3,\"buckets\":[[3,1]]}"),
+            std::string::npos)
+      << json;
+
+  EXPECT_EQ(reg.UniqueName("nic"), "nic0");
+  EXPECT_EQ(reg.UniqueName("nic"), "nic1");
+  EXPECT_EQ(reg.UniqueName("disk"), "disk0");
+}
+
+// --- trace-id propagation --------------------------------------------------------
+
+TEST(TraceId, SurvivesMbufSurgery) {
+  auto m = net::Mbuf::Allocate(256);
+  EXPECT_EQ(m->pkthdr().trace_id, 0u);  // fresh allocations are untraced
+  m->pkthdr().trace_id = 42;
+
+  EXPECT_EQ(m->DeepCopy()->pkthdr().trace_id, 42u);
+  EXPECT_EQ(m->ShareClone()->pkthdr().trace_id, 42u);
+  auto tail = m->Split(100);
+  ASSERT_NE(tail, nullptr);
+  EXPECT_EQ(tail->pkthdr().trace_id, 42u);
+  EXPECT_EQ(m->pkthdr().trace_id, 42u);
+
+  // Byte-level reconstruction starts a fresh header (the reassembly path
+  // restores the id explicitly).
+  auto rebuilt = net::Mbuf::FromBytes(m->Linearize());
+  EXPECT_EQ(rebuilt->pkthdr().trace_id, 0u);
+}
+
+TEST(TraceId, SurvivesIpFragmentationAndReassembly) {
+  sim::Simulator sim;
+  sim.tracer().SetEnabled(true);
+  sim::Host host(sim, "h", sim::CostModel::Default1996());
+  // Sender fragments at a 600-byte MTU; receiver reassembles.
+  proto::Ipv4Layer tx(host, {net::Ipv4Address(10, 0, 0, 1), 24, 600});
+  proto::Ipv4Layer rx(host, {net::Ipv4Address(10, 0, 0, 2), 24, 1500});
+  tx.routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  rx.routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+
+  std::vector<net::MbufPtr> fragments;
+  tx.SetTransmit([&](net::MbufPtr p, net::Ipv4Address, int) {
+    fragments.push_back(std::move(p));
+  });
+  std::uint64_t delivered_id = 0;
+  std::size_t delivered_len = 0;
+  rx.SetDeliver([&](net::MbufPtr p, const net::Ipv4Header&) {
+    delivered_id = p->pkthdr().trace_id;
+    delivered_len = p->PacketLength();
+  });
+
+  host.Submit(sim::Priority::kKernel, [&] {
+    tx.Output(net::Mbuf::Allocate(1400), net::Ipv4Address(10, 0, 0, 1),
+              net::Ipv4Address(10, 0, 0, 2), net::ipproto::kUdp);
+  });
+  sim.RunFor(sim::Duration::Seconds(1));
+
+  ASSERT_GE(fragments.size(), 3u);  // 1400 bytes over a 600-byte MTU
+  const std::uint64_t id = fragments[0]->pkthdr().trace_id;
+  EXPECT_NE(id, 0u);
+  for (const auto& f : fragments) {
+    EXPECT_EQ(f->pkthdr().trace_id, id);  // Split copies the pkthdr
+  }
+
+  // Deliver the fragments out of order; the reassembled datagram must carry
+  // the first-arriving fragment's id even though FromBytes resets pkthdr.
+  std::swap(fragments.front(), fragments.back());
+  for (auto& f : fragments) {
+    // Submit takes std::function (copyable): hand the task a raw pointer and
+    // rewrap inside; every submitted task runs within the horizon below.
+    host.Submit(sim::Priority::kKernel,
+                [&rx, raw = f.release()] { rx.Input(net::MbufPtr(raw)); });
+  }
+  sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(delivered_len, 1400u);
+  EXPECT_EQ(delivered_id, id);
+}
+
+// --- tracer core -----------------------------------------------------------------
+
+TEST(Tracer, RingEvictsOldestAndNeverDanglesOpenSpans) {
+  sim::Tracer tracer(/*capacity=*/4);
+  tracer.SetEnabled(true);
+  const int t = tracer.RegisterTrack("h");
+  for (int i = 0; i < 10; ++i) {
+    tracer.BeginSpan(t, sim::TimePoint(), sim::Duration::Zero(),
+                     "span" + std::to_string(i), "test", 0);
+    tracer.EndSpan(t);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto recs = tracer.Records();
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_EQ(recs.front().name, "span6");  // oldest surviving
+  EXPECT_EQ(recs.back().name, "span9");
+}
+
+TEST(Tracer, DisabledTracingRecordsNothingAndChargesNothing) {
+  sim::Simulator sim;
+  sim.tracer().SetEnabled(false);  // explicit: PLEXUS_TRACE may be set
+  sim::Host host(sim, "h", sim::CostModel::Default1996());
+  host.Submit(sim::Priority::kKernel, [&] {
+    sim::TraceSpan span(host, "work", "test");
+    host.Charge(sim::Duration::Micros(5));
+    host.TraceInstant("note", "test");
+  });
+  sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(sim.tracer().size(), 0u);
+  EXPECT_EQ(sim.tracer().total_charged(), sim::Duration::Zero());
+  EXPECT_TRUE(sim.tracer().charge_by_category().empty());
+  // The CPU was still billed: tracing is observation, not accounting.
+  EXPECT_EQ(host.cpu().busy_total(), sim::Duration::Micros(5));
+}
+
+// --- end-to-end: traced Plexus ping-pong -----------------------------------------
+
+core::PlexusHost::NetConfig Net(int id) {
+  return {net::MacAddress::FromId(static_cast<std::uint32_t>(id)),
+          net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(id)), 24};
+}
+
+struct PingArtifacts {
+  std::string chrome_json;
+  std::string metrics_a;
+  std::string metrics_b;
+  std::string breakdown_json;
+  sim::Duration total_charged;
+  sim::Duration cpu_busy;  // both hosts
+  std::vector<sim::Tracer::Record> records;
+};
+
+// A small Fig. 5-style UDP ping-pong with tracing on, returning every
+// exported artifact. Fresh simulator per call; same seeds every call.
+PingArtifacts RunTracedPing() {
+  sim::Simulator sim;
+  sim.tracer().SetEnabled(true);
+  drivers::EthernetSegment segment(sim);
+  const auto profile = drivers::DeviceProfile::Ethernet10();
+  const auto costs = sim::CostModel::Default1996();
+  core::PlexusHost a(sim, "a", costs, profile, Net(1), core::HandlerMode::kInterrupt, 11);
+  core::PlexusHost b(sim, "b", costs, profile, Net(2), core::HandlerMode::kInterrupt, 22);
+  a.AttachTo(segment);
+  b.AttachTo(segment);
+  a.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  b.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+
+  auto client = a.udp().CreateEndpoint(5000).value();
+  auto server = b.udp().CreateEndpoint(7).value();
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  server->InstallReceiveHandler(
+      [&](const net::Mbuf& p, const proto::UdpDatagram& info) {
+        server->Send(p.DeepCopy(), info.src_ip, info.src_port);
+      },
+      opts);
+  int completed = 0;
+  std::vector<std::byte> msg(8);
+  std::function<void()> send_ping = [&] {
+    a.Run([&] { client->Send(net::Mbuf::FromBytes(msg), net::Ipv4Address(10, 0, 0, 2), 7); });
+  };
+  client->InstallReceiveHandler(
+      [&](const net::Mbuf&, const proto::UdpDatagram&) {
+        if (++completed < 4) send_ping();
+      },
+      opts);
+  send_ping();
+  sim.RunFor(sim::Duration::Seconds(5));
+  EXPECT_EQ(completed, 4);
+
+  PingArtifacts out;
+  out.chrome_json = sim.tracer().ExportChromeJson();
+  out.metrics_a = a.host().metrics().ToJson();
+  out.metrics_b = b.host().metrics().ToJson();
+  out.breakdown_json = sim.tracer().ExportChargeBreakdownJson();
+  out.total_charged = sim.tracer().total_charged();
+  out.cpu_busy = a.host().cpu().busy_total() + b.host().cpu().busy_total();
+  out.records = sim.tracer().Records();
+  return out;
+}
+
+TEST(Observability, ChromeTraceNestsDriverDispatchGuardHandler) {
+  const PingArtifacts art = RunTracedPing();
+
+  // Find the receive-side structure: nic.rx at task root, the event raise
+  // below it, guards and handlers below the raise.
+  int rx_depth = -1, raise_depth = -1, guard_depth = -1, handler_depth = -1;
+  std::uint64_t rx_id = 0;
+  for (const auto& r : art.records) {
+    if (r.kind != sim::Tracer::Record::Kind::kSpan) continue;
+    if (r.name == "nic.rx" && rx_depth < 0) {
+      rx_depth = r.depth;
+      rx_id = r.trace_id;
+    }
+    if (r.name == "Ethernet.PacketRecv" && raise_depth < 0) raise_depth = r.depth;
+    if (r.category == "guard" && guard_depth < 0) guard_depth = r.depth;
+    if (r.category == "handler" && handler_depth < 0) handler_depth = r.depth;
+  }
+  EXPECT_EQ(rx_depth, 0);         // interrupt task root
+  EXPECT_GT(raise_depth, rx_depth);
+  EXPECT_GT(guard_depth, raise_depth);
+  EXPECT_GT(handler_depth, raise_depth);
+  EXPECT_NE(rx_id, 0u);  // the delivered frame carried a packet id
+
+  // The export is loadable Chrome JSON in shape: one object, the right
+  // envelope, and thread-name metadata for both hosts.
+  EXPECT_EQ(art.chrome_json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(art.chrome_json.back(), '}');
+  EXPECT_NE(art.chrome_json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(art.chrome_json.find("\"ph\":\"X\""), std::string::npos);
+
+  // Charge attribution is complete: everything charged while tracing is
+  // exactly the two CPUs' busy time.
+  EXPECT_EQ(art.total_charged, art.cpu_busy);
+}
+
+TEST(Observability, ChargeLedgerSumsToTotal) {
+  sim::Simulator sim;
+  sim.tracer().SetEnabled(true);
+  sim::Host host(sim, "h", sim::CostModel::Default1996());
+  host.Submit(sim::Priority::kKernel, [&] {
+    host.Charge(sim::Duration::Micros(1));  // unattributed
+    sim::TraceSpan outer(host, "outer", "alpha");
+    host.Charge(sim::Duration::Micros(2));
+    {
+      sim::TraceSpan inner(host, "inner", "beta");
+      host.Charge(sim::Duration::Micros(4));
+    }
+    host.Charge(sim::Duration::Micros(8));
+  });
+  sim.RunFor(sim::Duration::Seconds(1));
+
+  const auto& ledger = sim.tracer().charge_by_category();
+  sim::Duration sum = sim::Duration::Zero();
+  for (const auto& [cat, d] : ledger) sum += d;
+  EXPECT_EQ(sum, sim.tracer().total_charged());
+  EXPECT_EQ(sim.tracer().total_charged(), host.cpu().busy_total());
+  EXPECT_EQ(ledger.at("(unattributed)"), sim::Duration::Micros(1));
+  EXPECT_EQ(ledger.at("alpha"), sim::Duration::Micros(10));
+  EXPECT_EQ(ledger.at("beta"), sim::Duration::Micros(4));
+
+  // Span totals: outer saw its own 10us plus inner's 4us.
+  const auto recs = sim.tracer().Records();
+  ASSERT_EQ(recs.size(), 2u);  // inner completes first
+  EXPECT_EQ(recs[0].name, "inner");
+  EXPECT_EQ(recs[0].total, sim::Duration::Micros(4));
+  EXPECT_EQ(recs[1].name, "outer");
+  EXPECT_EQ(recs[1].total, sim::Duration::Micros(14));
+  EXPECT_EQ(recs[1].self, sim::Duration::Micros(10));
+}
+
+TEST(Observability, SameSeedRunsExportIdenticalArtifacts) {
+  const PingArtifacts first = RunTracedPing();
+  const PingArtifacts second = RunTracedPing();
+  EXPECT_EQ(first.chrome_json, second.chrome_json);
+  EXPECT_EQ(first.metrics_a, second.metrics_a);
+  EXPECT_EQ(first.metrics_b, second.metrics_b);
+  EXPECT_EQ(first.breakdown_json, second.breakdown_json);
+}
+
+TEST(Observability, MetricsCoverEveryLayerOfThePingPath) {
+  const PingArtifacts art = RunTracedPing();
+  for (const char* key : {"\"nic0.tx_frames\"", "\"nic0.rx_frames\"",
+                          "\"spin.raises\"", "\"spin.handler_invocations\"",
+                          "\"ip.tx_packets\"", "\"ip.rx_packets\"",
+                          "\"arp.requests_sent\""}) {
+    EXPECT_NE(art.metrics_a.find(key), std::string::npos) << key << " missing:\n"
+                                                          << art.metrics_a;
+  }
+  // The breakdown has the layers the paper's Section 4 argues about.
+  for (const char* cat : {"\"driver\"", "\"dispatch\"", "\"guard\"", "\"handler\"",
+                          "\"ip\"", "\"udp\"", "\"checksum\"", "\"eth\""}) {
+    EXPECT_NE(art.breakdown_json.find(cat), std::string::npos)
+        << cat << " missing:\n"
+        << art.breakdown_json;
+  }
+}
+
+TEST(Observability, DescribeGraphIncludesMetricsSnapshot) {
+  sim::Simulator sim;
+  drivers::EthernetSegment segment(sim);
+  core::PlexusHost h(sim, "h", sim::CostModel::Default1996(),
+                     drivers::DeviceProfile::Ethernet10(), Net(1));
+  h.AttachTo(segment);
+  const std::string graph = h.DescribeGraph();
+  EXPECT_NE(graph.find("metrics: "), std::string::npos) << graph;
+  EXPECT_NE(graph.find("\"spin.raises\""), std::string::npos) << graph;
+}
+
+}  // namespace
