@@ -15,6 +15,10 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <optional>
+#include <string>
+
+#include "bench/bench_common.h"
 
 #include "sim/cost_model.h"
 #include "sim/host.h"
@@ -72,7 +76,27 @@ void EventDemuxGuardChain(benchmark::State& state) {
   }
   state.SetComplexityN(n);
 }
-BENCHMARK(EventDemuxGuardChain)->RangeMultiplier(4)->Range(1, 256)->Complexity();
+BENCHMARK(EventDemuxGuardChain)->RangeMultiplier(4)->Range(1, 1024)->Complexity();
+
+// The same demux pattern through the compiled index: one hash probe per
+// raise instead of N guard evaluations. Near-flat in N.
+void EventDemuxIndexed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  spin::Event<int> ev("Bench.DemuxIndexed");
+  ev.SetDemuxKey("key", [](int v) { return std::optional<std::uint64_t>(
+                            static_cast<std::uint64_t>(v)); });
+  for (int i = 0; i < n; ++i) {
+    (void)ev.InstallKeyed([](int v) { g_sink += v; }, static_cast<std::uint64_t>(i));
+  }
+  int key = 0;
+  for (auto _ : state) {
+    ev.Raise(key);
+    key = (key + 1) % n;
+    benchmark::DoNotOptimize(g_sink);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(EventDemuxIndexed)->RangeMultiplier(4)->Range(1, 1024)->Complexity();
 
 void EventInstallUninstall(benchmark::State& state) {
   spin::Event<int> ev("Bench.Install");
@@ -86,13 +110,12 @@ BENCHMARK(EventInstallUninstall);
 // Best-of-trials wall time per operation: the minimum is robust against
 // scheduler noise on shared machines.
 template <typename Fn>
-double NsPerOp(Fn&& fn) {
-  constexpr int kIters = 200000;
+double NsPerOpIters(int iters, Fn&& fn) {
   constexpr int kTrials = 7;
   double best = 1e100;
   for (int t = 0; t < kTrials; ++t) {
     const auto start = std::chrono::steady_clock::now();
-    for (int i = 0; i < kIters; ++i) {
+    for (int i = 0; i < iters; ++i) {
       fn();
       benchmark::DoNotOptimize(g_sink);
     }
@@ -100,10 +123,15 @@ double NsPerOp(Fn&& fn) {
     const double ns =
         static_cast<double>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count()) /
-        kIters;
+        iters;
     best = std::min(best, ns);
   }
   return best;
+}
+
+template <typename Fn>
+double NsPerOp(Fn&& fn) {
+  return NsPerOpIters(200000, std::forward<Fn>(fn));
 }
 
 // Asserts the "tracing disabled adds no measurable cost" acceptance
@@ -152,12 +180,132 @@ int CheckDisabledTracingCost() {
   return rc;
 }
 
+// --- Demux scaling: linear guard chain vs compiled index ---------------------
+
+void InstallLinearChain(spin::Event<int>& ev, int n) {
+  for (int i = 0; i < n; ++i) {
+    (void)ev.Install([](int v) { g_sink += v; }, [i](int v) { return v == i; });
+  }
+}
+
+void InstallIndexedChain(spin::Event<int>& ev, int n) {
+  ev.SetDemuxKey("key", [](int v) {
+    return std::optional<std::uint64_t>(static_cast<std::uint64_t>(v));
+  });
+  for (int i = 0; i < n; ++i) {
+    (void)ev.InstallKeyed([](int v) { g_sink += v; }, static_cast<std::uint64_t>(i));
+  }
+}
+
+// Virtual CPU time per raise under the 1996 cost model: the linear chain
+// charges n guard_evals, the index one demux_lookup.
+double SimulatedNsPerRaise(bool indexed, int n) {
+  sim::Simulator sim;
+  sim::Host host(sim, "bench", sim::CostModel::Default1996(), 1);
+  spin::Dispatcher dispatcher(&host);
+  spin::Event<int> ev("Bench.DemuxSim", &dispatcher);
+  if (indexed) {
+    InstallIndexedChain(ev, n);
+  } else {
+    InstallLinearChain(ev, n);
+  }
+  constexpr int kRaises = 256;
+  host.Submit(sim::Priority::kKernel, [&] {
+    for (int i = 0; i < kRaises; ++i) ev.Raise(i % n);
+  });
+  sim.Run();
+  return static_cast<double>(host.cpu().busy_total().ns()) / kRaises;
+}
+
+// Measures the demux pattern (one matching handler out of N) on the linear
+// and indexed paths, prints the table, optionally writes plexus-bench-v1
+// JSON, and enforces the perf-smoke gate: indexed at N=256 must beat the
+// linear scan by at least 5x wall-clock.
+int RunDemuxScaling(const std::string& json_path) {
+  bench::JsonReporter reporter;
+  std::printf("\ndemux scaling (one matching handler out of N):\n");
+  std::printf("  %6s | %12s %12s %8s | %13s %13s\n", "N", "linear ns", "indexed ns",
+              "speedup", "linear sim-ns", "indexed sim-ns");
+  double linear_256 = 0, indexed_256 = 0;
+  for (int n : {1, 16, 256, 1024}) {
+    spin::Event<int> lin("Bench.DemuxLinear");
+    InstallLinearChain(lin, n);
+    spin::Event<int> idx("Bench.DemuxIndexed");
+    InstallIndexedChain(idx, n);
+    const int iters = std::max(2000, 400000 / n);
+    int key = 0;
+    const double lin_ns = NsPerOpIters(iters, [&] {
+      lin.Raise(key);
+      key = (key + 1) % n;
+    });
+    key = 0;
+    const double idx_ns = NsPerOpIters(iters, [&] {
+      idx.Raise(key);
+      key = (key + 1) % n;
+    });
+    const double lin_sim = SimulatedNsPerRaise(false, n);
+    const double idx_sim = SimulatedNsPerRaise(true, n);
+    std::printf("  %6d | %12.1f %12.1f %7.1fx | %13.1f %13.1f\n", n, lin_ns, idx_ns,
+                lin_ns / idx_ns, lin_sim, idx_sim);
+    if (n == 256) {
+      linear_256 = lin_ns;
+      indexed_256 = idx_ns;
+    }
+    for (const bool indexed : {false, true}) {
+      bench::BenchRecord r;
+      r.experiment = "micro_demux_scaling";
+      r.device = "wall-clock";
+      r.system = indexed ? "indexed" : "linear";
+      r.metric = "raise_n" + std::to_string(n);
+      r.unit = "ns";
+      r.measured = indexed ? idx_ns : lin_ns;
+      r.paper_expected = "~1 procedure call";
+      r.metrics_json = "{\"n\":" + std::to_string(n) + ",\"simulated_ns_per_raise\":" +
+                       std::to_string(indexed ? idx_sim : lin_sim) + "}";
+      reporter.Add(std::move(r));
+    }
+  }
+  int rc = 0;
+  if (!json_path.empty() && !reporter.WriteTo(json_path)) {
+    std::fprintf(stderr, "FAIL: could not write %s\n", json_path.c_str());
+    rc = 1;
+  }
+  const double speedup = linear_256 / indexed_256;
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: indexed dispatch at N=256 is only %.1fx the linear scan "
+                         "(gate: >=5x) — the demux index is not doing its job\n",
+                 speedup);
+    rc = 1;
+  } else {
+    std::printf("  demux gate PASS: indexed is %.1fx linear at N=256 (>=5x required)\n",
+                speedup);
+  }
+  return rc;
+}
+
+// Removes "--flag value" from argv (returning value) so our custom flags
+// don't trip benchmark::ReportUnrecognizedArguments.
+std::string TakeFlagValue(int& argc, char** argv, const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) {
+      std::string value = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return value;
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = TakeFlagValue(argc, argv, "--json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return CheckDisabledTracingCost();
+  int rc = CheckDisabledTracingCost();
+  rc |= RunDemuxScaling(json_path);
+  return rc;
 }

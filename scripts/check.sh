@@ -21,3 +21,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
 
 echo "=== second pass: tracer enabled (PLEXUS_TRACE=1) ==="
 PLEXUS_TRACE=1 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+
+echo "=== perf smoke: demux index vs linear guard scan ==="
+# Wall-clock gate, so it runs against the regular (non-sanitized) build:
+# bench_micro_dispatch exits non-zero if indexed dispatch at N=256 handlers
+# is not at least 5x faster than the linear path it replaces (and if
+# disabled tracing taxes the raise path).
+PERF_BUILD_DIR="${PERF_BUILD_DIR:-build}"
+cmake -B "$PERF_BUILD_DIR" -S .
+cmake --build "$PERF_BUILD_DIR" -j "$(nproc)" --target bench_micro_dispatch
+"$PERF_BUILD_DIR/bench/bench_micro_dispatch" --benchmark_filter=none

@@ -15,13 +15,40 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "net/headers.h"
 #include "net/mbuf.h"
 #include "net/view.h"
 
 namespace core::filter {
+
+// A fixed-width field inside the packet, identified by (offset, width,
+// mask). Two predicates that constrain the same FieldRef can be indexed
+// against each other: the dispatcher reads the field once and hashes the
+// value instead of evaluating every predicate (guard compilation).
+struct FieldRef {
+  std::size_t offset = 0;
+  std::size_t width = 0;  // 1, 2 or 4
+  std::uint32_t mask = 0;
+  friend bool operator==(const FieldRef&, const FieldRef&) = default;
+};
+
+// One necessary equality constraint extracted from a predicate: the
+// predicate can only match packets where (field & mask) == value.
+struct ExactMatch {
+  FieldRef field;
+  std::uint32_t value = 0;
+};
+
+// The discriminating fields of the protocol graph's standard demux points
+// (frame-relative offsets, matching the convenience constructors below).
+inline constexpr FieldRef kEtherTypeField{12, 2, 0xffff};
+inline constexpr FieldRef kIpProtocolField{14 + 9, 1, 0xff};
+inline constexpr FieldRef kUdpDstPortField{14 + 20 + 2, 2, 0xffff};
+inline constexpr FieldRef kTcpDstPortField{14 + 20 + 2, 2, 0xffff};
 
 class Predicate {
  public:
@@ -86,6 +113,29 @@ class Predicate {
   // Number of comparison/combination operations (for inspection and cost
   // accounting by the manager).
   std::size_t OpCount() const { return node_ ? CountNode(*node_) : 0; }
+
+  // --- introspection (guard compilation) ---------------------------------------
+  // Necessary equality constraints: every compare leaf reachable through
+  // conjunctions only. Sound for indexing — each returned constraint must
+  // hold for the predicate to match. OR and NOT subtrees contribute
+  // nothing (their leaves are not individually necessary) but do not
+  // poison constraints collected from sibling conjuncts.
+  std::vector<ExactMatch> ExactMatches() const {
+    std::vector<ExactMatch> out;
+    if (node_) CollectExactMatches(*node_, out);
+    return out;
+  }
+
+  // The value this predicate pins `field` to, if any: the (offset, width,
+  // mask) -> value discriminator a demux index hashes on. nullopt when the
+  // predicate does not constrain the field (or constrains it inside an
+  // OR/NOT, where the constraint is not necessary).
+  std::optional<std::uint32_t> ExactMatchKey(const FieldRef& field) const {
+    for (const ExactMatch& m : ExactMatches()) {
+      if (m.field == field) return m.value;
+    }
+    return std::nullopt;
+  }
 
   std::string ToString() const { return node_ ? PrintNode(*node_) : "<empty>"; }
 
@@ -178,6 +228,22 @@ class Predicate {
   }
   static std::uint32_t ReadU32(std::span<const std::byte> s, std::size_t off) {
     return net::View<net::BigEndian32>(s, off).value();
+  }
+
+  static void CollectExactMatches(const Node& n, std::vector<ExactMatch>& out) {
+    switch (n.kind) {
+      case Kind::kCompare:
+        out.push_back(ExactMatch{FieldRef{n.offset, n.width, n.mask}, n.value});
+        return;
+      case Kind::kAnd:
+        CollectExactMatches(*n.left, out);
+        CollectExactMatches(*n.right, out);
+        return;
+      case Kind::kTrue:
+      case Kind::kOr:
+      case Kind::kNot:
+        return;
+    }
   }
 
   static std::size_t CountNode(const Node& n) {

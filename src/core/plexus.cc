@@ -24,6 +24,13 @@ void ApplyAppFaultPolicy(spin::HandlerOptions& opts) {
 EthernetManager::EthernetManager(PlexusHost& plexus, proto::EthLayer& eth)
     : plexus_(plexus), eth_(eth), packet_recv_("Ethernet.PacketRecv", &plexus.dispatcher()) {
   packet_recv_.set_requires_ephemeral(plexus.requires_ephemeral());
+  // Guard compilation: Ethernet.PacketRecv demultiplexes on the EtherType.
+  // The header is already parsed by the time the event is raised, so the
+  // extractor is a field load, charged once per raise as a demux_lookup.
+  packet_recv_.SetDemuxKey("eth.type",
+                           [](const net::Mbuf&, const net::EthernetHeader& hdr) {
+                             return std::optional<std::uint64_t>(hdr.type.value());
+                           });
   eth_.SetUpcall([this](net::MbufPtr frame, const net::EthernetHeader& hdr) {
     OnFrame(std::move(frame), hdr);
   });
@@ -38,13 +45,15 @@ spin::Result<spin::HandlerId> EthernetManager::InstallTypeHandler(
     std::uint16_t ethertype,
     std::function<void(const net::Mbuf&, const net::EthernetHeader&)> handler,
     spin::HandlerOptions opts) {
-  // The manager builds the guard: the handler can only see frames of its own
-  // EtherType — it cannot snoop on other traffic.
-  auto guard = [ethertype](const net::Mbuf&, const net::EthernetHeader& hdr) {
-    return hdr.type.value() == ethertype;
-  };
+  // The manager builds the guard itself as a declarative predicate: the
+  // handler can only see frames of its own EtherType — it cannot snoop on
+  // other traffic — and the predicate's exact-match discriminator lets the
+  // event index the handler instead of evaluating a guard per raise.
+  const filter::Predicate predicate = filter::Predicate::EtherType(ethertype);
+  const auto key = predicate.ExactMatchKey(filter::kEtherTypeField);
+  assert(key.has_value());
   ApplyAppFaultPolicy(opts);
-  return packet_recv_.Install(std::move(handler), guard, std::move(opts));
+  return packet_recv_.InstallKeyed(std::move(handler), *key, nullptr, std::move(opts));
 }
 
 spin::Result<spin::HandlerId> EthernetManager::InstallFilteredHandler(
@@ -63,6 +72,14 @@ spin::Result<spin::HandlerId> EthernetManager::InstallFilteredHandler(
   };
   if (opts.name.empty()) opts.name = "filter:" + predicate.ToString();
   ApplyAppFaultPolicy(opts);
+  // A filter that pins the EtherType goes behind the demux index; the full
+  // predicate stays on as the verify guard for the remaining constraints.
+  // Filters without a necessary EtherType constraint fall back to the
+  // residual linear path.
+  if (const auto key = predicate.ExactMatchKey(filter::kEtherTypeField)) {
+    return packet_recv_.InstallKeyed(std::move(handler), *key, std::move(guard),
+                                     std::move(opts));
+  }
   return packet_recv_.Install(std::move(handler), std::move(guard), std::move(opts));
 }
 
@@ -80,6 +97,10 @@ void EthernetManager::Output(net::MbufPtr payload, net::MacAddress dst,
 IpManager::IpManager(PlexusHost& plexus, proto::Ipv4Layer& ip, proto::ArpService& arp)
     : plexus_(plexus), ip_(ip), arp_(arp), packet_recv_("Ip.PacketRecv", &plexus.dispatcher()) {
   packet_recv_.set_requires_ephemeral(plexus.requires_ephemeral());
+  // Ip.PacketRecv demultiplexes on the IP protocol number.
+  packet_recv_.SetDemuxKey("ip.protocol", [](const net::Mbuf&, const net::Ipv4Header& hdr) {
+    return std::optional<std::uint64_t>(hdr.protocol);
+  });
 }
 
 void IpManager::Output(net::MbufPtr payload, net::Ipv4Address dst, std::uint8_t protocol,
@@ -96,11 +117,14 @@ spin::Result<spin::HandlerId> IpManager::InstallProtocolHandler(
     return spin::Errorf("InstallProtocolHandler: protocol " + std::to_string(protocol) +
                         " is owned by a kernel manager");
   }
-  auto guard = [protocol](const net::Mbuf&, const net::Ipv4Header& hdr) {
-    return hdr.protocol == protocol;
-  };
+  // Declarative guard: the IpProtocol predicate's discriminator indexes the
+  // handler — the handler sees only its own protocol's packets, and the
+  // raise path never evaluates a guard for it.
+  const filter::Predicate predicate = filter::Predicate::IpProtocol(protocol);
+  const auto key = predicate.ExactMatchKey(filter::kIpProtocolField);
+  assert(key.has_value());
   ApplyAppFaultPolicy(opts);
-  return packet_recv_.Install(std::move(handler), guard, std::move(opts));
+  return packet_recv_.InstallKeyed(std::move(handler), *key, nullptr, std::move(opts));
 }
 
 bool IpManager::Uninstall(spin::HandlerId id) { return packet_recv_.Uninstall(id); }
@@ -145,12 +169,13 @@ bool UdpEndpoint::SendVerified(net::MbufPtr udp_packet, net::Ipv4Address dst_ip)
 spin::Result<spin::HandlerId> UdpEndpoint::InstallReceiveHandler(
     std::function<void(const net::Mbuf&, const proto::UdpDatagram&)> handler,
     spin::HandlerOptions opts) {
-  const std::uint16_t port = port_;
-  // Anti-snooping: the manager supplies the guard; only datagrams addressed
-  // to this endpoint's port reach the handler.
-  auto guard = [port](const net::Mbuf&, const proto::UdpDatagram& info) {
-    return info.dst_port == port;
-  };
+  // Anti-snooping: the manager supplies the guard as a declarative
+  // dst-port predicate; only datagrams addressed to this endpoint's port
+  // reach the handler, and the port value indexes it in the demux hash —
+  // a thousand endpoints cost the same per raise as one.
+  const filter::Predicate predicate = filter::Predicate::UdpDstPort(port_);
+  const auto key = predicate.ExactMatchKey(filter::kUdpDstPortField);
+  assert(key.has_value());
   ApplyAppFaultPolicy(opts);
   // On quarantine the endpoint drops its claim on the (already
   // auto-uninstalled) handler before the application learns about it.
@@ -159,7 +184,8 @@ spin::Result<spin::HandlerId> UdpEndpoint::InstallReceiveHandler(
     std::erase(installed_, id);
     if (user) user(id, st);
   };
-  auto r = plexus_.udp().packet_recv().Install(std::move(handler), guard, std::move(opts));
+  auto r = plexus_.udp().packet_recv().InstallKeyed(std::move(handler), *key, nullptr,
+                                                    std::move(opts));
   if (r.ok()) installed_.push_back(r.value());
   return r;
 }
@@ -172,6 +198,11 @@ bool UdpEndpoint::UninstallReceiveHandler(spin::HandlerId id) {
 UdpManager::UdpManager(PlexusHost& plexus, proto::UdpLayer& udp)
     : plexus_(plexus), udp_(udp), packet_recv_("Udp.PacketRecv", &plexus.dispatcher()) {
   packet_recv_.set_requires_ephemeral(plexus.requires_ephemeral());
+  // Udp.PacketRecv demultiplexes on the destination port (already parsed).
+  packet_recv_.SetDemuxKey("udp.dst_port",
+                           [](const net::Mbuf&, const proto::UdpDatagram& info) {
+                             return std::optional<std::uint64_t>(info.dst_port);
+                           });
   udp_.SetDefaultReceiver([this](net::MbufPtr payload, const proto::UdpDatagram& info) {
     PacketRef ref(payload.release());
     plexus_.GraphHop([this, ref, info] {
@@ -288,6 +319,18 @@ void PlexusTcpEndpoint::CloseStream() {
 TcpManager::TcpManager(PlexusHost& plexus, proto::TcpConfig config)
     : plexus_(plexus), config_(config), packet_recv_("Tcp.PacketRecv", &plexus.dispatcher()) {
   packet_recv_.set_requires_ephemeral(plexus.requires_ephemeral());
+  // Tcp.PacketRecv demultiplexes on the segment's destination port, parsed
+  // from the packet once per raise. A truncated segment yields nullopt:
+  // only residual handlers are considered, matching the fail-closed guards.
+  packet_recv_.SetDemuxKey(
+      "tcp.dst_port",
+      [](const net::Mbuf& segment, const net::Ipv4Header&) -> std::optional<std::uint64_t> {
+        try {
+          return net::ViewPacket<net::TcpHeader>(segment).dst_port.value();
+        } catch (const net::ViewError&) {
+          return std::nullopt;
+        }
+      });
 
   // The standard TCP implementation: handles every TCP segment except those
   // claimed by a special implementation ("the first uses a guard which
@@ -347,7 +390,11 @@ spin::Result<spin::HandlerId> TcpManager::InstallSpecialImplementation(
     std::function<void(const net::Mbuf&, const net::Ipv4Header&)> handler,
     spin::HandlerOptions opts) {
   auto shared_ports = std::make_shared<std::set<std::uint16_t>>(std::move(ports));
-  auto guard = [shared_ports](const net::Mbuf& segment, const net::Ipv4Header&) {
+  // Indexed on every claimed port; the membership check stays on as the
+  // verify guard so a mid-raise port release takes effect immediately (key
+  // removal from the index is deferred to the post-raise sweep).
+  std::vector<std::uint64_t> keys(shared_ports->begin(), shared_ports->end());
+  auto verify = [shared_ports](const net::Mbuf& segment, const net::Ipv4Header&) {
     try {
       auto hdr = net::ViewPacket<net::TcpHeader>(segment);
       return shared_ports->contains(static_cast<std::uint16_t>(hdr.dst_port.value()));
@@ -363,19 +410,24 @@ spin::Result<spin::HandlerId> TcpManager::InstallSpecialImplementation(
     special_ports_.erase(id);
     if (user) user(id, st);
   };
-  auto r = packet_recv_.Install(std::move(handler), std::move(guard), std::move(opts));
+  auto r = packet_recv_.InstallKeyed(std::move(handler), std::move(keys), std::move(verify),
+                                     std::move(opts));
   if (r.ok()) special_ports_[r.value()] = std::move(shared_ports);
   return r;
 }
 
 void TcpManager::AddSpecialPort(spin::HandlerId id, std::uint16_t port) {
   auto it = special_ports_.find(id);
-  if (it != special_ports_.end()) it->second->insert(port);
+  if (it == special_ports_.end()) return;
+  it->second->insert(port);
+  packet_recv_.AddHandlerKey(id, port);
 }
 
 void TcpManager::RemoveSpecialPort(spin::HandlerId id, std::uint16_t port) {
   auto it = special_ports_.find(id);
-  if (it != special_ports_.end()) it->second->erase(port);
+  if (it == special_ports_.end()) return;
+  it->second->erase(port);
+  packet_recv_.RemoveHandlerKey(id, port);
 }
 
 bool TcpManager::UninstallSpecialImplementation(spin::HandlerId id) {
@@ -549,11 +601,14 @@ void PlexusHost::WireGraph() {
   const bool eph = requires_ephemeral();
 
   // --- Ethernet level: ARP, IP, active messages -----------------------------
+  // Kernel handlers dispatch on one EtherType each: installed behind the
+  // demux index (keyed, no residual guard), so the device interrupt path
+  // pays one demux lookup regardless of how many protocols are wired in.
   {
     spin::HandlerOptions opts;
     opts.ephemeral = true;
     opts.name = "arp-input";
-    auto r = eth_mgr_->packet_recv().Install(
+    auto r = eth_mgr_->packet_recv().InstallKeyed(
         [this](const net::Mbuf& frame, const net::EthernetHeader&) {
           auto payload = frame.ShareClone();
           payload->TrimFront(sizeof(net::EthernetHeader));
@@ -561,10 +616,7 @@ void PlexusHost::WireGraph() {
           const int if_index = IfIndexForRcvif(frame.pkthdr().rcvif);
           ifaces_[static_cast<std::size_t>(if_index)].arp->Input(std::move(payload));
         },
-        [](const net::Mbuf&, const net::EthernetHeader& hdr) {
-          return hdr.type.value() == net::ethertype::kArp;
-        },
-        opts);
+        net::ethertype::kArp, nullptr, opts);
     assert(r.ok());
     (void)r;
   }
@@ -572,16 +624,13 @@ void PlexusHost::WireGraph() {
     spin::HandlerOptions opts;
     opts.ephemeral = true;
     opts.name = "ip-input";
-    auto r = eth_mgr_->packet_recv().Install(
+    auto r = eth_mgr_->packet_recv().InstallKeyed(
         [this](const net::Mbuf& frame, const net::EthernetHeader&) {
           auto packet = frame.ShareClone();
           packet->TrimFront(sizeof(net::EthernetHeader));
           ip_layer_.Input(std::move(packet));
         },
-        [](const net::Mbuf&, const net::EthernetHeader& hdr) {
-          return hdr.type.value() == net::ethertype::kIpv4;
-        },
-        opts);
+        net::ethertype::kIpv4, nullptr, opts);
     assert(r.ok());
     (void)r;
   }
@@ -589,12 +638,9 @@ void PlexusHost::WireGraph() {
     spin::HandlerOptions opts;
     opts.ephemeral = true;
     opts.name = "active-messages";
-    auto r = eth_mgr_->packet_recv().Install(
+    auto r = eth_mgr_->packet_recv().InstallKeyed(
         [this](const net::Mbuf& frame, const net::EthernetHeader&) { am_.Input(frame); },
-        [](const net::Mbuf&, const net::EthernetHeader& hdr) {
-          return hdr.type.value() == net::ethertype::kActiveMessage;
-        },
-        opts);
+        net::ethertype::kActiveMessage, nullptr, opts);
     assert(r.ok());
     (void)r;
   }
@@ -611,18 +657,17 @@ void PlexusHost::WireGraph() {
                                  std::uint8_t code) { icmp_.SendError(hdr, type, code); });
 
   // --- IP level: ICMP, UDP, TCP ----------------------------------------------
+  // Same scheme one layer up: each kernel transport claims its protocol
+  // number in Ip.PacketRecv's demux index.
   {
     spin::HandlerOptions opts;
     opts.ephemeral = true;
     opts.name = "icmp-input";
-    auto r = ip_mgr_->packet_recv().Install(
+    auto r = ip_mgr_->packet_recv().InstallKeyed(
         [this](const net::Mbuf& payload, const net::Ipv4Header& hdr) {
           icmp_.Input(payload.ShareClone(), hdr.src);
         },
-        [](const net::Mbuf&, const net::Ipv4Header& hdr) {
-          return hdr.protocol == net::ipproto::kIcmp;
-        },
-        opts);
+        net::ipproto::kIcmp, nullptr, opts);
     assert(r.ok());
     (void)r;
   }
@@ -630,14 +675,11 @@ void PlexusHost::WireGraph() {
     spin::HandlerOptions opts;
     opts.ephemeral = true;
     opts.name = "udp-input";
-    auto r = ip_mgr_->packet_recv().Install(
+    auto r = ip_mgr_->packet_recv().InstallKeyed(
         [this](const net::Mbuf& payload, const net::Ipv4Header& hdr) {
           udp_layer_.Input(payload.ShareClone(), hdr.src, hdr.dst);
         },
-        [](const net::Mbuf&, const net::Ipv4Header& hdr) {
-          return hdr.protocol == net::ipproto::kUdp;
-        },
-        opts);
+        net::ipproto::kUdp, nullptr, opts);
     assert(r.ok());
     (void)r;
   }
@@ -645,15 +687,12 @@ void PlexusHost::WireGraph() {
     spin::HandlerOptions opts;
     opts.ephemeral = true;
     opts.name = "tcp-input";
-    auto r = ip_mgr_->packet_recv().Install(
+    auto r = ip_mgr_->packet_recv().InstallKeyed(
         [this](const net::Mbuf& payload, const net::Ipv4Header& hdr) {
           PacketRef ref(payload.ShareClone().release());
           GraphHop([this, ref, hdr] { tcp_mgr_->packet_recv().Raise(*ref, hdr); });
         },
-        [](const net::Mbuf&, const net::Ipv4Header& hdr) {
-          return hdr.protocol == net::ipproto::kTcp;
-        },
-        opts);
+        net::ipproto::kTcp, nullptr, opts);
     assert(r.ok());
     (void)r;
   }

@@ -13,7 +13,11 @@
 //                     [ device ]
 //
 // Packets received from the network are pushed *up* by raising each layer's
-// PacketRecv event; guards demultiplex. Packets sent by applications are
+// PacketRecv event; guards demultiplex. Each event's manager configures a
+// demux key (EtherType, IP protocol, destination port) and installs
+// handlers behind declarative filter::Predicate discriminators, so the
+// dispatcher indexes them: one field read + hash probe per raise instead of
+// one guard evaluation per installed handler (guard compilation). Packets sent by applications are
 // pushed *down* through per-endpoint send paths owned by protocol managers,
 // which prevent spoofing by fixing the source fields, and prevent snooping
 // by installing only port-restricted guards on behalf of applications.

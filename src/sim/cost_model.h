@@ -31,6 +31,7 @@ struct CostModel {
   // --- SPIN / Plexus extension costs ---------------------------------------
   Duration event_dispatch = Duration::Nanos(300);  // raise -> handler (~1 call)
   Duration guard_eval = Duration::Nanos(150);      // evaluate one guard predicate
+  Duration demux_lookup = Duration::Nanos(200);    // field read + hash probe (compiled guards)
   Duration handler_install = Duration::Micros(80); // manager + dispatcher update
   Duration thread_spawn = Duration::Micros(8);     // lightweight kernel thread fork
   Duration thread_handoff = Duration::Micros(4);   // enqueue + dispatch to thread
@@ -98,6 +99,7 @@ struct CostModel {
     c.socket_layer = Duration::Nanos(500);
     c.event_dispatch = Duration::Nanos(15);
     c.guard_eval = Duration::Nanos(8);
+    c.demux_lookup = Duration::Nanos(10);
     c.thread_spawn = Duration::Micros(1);
     c.thread_handoff = Duration::Nanos(800);
     c.interrupt_entry = Duration::Nanos(600);

@@ -34,6 +34,7 @@ class Dispatcher {
         handler_invocations_(registry().counter("spin.handler_invocations")),
         guard_evals_(registry().counter("spin.guard_evals")),
         guard_rejections_(registry().counter("spin.guard_rejections")),
+        demux_lookups_(registry().counter("spin.demux_lookups")),
         terminations_(registry().counter("spin.terminations")),
         faults_(registry().counter("spin.faults")),
         quarantines_(registry().counter("spin.quarantines")) {}
@@ -45,6 +46,12 @@ class Dispatcher {
   void ChargeGuard() {
     guard_evals_.Inc();
     if (host_ != nullptr && host_->in_task()) host_->Charge(host_->costs().guard_eval);
+  }
+  // One indexed demultiplex: read the discriminating field, hash, probe.
+  // Replaces N ChargeGuard() calls on events with a compiled demux index.
+  void ChargeDemuxLookup() {
+    demux_lookups_.Inc();
+    if (host_ != nullptr && host_->in_task()) host_->Charge(host_->costs().demux_lookup);
   }
   void ChargeDispatch() {
     handler_invocations_.Inc();
@@ -68,6 +75,7 @@ class Dispatcher {
     std::uint64_t handler_invocations = 0;
     std::uint64_t guard_evals = 0;
     std::uint64_t guard_rejections = 0;
+    std::uint64_t demux_lookups = 0;  // indexed raises: one probe replaces N guard evals
     std::uint64_t terminations = 0;  // over-budget handlers cut off mid-run
     std::uint64_t faults = 0;        // exceptions fenced at the dispatch boundary
     std::uint64_t quarantines = 0;   // handlers auto-uninstalled after max strikes
@@ -75,6 +83,7 @@ class Dispatcher {
   Stats stats() const {
     return {raises_.value(),       handler_invocations_.value(),
             guard_evals_.value(),  guard_rejections_.value(),
+            demux_lookups_.value(),
             terminations_.value(), faults_.value(),
             quarantines_.value()};
   }
@@ -83,6 +92,7 @@ class Dispatcher {
     handler_invocations_.Reset();
     guard_evals_.Reset();
     guard_rejections_.Reset();
+    demux_lookups_.Reset();
     terminations_.Reset();
     faults_.Reset();
     quarantines_.Reset();
@@ -99,6 +109,7 @@ class Dispatcher {
   sim::Counter& handler_invocations_;
   sim::Counter& guard_evals_;
   sim::Counter& guard_rejections_;
+  sim::Counter& demux_lookups_;
   sim::Counter& terminations_;
   sim::Counter& faults_;
   sim::Counter& quarantines_;

@@ -5,6 +5,18 @@
 // installed handler whose guard predicate evaluates true; guards are the
 // packet filters that demultiplex the protocol graph (paper Sections 2-3).
 //
+// Guard compilation: the paper's performance claim is that "the overhead of
+// invoking each handler is roughly one procedure call" — which a linear
+// scan over every installed guard breaks as soon as many endpoints share
+// one event. When the event's owner configures a demux key (SetDemuxKey)
+// and handlers are installed with a declarative key (InstallKeyed, the
+// value extracted from a core::filter::Predicate's equality constraints),
+// Raise() reads the discriminating field once, probes a hash bucket, and
+// merges the bucket's candidates with the residual (opaque-guard and
+// unconditional) handlers in installation-id order — so observable
+// semantics are identical to the linear scan, at O(1) instead of
+// O(handlers).
+//
 // Handlers carry HandlerOptions:
 //   * ephemeral     — the handler honors the EPHEMERAL contract and may be
 //                     installed on interrupt-context events.
@@ -22,12 +34,15 @@
 #ifndef PLEXUS_SPIN_EVENT_H_
 #define PLEXUS_SPIN_EVENT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -83,6 +98,50 @@ struct HandlerInfo {
   std::string name;
   HandlerStats stats;
   bool alive = false;
+  bool indexed = false;  // dispatched via the demux index, not a guard scan
+};
+
+// The install-time side of guard compilation: keyed handlers live in hash
+// buckets (key value -> handler ids, ascending), opaque-guard and
+// unconditional handlers on a residual linear list. Raise() merges one
+// probed bucket with the residual list by id, so invocation order is
+// exactly installation order — bit-identical to the linear scan it
+// replaces. Bucket vectors are append-only while a raise is walking them
+// (removals are deferred to the post-raise sweep), which is what makes the
+// captured-size snapshot bound safe.
+class DemuxIndex {
+ public:
+  void AddResidual(HandlerId id) { residuals_.push_back(id); }
+
+  void AddKeyed(HandlerId id, std::uint64_t key) {
+    auto& bucket = buckets_[key];
+    bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), id), id);
+  }
+
+  void RemoveKeyed(HandlerId id, std::uint64_t key) {
+    auto it = buckets_.find(key);
+    if (it == buckets_.end()) return;
+    std::erase(it->second, id);
+    if (it->second.empty()) buckets_.erase(it);
+  }
+
+  void RemoveResidual(HandlerId id) { std::erase(residuals_, id); }
+
+  // The candidate list for one key value; nullptr when no handler is
+  // bucketed there. The returned vector stays valid across inserts of
+  // *other* keys (unordered_map references are rehash-stable).
+  const std::vector<HandlerId>* Probe(std::uint64_t key) const {
+    auto it = buckets_.find(key);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+  const std::vector<HandlerId>& residuals() const { return residuals_; }
+  bool has_keyed() const { return !buckets_.empty(); }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<HandlerId>> buckets_;
+  std::vector<HandlerId> residuals_;
 };
 
 template <typename... Args>
@@ -90,6 +149,11 @@ class Event {
  public:
   using Handler = std::function<void(Args...)>;
   using Guard = std::function<bool(Args...)>;
+  // Reads the event's discriminating field from the raise arguments — once
+  // per raise, instead of once per installed guard. nullopt means the
+  // field is unreadable (e.g. a truncated header): only residual handlers
+  // are considered, matching the fail-closed guards the index replaces.
+  using KeyExtractor = std::function<std::optional<std::uint64_t>(Args...)>;
 
   explicit Event(std::string name, Dispatcher* dispatcher = nullptr)
       : name_(std::move(name)), dispatcher_(dispatcher) {}
@@ -103,44 +167,118 @@ class Event {
   void set_requires_ephemeral(bool v) { requires_ephemeral_ = v; }
   bool requires_ephemeral() const { return requires_ephemeral_; }
 
+  // Enables indexed demultiplexing: handlers installed with InstallKeyed()
+  // are bucketed by the value `extract` reads from the raise arguments.
+  // `field_name` is reporting-only (e.g. "udp.dst_port"). Must be
+  // configured by the event's owning manager before any keyed install.
+  void SetDemuxKey(std::string field_name, KeyExtractor extract) {
+    demux_field_ = std::move(field_name);
+    extractor_ = std::move(extract);
+    demux_span_name_ = "demux:" + name_;
+  }
+  bool demux_enabled() const { return extractor_ != nullptr; }
+  const std::string& demux_field() const { return demux_field_; }
+
   // Installs a handler with an optional guard. A null guard always passes
-  // (an unconditional handler).
+  // (an unconditional handler). These handlers stay on the residual linear
+  // list: their guard is evaluated on every raise.
   Result<HandlerId> Install(Handler handler, Guard guard = nullptr, HandlerOptions opts = {}) {
-    if (!handler) return Errorf("Install(" + name_ + "): null handler");
-    if (requires_ephemeral_ && !opts.ephemeral) {
-      return Errorf("Install(" + name_ + "): event runs at interrupt level; handler '" +
-                    opts.name + "' is not EPHEMERAL");
-    }
-    if (opts.time_limit > sim::Duration::Zero() && !opts.ephemeral) {
-      return Errorf("Install(" + name_ + "): a time limit may only be assigned to an "
-                    "EPHEMERAL handler");
-    }
-    if (dispatcher_ != nullptr) dispatcher_->ChargeInstall();
-    const HandlerId id = next_id_++;
-    entries_.push_back(Entry{id, std::move(guard), std::move(handler), std::move(opts), {}, true});
+    auto checked = CheckInstall(handler, opts);
+    if (!checked.ok()) return checked;
+    const HandlerId id = Append(std::move(handler), std::move(guard), std::move(opts),
+                                /*indexed=*/false, {});
+    index_.AddResidual(id);
     return id;
   }
 
-  bool Uninstall(HandlerId id) {
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->id == id && it->alive) {
-        if (raising_ > 0) {
-          // A raise is walking the deque: mark dead, sweep afterwards.
-          it->alive = false;
-          needs_sweep_ = true;
-        } else {
-          Entomb(*it);
-          entries_.erase(it);
-        }
-        return true;
-      }
-    }
-    return false;
+  // Installs a handler behind the demux index: it is only considered when
+  // the extracted field equals one of `keys`. `verify` (optional) is the
+  // residual guard evaluated on bucket hits — used when the declarative
+  // predicate constrains more than the discriminating field; null means
+  // the key fully captures the guard and the handler is invoked directly.
+  Result<HandlerId> InstallKeyed(Handler handler, std::uint64_t key, Guard verify = nullptr,
+                                 HandlerOptions opts = {}) {
+    return InstallKeyed(std::move(handler), std::vector<std::uint64_t>{key}, std::move(verify),
+                        std::move(opts));
   }
 
-  // Raises the event: evaluates each handler's guard and invokes those that
-  // pass, in installation order. Returns the number of handlers that ran to
-  // completion (terminated and faulted handlers do not count).
+  Result<HandlerId> InstallKeyed(Handler handler, std::vector<std::uint64_t> keys,
+                                 Guard verify = nullptr, HandlerOptions opts = {}) {
+    if (extractor_ == nullptr) {
+      return Errorf("InstallKeyed(" + name_ + "): event has no demux key configured");
+    }
+    std::sort(keys.begin(), keys.end());
+    if (std::adjacent_find(keys.begin(), keys.end()) != keys.end()) {
+      return Errorf("InstallKeyed(" + name_ + "): duplicate demux key");
+    }
+    auto checked = CheckInstall(handler, opts);
+    if (!checked.ok()) return checked;
+    const HandlerId id = Append(std::move(handler), std::move(verify), std::move(opts),
+                                /*indexed=*/true, keys);
+    for (std::uint64_t k : keys) index_.AddKeyed(id, k);
+    return id;
+  }
+
+  // Grows/shrinks the key set of an indexed handler at runtime (e.g. a
+  // special TCP implementation claiming a NAT port on demand). During a
+  // raise the change is deferred to the post-raise sweep — the same
+  // snapshot rule as installs: a raise never observes key churn it did not
+  // start with.
+  bool AddHandlerKey(HandlerId id, std::uint64_t key) {
+    Entry* e = FindAlive(id);
+    if (e == nullptr || !e->indexed) return false;
+    if (std::find(e->keys.begin(), e->keys.end(), key) != e->keys.end()) return false;
+    if (raising_ > 0) {
+      pending_key_ops_.push_back(KeyOp{true, id, key});
+      needs_sweep_ = true;
+      return true;
+    }
+    e->keys.push_back(key);
+    index_.AddKeyed(id, key);
+    return true;
+  }
+
+  bool RemoveHandlerKey(HandlerId id, std::uint64_t key) {
+    Entry* e = FindAlive(id);
+    if (e == nullptr || !e->indexed) return false;
+    if (std::find(e->keys.begin(), e->keys.end(), key) == e->keys.end()) return false;
+    if (raising_ > 0) {
+      pending_key_ops_.push_back(KeyOp{false, id, key});
+      needs_sweep_ = true;
+      return true;
+    }
+    std::erase(e->keys, key);
+    index_.RemoveKeyed(id, key);
+    return true;
+  }
+
+  bool Uninstall(HandlerId id) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) return false;
+    Entry& e = entries_[it->second];
+    if (!e.alive) return false;
+    if (raising_ > 0) {
+      // A raise is walking the handlers: mark dead, sweep afterwards.
+      e.alive = false;
+      needs_sweep_ = true;
+      return true;
+    }
+    Entomb(e);
+    EraseEntryAt(it->second);
+    return true;
+  }
+
+  // Raises the event: determines the handlers whose guards pass and
+  // invokes them in installation order. Returns the number of handlers
+  // that ran to completion (terminated and faulted handlers do not count).
+  //
+  // With a demux key configured, dispatch is indexed: one field read + one
+  // hash probe replaces the linear evaluation of every keyed guard; the
+  // probed bucket is merged with the residual list in installation-id
+  // order, so invocation order, the reentrancy snapshot bound, mid-raise
+  // uninstall, and the quarantine sweep behave exactly as in the linear
+  // scan. The simulated cost model charges one demux_lookup for the probe
+  // instead of N guard_evals.
   //
   // Fault containment: while a handler with a time limit runs, a measured
   // budget fence is active — sim::Host::Charge trips it mid-handler once
@@ -158,74 +296,50 @@ class Event {
   std::size_t Raise(Args... args) {
     if (dispatcher_ != nullptr) dispatcher_->CountRaise();
     sim::Host* host = dispatcher_ != nullptr ? dispatcher_->host() : nullptr;
-    // One load + branch when tracing is off; span names (which may allocate)
-    // are only built on the enabled path.
+    // One load + branch when tracing is off; span names are prebuilt at
+    // install time, so the enabled path allocates nothing per guard.
     const bool tracing = host != nullptr && host->tracing();
     sim::TraceSpan raise_span;
     if (tracing) raise_span.Begin(*host, name_, "dispatch");
     std::size_t invoked = 0;
-    const std::size_t bound = entries_.size();
     ++raising_;
-    for (std::size_t i = 0; i < bound; ++i) {
-      Entry& e = entries_[i];
-      if (!e.alive) continue;  // uninstalled mid-raise
-      if (e.guard) {
-        sim::TraceSpan guard_span;
-        if (tracing) guard_span.Begin(*host, "guard:" + DisplayName(e), "guard");
-        if (dispatcher_ != nullptr) dispatcher_->ChargeGuard();
-        if (!e.guard(args...)) {
-          ++e.stats.guard_rejections;
-          if (dispatcher_ != nullptr) dispatcher_->CountGuardReject();
-          continue;
-        }
+    if (extractor_ != nullptr) {
+      const std::vector<HandlerId>* bucket = nullptr;
+      if (index_.has_keyed()) {
+        sim::TraceSpan demux_span;
+        if (tracing) demux_span.Begin(*host, demux_span_name_, "demux");
+        if (dispatcher_ != nullptr) dispatcher_->ChargeDemuxLookup();
+        const std::optional<std::uint64_t> key = extractor_(args...);
+        if (key.has_value()) bucket = index_.Probe(*key);
       }
-      const bool measurable =
-          host != nullptr && host->in_task() && e.opts.time_limit > sim::Duration::Zero();
-      if (!measurable && e.opts.time_limit > sim::Duration::Zero() &&
-          e.opts.declared_cost > e.opts.time_limit) {
-        // No measuring substrate (free-running event): fall back to the
-        // declared-cost admission check. The budget the handler would have
-        // burned before termination is still charged to the CPU.
-        if (dispatcher_ != nullptr) dispatcher_->Charge(e.opts.time_limit);
-        RecordTermination(e, HandlerTerminated(DisplayName(e), e.opts.time_limit));
-        continue;
-      }
-      if (dispatcher_ != nullptr) dispatcher_->ChargeDispatch();
-      try {
-        // Opened before the budget fence so a mid-handler termination still
-        // unwinds through the span and leaves a balanced trace.
-        sim::TraceSpan handler_span;
-        if (tracing) handler_span.Begin(*host, DisplayName(e), "handler");
-        // The fence brackets the declared entry charge and the handler body:
-        // termination strikes whenever *measured* time crosses the limit,
-        // whether at admission or deep inside the handler.
-        BudgetScope budget(measurable ? host : nullptr, e.opts.time_limit, DisplayName(e));
-        if (dispatcher_ != nullptr) dispatcher_->Charge(e.opts.declared_cost);
-        ++e.stats.invocations;
-        if (e.opts.ephemeral) {
-          EphemeralScope scope;
-          e.handler(args...);
+      // Sizes captured up front: handlers installed during this raise land
+      // beyond them and are not visited (the snapshot bound). Both vectors
+      // are append-only while raising_ > 0 (removals defer to the sweep).
+      const std::size_t nb = bucket != nullptr ? bucket->size() : 0;
+      const std::size_t nr = index_.residuals().size();
+      std::size_t ib = 0, ir = 0;
+      while (ib < nb || ir < nr) {
+        HandlerId id;
+        if (ir >= nr || (ib < nb && (*bucket)[ib] < index_.residuals()[ir])) {
+          id = (*bucket)[ib++];
         } else {
-          e.handler(args...);
+          id = index_.residuals()[ir++];
         }
-        ++invoked;
-      } catch (const HandlerTerminated& t) {
-        RecordTermination(e, t);
-      } catch (const std::exception& ex) {
-        if (!e.opts.fault.isolate) throw;  // trusted handler: propagate
-        RecordFault(e, ex.what());
-      } catch (...) {
-        if (!e.opts.fault.isolate) throw;
-        RecordFault(e, "non-standard exception");
+        auto it = by_id_.find(id);
+        if (it == by_id_.end()) continue;
+        Entry& e = entries_[it->second];
+        if (!e.alive) continue;  // uninstalled mid-raise
+        invoked += DispatchTo(e, host, tracing, args...);
+      }
+    } else {
+      const std::size_t bound = entries_.size();
+      for (std::size_t i = 0; i < bound; ++i) {
+        Entry& e = entries_[i];
+        if (!e.alive) continue;  // uninstalled mid-raise
+        invoked += DispatchTo(e, host, tracing, args...);
       }
     }
-    if (--raising_ == 0 && needs_sweep_) {
-      needs_sweep_ = false;
-      for (const Entry& e : entries_) {
-        if (!e.alive) Entomb(e);
-      }
-      std::erase_if(entries_, [](const Entry& e) { return !e.alive; });
-    }
+    if (--raising_ == 0 && needs_sweep_) Sweep();
     return invoked;
   }
 
@@ -237,15 +351,23 @@ class Event {
     return n;
   }
 
+  // Handlers reachable only through a demux bucket (vs the residual scan).
+  std::size_t indexed_handler_count() const {
+    std::size_t n = 0;
+    for (const Entry& e : entries_) {
+      if (e.alive && e.indexed) ++n;
+    }
+    return n;
+  }
+
   // Stats survive uninstall and quarantine: swept handlers leave a
   // tombstone, so post-quarantine assertions and DescribeGraph report true
   // counts instead of silently zeroed ones.
   HandlerStats stats(HandlerId id) const {
-    for (const Entry& e : entries_) {
-      if (e.id == id) return e.stats;
-    }
-    auto it = tombstones_.find(id);
-    if (it != tombstones_.end()) return it->second.stats;
+    auto it = by_id_.find(id);
+    if (it != by_id_.end()) return entries_[it->second].stats;
+    auto t = tombstones_.find(id);
+    if (t != tombstones_.end()) return t->second.stats;
     return {};
   }
 
@@ -254,7 +376,7 @@ class Event {
     std::vector<std::string> out;
     for (const Entry& e : entries_) {
       if (!e.alive) continue;
-      out.push_back(DisplayName(e));
+      out.push_back(e.display_name);
     }
     return out;
   }
@@ -265,34 +387,172 @@ class Event {
     std::vector<HandlerInfo> out;
     for (const Entry& e : entries_) {
       if (!e.alive) continue;
-      out.push_back(HandlerInfo{e.id, DisplayName(e), e.stats, /*alive=*/true});
+      out.push_back(HandlerInfo{e.id, e.display_name, e.stats, /*alive=*/true, e.indexed});
     }
     for (const auto& [id, t] : tombstones_) {
       if (!t.stats.quarantined) continue;  // plain uninstalls stay out of the graph view
-      out.push_back(HandlerInfo{id, t.name, t.stats, /*alive=*/false});
+      out.push_back(HandlerInfo{id, t.name, t.stats, /*alive=*/false, /*indexed=*/false});
     }
     return out;
   }
 
  private:
   struct Entry {
-    HandlerId id;
-    Guard guard;
+    HandlerId id = kInvalidHandlerId;
+    Guard guard;  // residual guard, or an indexed handler's verify guard (may be null)
     Handler handler;
     HandlerOptions opts;
     HandlerStats stats;
     bool alive = true;
+    bool indexed = false;
+    std::vector<std::uint64_t> keys;  // demux keys (indexed handlers only)
+    // Flattened at install time so the raise path never rebuilds them:
+    std::string display_name;
+    std::string guard_span_name;  // "guard:" + display_name
+    bool has_time_limit = false;
   };
   struct Tombstone {
     std::string name;
     HandlerStats stats;
   };
+  struct KeyOp {
+    bool add;
+    HandlerId id;
+    std::uint64_t key;
+  };
 
-  static std::string DisplayName(const Entry& e) {
-    return e.opts.name.empty() ? ("handler#" + std::to_string(e.id)) : e.opts.name;
+  Result<HandlerId> CheckInstall(const Handler& handler, const HandlerOptions& opts) const {
+    if (!handler) return Errorf("Install(" + name_ + "): null handler");
+    if (requires_ephemeral_ && !opts.ephemeral) {
+      return Errorf("Install(" + name_ + "): event runs at interrupt level; handler '" +
+                    opts.name + "' is not EPHEMERAL");
+    }
+    if (opts.time_limit > sim::Duration::Zero() && !opts.ephemeral) {
+      return Errorf("Install(" + name_ + "): a time limit may only be assigned to an "
+                    "EPHEMERAL handler");
+    }
+    return kInvalidHandlerId;  // placeholder: callers only test ok()
   }
 
-  void Entomb(const Entry& e) { tombstones_[e.id] = Tombstone{DisplayName(e), e.stats}; }
+  HandlerId Append(Handler handler, Guard guard, HandlerOptions opts, bool indexed,
+                   std::vector<std::uint64_t> keys) {
+    if (dispatcher_ != nullptr) dispatcher_->ChargeInstall();
+    const HandlerId id = next_id_++;
+    Entry e;
+    e.id = id;
+    e.guard = std::move(guard);
+    e.handler = std::move(handler);
+    e.opts = std::move(opts);
+    e.indexed = indexed;
+    e.keys = std::move(keys);
+    e.display_name = e.opts.name.empty() ? ("handler#" + std::to_string(id)) : e.opts.name;
+    e.guard_span_name = "guard:" + e.display_name;
+    e.has_time_limit = e.opts.time_limit > sim::Duration::Zero();
+    entries_.push_back(std::move(e));
+    by_id_[id] = entries_.size() - 1;
+    return id;
+  }
+
+  // Guard check + budget fence + invocation + fault containment for one
+  // handler: shared by the indexed and linear dispatch paths. Returns 1 if
+  // the handler ran to completion.
+  std::size_t DispatchTo(Entry& e, sim::Host* host, bool tracing, Args... args) {
+    if (e.guard) {
+      sim::TraceSpan guard_span;
+      if (tracing) guard_span.Begin(*host, e.guard_span_name, "guard");
+      if (dispatcher_ != nullptr) dispatcher_->ChargeGuard();
+      if (!e.guard(args...)) {
+        ++e.stats.guard_rejections;
+        if (dispatcher_ != nullptr) dispatcher_->CountGuardReject();
+        return 0;
+      }
+    }
+    const bool measurable = host != nullptr && host->in_task() && e.has_time_limit;
+    if (!measurable && e.has_time_limit && e.opts.declared_cost > e.opts.time_limit) {
+      // No measuring substrate (free-running event): fall back to the
+      // declared-cost admission check. The budget the handler would have
+      // burned before termination is still charged to the CPU.
+      if (dispatcher_ != nullptr) dispatcher_->Charge(e.opts.time_limit);
+      RecordTermination(e, HandlerTerminated(e.display_name, e.opts.time_limit));
+      return 0;
+    }
+    if (dispatcher_ != nullptr) dispatcher_->ChargeDispatch();
+    try {
+      // Opened before the budget fence so a mid-handler termination still
+      // unwinds through the span and leaves a balanced trace.
+      sim::TraceSpan handler_span;
+      if (tracing) handler_span.Begin(*host, e.display_name, "handler");
+      // The fence brackets the declared entry charge and the handler body:
+      // termination strikes whenever *measured* time crosses the limit,
+      // whether at admission or deep inside the handler.
+      BudgetScope budget(measurable ? host : nullptr, e.opts.time_limit, e.display_name);
+      if (dispatcher_ != nullptr) dispatcher_->Charge(e.opts.declared_cost);
+      ++e.stats.invocations;
+      if (e.opts.ephemeral) {
+        EphemeralScope scope;
+        e.handler(args...);
+      } else {
+        e.handler(args...);
+      }
+      return 1;
+    } catch (const HandlerTerminated& t) {
+      RecordTermination(e, t);
+    } catch (const std::exception& ex) {
+      if (!e.opts.fault.isolate) throw;  // trusted handler: propagate
+      RecordFault(e, ex.what());
+    } catch (...) {
+      if (!e.opts.fault.isolate) throw;
+      RecordFault(e, "non-standard exception");
+    }
+    return 0;
+  }
+
+  Entry* FindAlive(HandlerId id) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) return nullptr;
+    Entry& e = entries_[it->second];
+    return e.alive ? &e : nullptr;
+  }
+
+  void Entomb(const Entry& e) { tombstones_[e.id] = Tombstone{e.display_name, e.stats}; }
+
+  void DropFromDispatchLists(const Entry& e) {
+    if (e.indexed) {
+      for (std::uint64_t k : e.keys) index_.RemoveKeyed(e.id, k);
+    } else {
+      index_.RemoveResidual(e.id);
+    }
+  }
+
+  void EraseEntryAt(std::size_t pos) {
+    DropFromDispatchLists(entries_[pos]);
+    by_id_.erase(entries_[pos].id);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(pos));
+    for (std::size_t i = pos; i < entries_.size(); ++i) by_id_[entries_[i].id] = i;
+  }
+
+  void Sweep() {
+    needs_sweep_ = false;
+    for (const Entry& e : entries_) {
+      if (e.alive) continue;
+      Entomb(e);
+      DropFromDispatchLists(e);
+      by_id_.erase(e.id);
+    }
+    std::erase_if(entries_, [](const Entry& e) { return !e.alive; });
+    for (std::size_t i = 0; i < entries_.size(); ++i) by_id_[entries_[i].id] = i;
+    // Key changes requested mid-raise take effect here — raising_ is 0, so
+    // these recurse into the immediate path.
+    std::vector<KeyOp> pending;
+    pending.swap(pending_key_ops_);
+    for (const KeyOp& op : pending) {
+      if (op.add) {
+        AddHandlerKey(op.id, op.key);
+      } else {
+        RemoveHandlerKey(op.id, op.key);
+      }
+    }
+  }
 
   void RecordTermination(Entry& e, const HandlerTerminated& t) {
     ++e.stats.terminations;
@@ -327,6 +587,14 @@ class Event {
   Dispatcher* dispatcher_;
   bool requires_ephemeral_ = false;
   std::deque<Entry> entries_;
+  // id -> position in entries_. Rebuilt from the erase point on removal;
+  // O(1) on the hot paths (Raise candidate lookup, stats, Uninstall find).
+  std::unordered_map<HandlerId, std::size_t> by_id_;
+  DemuxIndex index_;
+  KeyExtractor extractor_;
+  std::string demux_field_;
+  std::string demux_span_name_;
+  std::vector<KeyOp> pending_key_ops_;  // key churn deferred past the raise
   // Stats of removed handlers, keyed by id. The simulator's handler
   // population is small and ids are never reused, so this stays bounded.
   std::map<HandlerId, Tombstone> tombstones_;

@@ -1,0 +1,221 @@
+// Property test for guard compilation: an event dispatching through the
+// demux index must be observably identical to the linear guard scan it
+// replaces — same handlers invoked, same order, same per-handler stats —
+// under a randomized (seeded, deterministic) mix of keyed, lambda-guarded,
+// and unconditional handlers, including mid-raise installs, mid-raise
+// uninstalls, and strike-based quarantine.
+//
+// Two mirrored events run the same logical script: the reference side
+// installs every handler on the linear path (keyed specs become equality
+// lambda guards), the indexed side installs keyed specs via InstallKeyed.
+// After every raise the invocation logs must match exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "spin/event.h"
+
+namespace {
+
+using Ev = spin::Event<int>;
+
+constexpr int kKeySpace = 24;  // raise values / demux keys live in [0, 24)
+
+enum class Kind { kKeyed, kLambda, kUncond };
+
+// What a logical handler does, decided once by the shared RNG and applied
+// identically to both sides.
+struct Spec {
+  Kind kind = Kind::kUncond;
+  int key = 0;    // match value for keyed/lambda guards
+  int chaos = 0;  // 0: none, 1: uninstall `target` mid-raise,
+                  // 2: install a fresh keyed handler mid-raise, 3: throw
+  int target = 0;
+};
+
+struct Side {
+  explicit Side(bool use_index) : indexed(use_index), ev(use_index ? "indexed" : "linear") {
+    if (use_index) {
+      ev.SetDemuxKey("k", [](int v) {
+        return std::optional<std::uint64_t>(static_cast<std::uint64_t>(v));
+      });
+    }
+  }
+  bool indexed = false;
+  Ev ev;
+  std::vector<spin::HandlerId> ids;  // logical index -> handler id
+  std::vector<int> log;              // logical indices in invocation order
+  int dynamic_seq = 0;               // labels handlers born mid-raise
+};
+
+void InstallLogical(Side& s, int logical, const Spec& spec) {
+  Side* side = &s;
+  auto body = [side, logical, spec](int) {
+    side->log.push_back(logical);
+    switch (spec.chaos) {
+      case 1:
+        if (spec.target < static_cast<int>(side->ids.size())) {
+          side->ev.Uninstall(side->ids[static_cast<std::size_t>(spec.target)]);
+        }
+        break;
+      case 2: {
+        // A handler born mid-raise: must not run in the raise that created
+        // it (snapshot bound) on either side. Logged as 1000+sequence so
+        // the logs still compare across sides.
+        const int label = 1000 + side->dynamic_seq++;
+        const std::uint64_t key = static_cast<std::uint64_t>(spec.key);
+        auto dyn = [side, label](int) { side->log.push_back(label); };
+        if (side->indexed) {
+          (void)side->ev.InstallKeyed(dyn, key);
+        } else {
+          (void)side->ev.Install(dyn, [key](int v) {
+            return static_cast<std::uint64_t>(v) == key;
+          });
+        }
+        break;
+      }
+      case 3:
+        throw std::runtime_error("chaos handler fault");
+      default:
+        break;
+    }
+  };
+  spin::HandlerOptions opts;
+  opts.name = "h" + std::to_string(logical);
+  if (spec.chaos == 3) {
+    opts.fault.isolate = true;
+    opts.fault.max_strikes = 2;  // quarantined on the second invocation
+  }
+  spin::Result<spin::HandlerId> r = spin::Errorf("unset");
+  switch (spec.kind) {
+    case Kind::kKeyed:
+      if (s.indexed) {
+        r = s.ev.InstallKeyed(body, static_cast<std::uint64_t>(spec.key), nullptr, opts);
+      } else {
+        const int key = spec.key;
+        r = s.ev.Install(body, [key](int v) { return v == key; }, opts);
+      }
+      break;
+    case Kind::kLambda: {
+      // An opaque guard the compiler cannot index: stays residual on both
+      // sides. Matches two adjacent keys to differ from the keyed shape.
+      const int key = spec.key;
+      r = s.ev.Install(body, [key](int v) { return v == key || v == key + 1; }, opts);
+      break;
+    }
+    case Kind::kUncond:
+      r = s.ev.Install(body, nullptr, opts);
+      break;
+  }
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  ASSERT_EQ(static_cast<int>(s.ids.size()), logical);
+  s.ids.push_back(r.value());
+}
+
+TEST(DemuxEquivalence, RandomizedMirrorRunsIdentically) {
+  std::mt19937 rng(0xC0FFEE);
+  std::uniform_int_distribution<int> percent(0, 99);
+  std::uniform_int_distribution<int> key_dist(0, kKeySpace - 1);
+
+  Side lin(/*indexed=*/false);
+  Side idx(/*indexed=*/true);
+  std::vector<Spec> specs;
+
+  auto install_random = [&] {
+    Spec spec;
+    const int k = percent(rng);
+    spec.kind = k < 50 ? Kind::kKeyed : (k < 80 ? Kind::kLambda : Kind::kUncond);
+    spec.key = key_dist(rng);
+    const int c = percent(rng);
+    spec.chaos = c < 70 ? 0 : (c < 80 ? 1 : (c < 90 ? 2 : 3));
+    // chaos 3 (throwing) only composes with isolate; keep the spec as-is.
+    spec.target = std::uniform_int_distribution<int>(
+        0, std::max(0, static_cast<int>(specs.size()) - 1))(rng);
+    const int logical = static_cast<int>(specs.size());
+    specs.push_back(spec);
+    InstallLogical(lin, logical, spec);
+    InstallLogical(idx, logical, spec);
+  };
+
+  // Seed population before the randomized phase.
+  for (int i = 0; i < 12; ++i) install_random();
+
+  int raises = 0;
+  for (int round = 0; round < 600; ++round) {
+    const int action = percent(rng);
+    if (action < 15) {
+      install_random();
+    } else if (action < 25 && !specs.empty()) {
+      const int logical = std::uniform_int_distribution<int>(
+          0, static_cast<int>(specs.size()) - 1)(rng);
+      const bool a = lin.ev.Uninstall(lin.ids[static_cast<std::size_t>(logical)]);
+      const bool b = idx.ev.Uninstall(idx.ids[static_cast<std::size_t>(logical)]);
+      ASSERT_EQ(a, b) << "uninstall divergence at round " << round;
+    } else {
+      const int v = key_dist(rng);
+      const std::size_t a = lin.ev.Raise(v);
+      const std::size_t b = idx.ev.Raise(v);
+      ++raises;
+      ASSERT_EQ(a, b) << "raise return divergence at round " << round;
+      ASSERT_EQ(lin.log, idx.log) << "invocation order divergence at round " << round;
+    }
+  }
+  ASSERT_GT(raises, 300);  // the script actually exercised dispatch
+  ASSERT_EQ(lin.log, idx.log);
+  EXPECT_EQ(lin.ev.handler_count(), idx.ev.handler_count());
+
+  // Per-handler stats match, except guard_rejections: indexed keyed
+  // handlers never evaluate a guard (that is the point), so only
+  // residual-path handlers are expected to agree on rejections.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto sa = lin.ev.stats(lin.ids[i]);
+    const auto sb = idx.ev.stats(idx.ids[i]);
+    EXPECT_EQ(sa.invocations, sb.invocations) << "h" << i;
+    EXPECT_EQ(sa.terminations, sb.terminations) << "h" << i;
+    EXPECT_EQ(sa.faults, sb.faults) << "h" << i;
+    EXPECT_EQ(sa.quarantined, sb.quarantined) << "h" << i;
+    if (specs[i].kind != Kind::kKeyed) {
+      EXPECT_EQ(sa.guard_rejections, sb.guard_rejections) << "h" << i;
+    }
+  }
+}
+
+// The same mirror under concentrated quarantine pressure: every faulty
+// handler must strike out at the same raise on both sides.
+TEST(DemuxEquivalence, QuarantineFiresIdentically) {
+  Side lin(/*indexed=*/false);
+  Side idx(/*indexed=*/true);
+  std::vector<Spec> specs;
+  for (int i = 0; i < 8; ++i) {
+    Spec spec;
+    spec.kind = i % 2 == 0 ? Kind::kKeyed : Kind::kUncond;
+    spec.key = i % 4;
+    spec.chaos = i % 2 == 0 ? 3 : 0;  // every keyed handler throws
+    specs.push_back(spec);
+    InstallLogical(lin, i, spec);
+    InstallLogical(idx, i, spec);
+  }
+  for (int round = 0; round < 10; ++round) {
+    const int v = round % 4;
+    ASSERT_EQ(lin.ev.Raise(v), idx.ev.Raise(v)) << round;
+    ASSERT_EQ(lin.log, idx.log) << round;
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto sa = lin.ev.stats(lin.ids[i]);
+    const auto sb = idx.ev.stats(idx.ids[i]);
+    EXPECT_EQ(sa.faults, sb.faults) << i;
+    EXPECT_EQ(sa.quarantined, sb.quarantined) << i;
+    if (specs[i].chaos == 3) {
+      EXPECT_TRUE(sb.quarantined) << i;
+    }
+  }
+  EXPECT_EQ(lin.ev.handler_count(), idx.ev.handler_count());
+  EXPECT_EQ(idx.ev.handler_count(), 4u);  // the throwers are gone
+}
+
+}  // namespace

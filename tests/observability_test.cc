@@ -259,12 +259,14 @@ PingArtifacts RunTracedPing() {
   return out;
 }
 
-TEST(Observability, ChromeTraceNestsDriverDispatchGuardHandler) {
+TEST(Observability, ChromeTraceNestsDriverDispatchDemuxHandler) {
   const PingArtifacts art = RunTracedPing();
 
   // Find the receive-side structure: nic.rx at task root, the event raise
-  // below it, guards and handlers below the raise.
-  int rx_depth = -1, raise_depth = -1, guard_depth = -1, handler_depth = -1;
+  // below it, the demux probe and handlers below the raise. (The ping path
+  // is fully indexed, so the per-guard spans of the linear scan are
+  // replaced by one demux span per raise.)
+  int rx_depth = -1, raise_depth = -1, demux_depth = -1, handler_depth = -1;
   std::uint64_t rx_id = 0;
   for (const auto& r : art.records) {
     if (r.kind != sim::Tracer::Record::Kind::kSpan) continue;
@@ -273,12 +275,12 @@ TEST(Observability, ChromeTraceNestsDriverDispatchGuardHandler) {
       rx_id = r.trace_id;
     }
     if (r.name == "Ethernet.PacketRecv" && raise_depth < 0) raise_depth = r.depth;
-    if (r.category == "guard" && guard_depth < 0) guard_depth = r.depth;
+    if (r.category == "demux" && demux_depth < 0) demux_depth = r.depth;
     if (r.category == "handler" && handler_depth < 0) handler_depth = r.depth;
   }
   EXPECT_EQ(rx_depth, 0);         // interrupt task root
   EXPECT_GT(raise_depth, rx_depth);
-  EXPECT_GT(guard_depth, raise_depth);
+  EXPECT_GT(demux_depth, raise_depth);
   EXPECT_GT(handler_depth, raise_depth);
   EXPECT_NE(rx_id, 0u);  // the delivered frame carried a packet id
 
@@ -342,13 +344,16 @@ TEST(Observability, MetricsCoverEveryLayerOfThePingPath) {
   const PingArtifacts art = RunTracedPing();
   for (const char* key : {"\"nic0.tx_frames\"", "\"nic0.rx_frames\"",
                           "\"spin.raises\"", "\"spin.handler_invocations\"",
+                          "\"spin.demux_lookups\"",
                           "\"ip.tx_packets\"", "\"ip.rx_packets\"",
                           "\"arp.requests_sent\""}) {
     EXPECT_NE(art.metrics_a.find(key), std::string::npos) << key << " missing:\n"
                                                           << art.metrics_a;
   }
-  // The breakdown has the layers the paper's Section 4 argues about.
-  for (const char* cat : {"\"driver\"", "\"dispatch\"", "\"guard\"", "\"handler\"",
+  // The breakdown has the layers the paper's Section 4 argues about (the
+  // indexed dispatcher charges "demux" where the linear scan charged
+  // "guard").
+  for (const char* cat : {"\"driver\"", "\"dispatch\"", "\"demux\"", "\"handler\"",
                           "\"ip\"", "\"udp\"", "\"checksum\"", "\"eth\""}) {
     EXPECT_NE(art.breakdown_json.find(cat), std::string::npos)
         << cat << " missing:\n"

@@ -88,6 +88,48 @@ TEST(PacketFilter, OpCountAndToString) {
   EXPECT_EQ(Predicate::True().OpCount(), 1u);
 }
 
+// --- introspection for guard compilation -------------------------------------
+
+TEST(PacketFilter, ExactMatchesCollectsConjunctionLeaves) {
+  const auto p = Predicate::UdpDstPort(6000);
+  const auto matches = p.ExactMatches();
+  // ethertype==0x0800 && protocol==17 && dst_port==6000: all three are
+  // necessary equality constraints.
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(p.ExactMatchKey(kEtherTypeField), net::ethertype::kIpv4);
+  EXPECT_EQ(p.ExactMatchKey(kIpProtocolField), net::ipproto::kUdp);
+  EXPECT_EQ(p.ExactMatchKey(kUdpDstPortField), 6000u);
+}
+
+TEST(PacketFilter, ExactMatchKeyAbsentWhenFieldUnconstrained) {
+  EXPECT_EQ(Predicate::EtherType(net::ethertype::kArp).ExactMatchKey(kUdpDstPortField),
+            std::nullopt);
+  EXPECT_EQ(Predicate::True().ExactMatchKey(kEtherTypeField), std::nullopt);
+}
+
+TEST(PacketFilter, OrAndNotSubtreesContributeNoConstraints) {
+  // An OR'd port constraint is not *necessary*, so it must not be offered
+  // as a discriminator — but it must not poison the conjoined ethertype
+  // constraint either.
+  const auto p = Predicate::EtherType(net::ethertype::kIpv4) &&
+                 (Predicate::UdpDstPort(7) || Predicate::UdpDstPort(8));
+  EXPECT_EQ(p.ExactMatchKey(kEtherTypeField), net::ethertype::kIpv4);
+  EXPECT_EQ(p.ExactMatchKey(kUdpDstPortField), std::nullopt);
+
+  const auto q = !Predicate::UdpDstPort(7);
+  EXPECT_EQ(q.ExactMatchKey(kUdpDstPortField), std::nullopt);
+}
+
+TEST(PacketFilter, ExactMatchKeyDistinguishesFieldsByMask) {
+  // A masked prefix compare is a different FieldRef from the exact 32-bit
+  // field at the same offset; neither must be confused for the other.
+  const auto p = Predicate::U32Masked(14 + 12, 0xffff0000, 0x0a000000);
+  const FieldRef exact_src{14 + 12, 4, 0xffffffff};
+  const FieldRef masked_src{14 + 12, 4, 0xffff0000};
+  EXPECT_EQ(p.ExactMatchKey(exact_src), std::nullopt);
+  EXPECT_EQ(p.ExactMatchKey(masked_src), 0x0a000000u);
+}
+
 TEST(PacketFilter, EvalOnMbufChainAcrossSegments) {
   auto bytes = Frame(net::ethertype::kIpv4, net::ipproto::kUdp, {10, 0, 0, 1}, {10, 0, 0, 2}, 7);
   net::MbufPtr m = net::Mbuf::FromBytes({bytes.data(), 13});  // split inside eth header

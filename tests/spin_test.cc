@@ -505,5 +505,150 @@ TEST(Linker, InstallUninstallMidTrafficViaExtension) {
   EXPECT_EQ(received, 2);
 }
 
+// --- guard compilation: the demux index --------------------------------------
+
+TEST(Demux, InstallKeyedRequiresConfiguredKey) {
+  Event<int> ev("Test.NoKey");
+  auto r = ev.InstallKeyed([](int) {}, 7);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Demux, DuplicateKeysInOneInstallRejected) {
+  Event<int> ev("Test.Dup");
+  ev.SetDemuxKey("k", [](int v) { return std::optional<std::uint64_t>(
+                          static_cast<std::uint64_t>(v)); });
+  auto r = ev.InstallKeyed([](int) {}, std::vector<std::uint64_t>{3, 3});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Demux, KeyedHandlersFireOnlyOnTheirKey) {
+  Event<int> ev("Test.Keyed");
+  ev.SetDemuxKey("k", [](int v) { return std::optional<std::uint64_t>(
+                          static_cast<std::uint64_t>(v)); });
+  int a = 0, b = 0;
+  ASSERT_TRUE(ev.InstallKeyed([&](int) { ++a; }, 1).ok());
+  ASSERT_TRUE(ev.InstallKeyed([&](int) { ++b; }, 2).ok());
+  EXPECT_EQ(ev.Raise(1), 1u);
+  EXPECT_EQ(ev.Raise(2), 1u);
+  EXPECT_EQ(ev.Raise(3), 0u);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(ev.indexed_handler_count(), 2u);
+}
+
+TEST(Demux, MergePreservesInstallationOrderAcrossKeyedAndResidual) {
+  Event<int> ev("Test.Merge");
+  ev.SetDemuxKey("k", [](int v) { return std::optional<std::uint64_t>(
+                          static_cast<std::uint64_t>(v)); });
+  std::vector<std::string> order;
+  ASSERT_TRUE(ev.Install([&](int) { order.push_back("uncond-1"); }).ok());
+  ASSERT_TRUE(ev.InstallKeyed([&](int) { order.push_back("keyed-2"); }, 5).ok());
+  ASSERT_TRUE(ev.Install([&](int) { order.push_back("lambda-3"); },
+                         [](int v) { return v == 5; }).ok());
+  ASSERT_TRUE(ev.InstallKeyed([&](int) { order.push_back("keyed-4"); }, 5).ok());
+  EXPECT_EQ(ev.Raise(5), 4u);
+  EXPECT_EQ(order, (std::vector<std::string>{"uncond-1", "keyed-2", "lambda-3", "keyed-4"}));
+}
+
+TEST(Demux, VerifyGuardStillRunsOnBucketHit) {
+  Event<int> ev("Test.Verify");
+  ev.SetDemuxKey("k", [](int v) { return std::optional<std::uint64_t>(
+                          static_cast<std::uint64_t>(v % 10)); });
+  int hits = 0;
+  // Keyed on v%10==3 but verified against the full value.
+  ASSERT_TRUE(ev.InstallKeyed([&](int) { ++hits; }, 3,
+                              [](int v) { return v < 10; }).ok());
+  EXPECT_EQ(ev.Raise(3), 1u);    // bucket hit + verify pass
+  EXPECT_EQ(ev.Raise(13), 0u);   // bucket hit, verify rejects
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Demux, NulloptKeyFallsBackToResiduals) {
+  Event<int> ev("Test.ShortPacket");
+  ev.SetDemuxKey("k", [](int v) -> std::optional<std::uint64_t> {
+    if (v < 0) return std::nullopt;  // "truncated header"
+    return static_cast<std::uint64_t>(v);
+  });
+  int keyed = 0, residual = 0;
+  ASSERT_TRUE(ev.InstallKeyed([&](int) { ++keyed; }, 1).ok());
+  ASSERT_TRUE(ev.Install([&](int) { ++residual; }).ok());
+  EXPECT_EQ(ev.Raise(-1), 1u);  // only the unconditional residual runs
+  EXPECT_EQ(keyed, 0);
+  EXPECT_EQ(residual, 1);
+}
+
+TEST(Demux, AddRemoveHandlerKeyRetargetsBuckets) {
+  Event<int> ev("Test.KeyChurn");
+  ev.SetDemuxKey("k", [](int v) { return std::optional<std::uint64_t>(
+                          static_cast<std::uint64_t>(v)); });
+  int hits = 0;
+  auto id = ev.InstallKeyed([&](int) { ++hits; }, 1);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(ev.AddHandlerKey(id.value(), 2));
+  EXPECT_FALSE(ev.AddHandlerKey(id.value(), 2));  // already present
+  EXPECT_EQ(ev.Raise(2), 1u);
+  EXPECT_TRUE(ev.RemoveHandlerKey(id.value(), 1));
+  EXPECT_EQ(ev.Raise(1), 0u);
+  EXPECT_EQ(ev.Raise(2), 1u);
+  EXPECT_EQ(hits, 2);
+  // Key ops on residual handlers are refused.
+  auto plain = ev.Install([](int) {});
+  EXPECT_FALSE(ev.AddHandlerKey(plain.value(), 9));
+}
+
+TEST(Demux, MidRaiseKeyChurnIsDeferredToSweep) {
+  Event<int> ev("Test.DeferredKeys");
+  ev.SetDemuxKey("k", [](int v) { return std::optional<std::uint64_t>(
+                          static_cast<std::uint64_t>(v)); });
+  int late = 0;
+  auto late_id = ev.InstallKeyed([&](int) { ++late; }, 7);
+  ASSERT_TRUE(late_id.ok());
+  ASSERT_TRUE(ev.InstallKeyed([&](int) {
+                  // Mid-raise: retarget the other handler. Takes effect
+                  // only after this raise completes (snapshot rule).
+                  ev.AddHandlerKey(late_id.value(), 1);
+                  ev.RemoveHandlerKey(late_id.value(), 7);
+                }, 1).ok());
+  EXPECT_EQ(ev.Raise(1), 1u);  // late handler not yet on key 1 mid-raise
+  EXPECT_EQ(late, 0);
+  EXPECT_EQ(ev.Raise(1), 2u);  // after the sweep, it is
+  EXPECT_EQ(ev.Raise(7), 0u);
+  EXPECT_EQ(late, 1);
+}
+
+TEST(Demux, UninstalledKeyedHandlerLeavesTombstoneStats) {
+  Event<int> ev("Test.KeyedTombstone");
+  ev.SetDemuxKey("k", [](int v) { return std::optional<std::uint64_t>(
+                          static_cast<std::uint64_t>(v)); });
+  auto id = ev.InstallKeyed([](int) {}, 4);
+  ASSERT_TRUE(id.ok());
+  ev.Raise(4);
+  ASSERT_TRUE(ev.Uninstall(id.value()));
+  EXPECT_EQ(ev.Raise(4), 0u);
+  EXPECT_EQ(ev.stats(id.value()).invocations, 1u);
+}
+
+TEST(Dispatcher, ChargesOneDemuxLookupForIndexedRaise) {
+  sim::Simulator sim;
+  sim::Host host(sim, "h", sim::CostModel::Default1996());
+  Dispatcher dispatcher(&host);
+  Event<int> ev("Test.IndexedCharge", &dispatcher);
+  ev.SetDemuxKey("k", [](int v) { return std::optional<std::uint64_t>(
+                          static_cast<std::uint64_t>(v)); });
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ev.InstallKeyed([](int) {}, static_cast<std::uint64_t>(i)).ok());
+  }
+  host.Submit(sim::Priority::kKernel, [&] { ev.Raise(3); });
+  sim.RunFor(sim::Duration::Seconds(1));
+  // One demux lookup + one handler dispatch — independent of the 8
+  // installed handlers. No guard was ever evaluated.
+  const auto stats = dispatcher.stats();
+  EXPECT_EQ(stats.demux_lookups, 1u);
+  EXPECT_EQ(stats.guard_evals, 0u);
+  EXPECT_EQ(stats.handler_invocations, 1u);
+  EXPECT_EQ(host.cpu().busy_total(),
+            host.costs().demux_lookup + host.costs().event_dispatch);
+}
+
 }  // namespace
 }  // namespace spin
