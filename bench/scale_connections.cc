@@ -1,0 +1,201 @@
+// Connection-scale workload (not a paper figure): N concurrent TCP clients
+// against the in-kernel Plexus web server — the "heavy traffic" regime of
+// the paper's closing HTTP demo — under induced loss so retransmission
+// timers genuinely arm, fire, and cancel.
+//
+// Every connection performs connect / HTTP GET / close. Induced frame loss
+// forces RTO and delayed-ACK traffic, and every close parks a 2MSL timer, so
+// the pending-timer population grows with N — exactly the load the
+// hierarchical timing wheel (SchedulerImpl::kWheel) exists for. The bench
+// runs each N under both scheduler implementations and reports wall-clock
+// and simulated ns per connection plus the pending-timer high-water mark
+// (sim.timer_pending_peak).
+//
+// The two implementations must also agree bit-for-bit on virtual time:
+// identical (deadline, FIFO) firing order means the simulated completion
+// time is the same number under heap and wheel. The bench exits non-zero if
+// they diverge.
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "drivers/medium.h"
+#include "proto/http.h"
+#include "sim/metrics.h"
+
+namespace {
+
+struct ScaleResult {
+  int completed = 0;       // responses with HTTP 200
+  int finished = 0;        // connections that terminated at all
+  double sim_ms = 0;       // virtual time until the last response
+  double wall_ns_per_conn = 0;
+  double sim_ns_per_conn = 0;
+  std::int64_t timer_pending_peak = 0;
+  std::uint64_t timer_schedules = 0;
+  std::uint64_t timer_cancels = 0;
+  std::uint64_t timer_fires = 0;
+};
+
+ScaleResult RunScale(sim::SchedulerImpl impl, int n) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  sim::Simulator sim(impl);
+  drivers::EthernetSegment segment(sim);
+  drivers::Faults faults;
+  faults.drop_probability = 0.005;  // ~0.5% frame loss: RTO timers really fire
+  segment.set_faults(faults);
+
+  const auto costs = sim::CostModel::Default1996();
+  const auto profile = drivers::DeviceProfile::Ethernet10();
+  core::PlexusHost server(sim, "server", costs, profile,
+                          {net::MacAddress::FromId(1), net::Ipv4Address(10, 0, 0, 1), 24});
+  core::PlexusHost client(sim, "client", costs, profile,
+                          {net::MacAddress::FromId(2), net::Ipv4Address(10, 0, 0, 2), 24});
+  server.AttachTo(segment);
+  client.AttachTo(segment);
+  server.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  client.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  server.arp().AddStatic(net::Ipv4Address(10, 0, 0, 2), net::MacAddress::FromId(2));
+  client.arp().AddStatic(net::Ipv4Address(10, 0, 0, 1), net::MacAddress::FromId(1));
+
+  const std::string body(512, 'w');
+  std::vector<std::unique_ptr<proto::HttpServerConnection>> server_conns;
+  server.tcp().Listen(80, [&](std::shared_ptr<core::PlexusTcpEndpoint> ep) {
+    server_conns.push_back(std::make_unique<proto::HttpServerConnection>(
+        *ep, [&](const std::string&) {
+          server.host().Charge(server.host().costs().http_parse);
+          return std::optional(body);
+        }));
+  });
+
+  struct Conn {
+    std::shared_ptr<core::PlexusTcpEndpoint> ep;
+    std::unique_ptr<proto::HttpClient> http;
+  };
+  std::vector<Conn> conns(static_cast<std::size_t>(n));
+  ScaleResult result;
+  sim::TimePoint last_response;
+
+  // Stagger the connects so the segment is not one giant collision, while
+  // keeping lifetimes (handshake + GET + loss recovery + 2MSL) far longer
+  // than the spacing: the population is genuinely concurrent.
+  const sim::Duration gap = sim::Duration::Micros(100);
+  for (int i = 0; i < n; ++i) {
+    sim.Schedule(gap * i, [&, i] {
+      client.Run([&, i] {
+        Conn& c = conns[static_cast<std::size_t>(i)];
+        c.ep = client.tcp().Connect(net::Ipv4Address(10, 0, 0, 1), 80);
+        c.http = std::make_unique<proto::HttpClient>(
+            *c.ep, [&](const proto::HttpClient::Response& r) {
+              ++result.finished;
+              if (r.status == 200) {
+                ++result.completed;
+                last_response = sim.Now();
+              }
+            });
+        c.ep->SetOnEstablished([&c] { c.http->Get("/page"); });
+      });
+    });
+  }
+
+  // Run until every connection resolved (or a generous cap under loss).
+  const sim::TimePoint cap = sim::TimePoint::FromNanos(0) + sim::Duration::Seconds(600);
+  while (result.finished < n && sim.Now() < cap) {
+    sim.RunFor(sim::Duration::Seconds(1));
+  }
+
+  const auto wall_stop = std::chrono::steady_clock::now();
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_stop - wall_start)
+          .count());
+  result.sim_ms = (last_response - sim::TimePoint::FromNanos(0)).ms();
+  result.wall_ns_per_conn = wall_ns / n;
+  result.sim_ns_per_conn =
+      static_cast<double>((last_response - sim::TimePoint::FromNanos(0)).ns()) / n;
+  result.timer_pending_peak = sim.metrics().gauges().at("sim.timer_pending_peak").value();
+  result.timer_schedules = sim.metrics().counters().at("sim.timer_schedules").value();
+  result.timer_cancels = sim.metrics().counters().at("sim.timer_cancels").value();
+  result.timer_fires = sim.metrics().counters().at("sim.timer_fires").value();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::ArgAfter(argc, argv, "--json");
+  bench::JsonReporter reporter;
+
+  std::printf("connection scale: N clients, connect/GET/close, 0.5%% frame loss\n");
+  std::printf("(in-kernel web server; pending timers grow with N — RTO, delack, 2MSL)\n\n");
+  std::printf("  %6s %6s | %9s %13s %13s %11s | %10s %10s %10s\n", "N", "sched",
+              "done", "sim ms total", "sim ns/conn", "wall ns/c", "peak timers",
+              "schedules", "fires");
+
+  int rc = 0;
+  for (const int n : {100, 1000, 10000}) {
+    ScaleResult by_impl[2];
+    for (const sim::SchedulerImpl impl :
+         {sim::SchedulerImpl::kHeap, sim::SchedulerImpl::kWheel}) {
+      const bool wheel = impl == sim::SchedulerImpl::kWheel;
+      const ScaleResult r = RunScale(impl, n);
+      by_impl[wheel ? 1 : 0] = r;
+      std::printf("  %6d %6s | %4d/%-4d %13.1f %13.0f %11.0f | %10" PRId64
+                  " %10" PRIu64 " %10" PRIu64 "\n",
+                  n, wheel ? "wheel" : "heap", r.completed, n, r.sim_ms,
+                  r.sim_ns_per_conn, r.wall_ns_per_conn, r.timer_pending_peak,
+                  r.timer_schedules, r.timer_fires);
+      if (r.completed != n) {
+        std::fprintf(stderr, "FAIL: only %d/%d connections completed (n=%d, %s)\n",
+                     r.completed, n, n, wheel ? "wheel" : "heap");
+        rc = 1;
+      }
+      bench::BenchRecord rec;
+      rec.experiment = "scale_connections";
+      rec.device = "ethernet-10";
+      rec.system = wheel ? "plexus-wheel" : "plexus-heap";
+      rec.metric = "conn_n" + std::to_string(n);
+      rec.unit = "sim_ns/conn";
+      rec.measured = r.sim_ns_per_conn;
+      rec.paper_expected = "n/a (scale workload)";
+      rec.metrics_json =
+          "{\"n\":" + std::to_string(n) +
+          ",\"completed\":" + std::to_string(r.completed) +
+          ",\"wall_ns_per_conn\":" + std::to_string(r.wall_ns_per_conn) +
+          ",\"timer_pending_peak\":" + std::to_string(r.timer_pending_peak) +
+          ",\"timer_schedules\":" + std::to_string(r.timer_schedules) +
+          ",\"timer_cancels\":" + std::to_string(r.timer_cancels) +
+          ",\"timer_fires\":" + std::to_string(r.timer_fires) + "}";
+      reporter.Add(std::move(rec));
+    }
+    // Determinism across queue implementations: same (deadline, FIFO) order
+    // must mean the same virtual completion time to the nanosecond.
+    if (by_impl[0].sim_ns_per_conn != by_impl[1].sim_ns_per_conn ||
+        by_impl[0].timer_fires != by_impl[1].timer_fires) {
+      std::fprintf(stderr,
+                   "FAIL: heap and wheel diverge at n=%d (sim ns/conn %f vs %f, "
+                   "fires %" PRIu64 " vs %" PRIu64 ")\n",
+                   n, by_impl[0].sim_ns_per_conn, by_impl[1].sim_ns_per_conn,
+                   by_impl[0].timer_fires, by_impl[1].timer_fires);
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::printf("\n  scale check PASS: all connections completed; heap and wheel "
+                "agree on virtual time at every N\n");
+  }
+  if (!json_path.empty()) {
+    if (reporter.WriteTo(json_path)) {
+      std::printf("wrote %zu records: %s\n", reporter.size(), json_path.c_str());
+    } else {
+      std::fprintf(stderr, "FAIL: could not write %s\n", json_path.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -7,9 +7,14 @@
 #                          (open in chrome://tracing or Perfetto)
 #   BENCH_micro.json       Demux scaling microbenchmark (linear guard scan
 #                          vs compiled index, wall + simulated ns/raise)
-# Also runs the dispatch microbenchmark, whose exit status asserts that
-# disabled tracing adds no measurable cost to Event::Raise and that indexed
-# dispatch at N=256 handlers is >=5x the linear scan.
+#   BENCH_timer.json       Timer queue microbenchmark (hierarchical wheel vs
+#                          binary heap, schedule+cancel and drain)
+#   BENCH_scale.json       Connection-scale workload (100..10k concurrent
+#                          TCP clients against the in-kernel web server)
+# Also runs the gated microbenchmarks, whose exit statuses assert that
+# disabled tracing adds no measurable cost to Event::Raise, that indexed
+# dispatch at N=256 handlers is >=5x the linear scan, and that the timing
+# wheel's schedule+cancel throughput at 64k pending timers is >=5x the heap.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,13 +23,17 @@ OUT_DIR="${OUT_DIR:-.}"
 
 cmake -B "$BUILD_DIR" -S .  # RelWithDebInfo by default (top-level CMakeLists)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-  bench_fig5_udp_latency bench_tab1_tcp_throughput bench_micro_dispatch
+  bench_fig5_udp_latency bench_tab1_tcp_throughput bench_micro_dispatch \
+  bench_micro_timer bench_scale_connections
 
 "$BUILD_DIR/bench/bench_fig5_udp_latency" \
   --json "$OUT_DIR/BENCH_fig5.json" --trace "$OUT_DIR/BENCH_fig5_trace.json"
 "$BUILD_DIR/bench/bench_tab1_tcp_throughput" --json "$OUT_DIR/BENCH_tab1.json"
 "$BUILD_DIR/bench/bench_micro_dispatch" --benchmark_min_time=0.05 \
   --json "$OUT_DIR/BENCH_micro.json"
+"$BUILD_DIR/bench/bench_micro_timer" --json "$OUT_DIR/BENCH_timer.json"
+"$BUILD_DIR/bench/bench_scale_connections" --json "$OUT_DIR/BENCH_scale.json"
 
 echo "bench artifacts: $OUT_DIR/BENCH_fig5.json $OUT_DIR/BENCH_tab1.json" \
-     "$OUT_DIR/BENCH_fig5_trace.json $OUT_DIR/BENCH_micro.json"
+     "$OUT_DIR/BENCH_fig5_trace.json $OUT_DIR/BENCH_micro.json" \
+     "$OUT_DIR/BENCH_timer.json $OUT_DIR/BENCH_scale.json"

@@ -17,17 +17,26 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
-ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
 
 echo "=== second pass: tracer enabled (PLEXUS_TRACE=1) ==="
-PLEXUS_TRACE=1 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+PLEXUS_TRACE=1 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
 
-echo "=== perf smoke: demux index vs linear guard scan ==="
-# Wall-clock gate, so it runs against the regular (non-sanitized) build:
+echo "=== slow pass: soak / scale suites (label: slow) ==="
+# The connection-churn soak and other large-population suites run once,
+# in their own labelled pass, still under the sanitizers.
+ctest --test-dir "$BUILD_DIR" -L slow --output-on-failure "$@"
+
+echo "=== perf smoke: demux index vs linear guard scan, timer wheel vs heap ==="
+# Wall-clock gates, so they run against the regular (non-sanitized) build:
 # bench_micro_dispatch exits non-zero if indexed dispatch at N=256 handlers
 # is not at least 5x faster than the linear path it replaces (and if
-# disabled tracing taxes the raise path).
+# disabled tracing taxes the raise path); bench_micro_timer exits non-zero
+# if the timing wheel's schedule+cancel throughput at 64k pending timers is
+# not at least 5x the binary heap's.
 PERF_BUILD_DIR="${PERF_BUILD_DIR:-build}"
 cmake -B "$PERF_BUILD_DIR" -S .
-cmake --build "$PERF_BUILD_DIR" -j "$(nproc)" --target bench_micro_dispatch
+cmake --build "$PERF_BUILD_DIR" -j "$(nproc)" --target bench_micro_dispatch \
+  bench_micro_timer
 "$PERF_BUILD_DIR/bench/bench_micro_dispatch" --benchmark_filter=none
+"$PERF_BUILD_DIR/bench/bench_micro_timer"

@@ -51,7 +51,9 @@ TcpConnection::TcpConnection(sim::Host& host, TcpConfig config, TcpEndpoints end
 }
 
 TcpConnection::~TcpConnection() {
-  CancelRexmt();
+  // Raw cancels, not CancelTimer(): a destructor must not Charge() — a
+  // budget fence could throw through it during unwinding.
+  sim_.Cancel(rexmt_timer_);
   sim_.Cancel(delack_timer_);
   sim_.Cancel(persist_timer_);
   sim_.Cancel(time_wait_timer_);
@@ -173,8 +175,7 @@ void TcpConnection::EmitSegment(std::uint8_t flags, Seq seq, std::span<const std
   ++stats_.segments_sent;
   last_advertised_wnd_ = hdr.window.value();
   delack_segments_ = 0;
-  sim_.Cancel(delack_timer_);
-  delack_timer_ = sim::kInvalidEventId;
+  CancelTimer(delack_timer_);
 
   if (cb_.send_segment) cb_.send_segment(std::move(m), endpoints_.local_ip, endpoints_.remote_ip);
 }
@@ -492,10 +493,7 @@ void TcpConnection::ProcessAck(const net::TcpHeader& hdr) {
   if (SeqLe(ack, snd_una_)) {
     // Window update even on duplicate/old acks.
     snd_wnd_ = hdr.window.value();
-    if (snd_wnd_ > 0) {
-      sim_.Cancel(persist_timer_);
-      persist_timer_ = sim::kInvalidEventId;
-    }
+    if (snd_wnd_ > 0) CancelTimer(persist_timer_);
     // Duplicate-ACK detection (RFC-style: no payload, ack == snd_una, data
     // outstanding).
     if (ack == snd_una_ && bytes_in_flight() > 0) {
@@ -679,20 +677,45 @@ void TcpConnection::ProcessFin(Seq fin_seq) {
 
 // --- timers -----------------------------------------------------------------
 
+void TcpConnection::ChargeTimerOp() {
+  if (host_.in_task()) host_.Charge(host_.costs().timer_op);
+}
+
+sim::EventId TcpConnection::ScheduleTimer(sim::Duration delay,
+                                          const char* trace_name,
+                                          void (TcpConnection::*handler)()) {
+  ChargeTimerOp();
+  // Timers armed while processing a packet remember that packet's trace id;
+  // when the timer fires (e.g. a retransmission), the work it triggers is
+  // attributed to the packet that armed it.
+  const std::uint64_t armed_by =
+      host_.in_task() ? host_.current_trace_id() : 0;
+  return sim_.Schedule(delay, [this, trace_name, armed_by, handler] {
+    host_.Submit(sim::Priority::kKernel, [this, trace_name, armed_by, handler] {
+      sim::PacketTraceScope scope(host_, armed_by);
+      host_.TraceInstant(trace_name, "timer");
+      ChargeTimerOp();
+      (this->*handler)();
+    });
+  });
+}
+
+void TcpConnection::CancelTimer(sim::EventId& timer) {
+  if (timer != sim::kInvalidEventId && sim_.IsPending(timer)) ChargeTimerOp();
+  sim_.Cancel(timer);
+  timer = sim::kInvalidEventId;
+}
+
 void TcpConnection::ArmRexmt() {
   CancelRexmt();
   sim::Duration timeout = rto_;
   for (int i = 0; i < rexmt_backoff_; ++i) timeout = timeout * 2;
   if (timeout > config_.rto_max) timeout = config_.rto_max;
-  rexmt_timer_ = sim_.Schedule(timeout, [this] {
-    host_.Submit(sim::Priority::kKernel, [this] { OnRexmtTimeout(); });
-  });
+  rexmt_timer_ =
+      ScheduleTimer(timeout, "tcp.timer.rexmt", &TcpConnection::OnRexmtTimeout);
 }
 
-void TcpConnection::CancelRexmt() {
-  sim_.Cancel(rexmt_timer_);
-  rexmt_timer_ = sim::kInvalidEventId;
-}
+void TcpConnection::CancelRexmt() { CancelTimer(rexmt_timer_); }
 
 void TcpConnection::OnRexmtTimeout() {
   if (state_ == State::kClosed || state_ == State::kListen || state_ == State::kTimeWait) return;
@@ -742,9 +765,8 @@ void TcpConnection::OnRexmtTimeout() {
 
 void TcpConnection::ArmDelack() {
   if (delack_timer_ != sim::kInvalidEventId && sim_.IsPending(delack_timer_)) return;
-  delack_timer_ = sim_.Schedule(config_.delayed_ack, [this] {
-    host_.Submit(sim::Priority::kKernel, [this] { OnDelackTimeout(); });
-  });
+  delack_timer_ = ScheduleTimer(config_.delayed_ack, "tcp.timer.delack",
+                                &TcpConnection::OnDelackTimeout);
 }
 
 void TcpConnection::OnDelackTimeout() {
@@ -754,9 +776,8 @@ void TcpConnection::OnDelackTimeout() {
 
 void TcpConnection::ArmPersist() {
   if (persist_timer_ != sim::kInvalidEventId && sim_.IsPending(persist_timer_)) return;
-  persist_timer_ = sim_.Schedule(config_.persist_interval, [this] {
-    host_.Submit(sim::Priority::kKernel, [this] { OnPersistTimeout(); });
-  });
+  persist_timer_ = ScheduleTimer(config_.persist_interval, "tcp.timer.persist",
+                                 &TcpConnection::OnPersistTimeout);
 }
 
 void TcpConnection::OnPersistTimeout() {
@@ -777,10 +798,9 @@ void TcpConnection::OnPersistTimeout() {
 void TcpConnection::EnterTimeWait() {
   state_ = State::kTimeWait;
   CancelRexmt();
-  sim_.Cancel(time_wait_timer_);
-  time_wait_timer_ = sim_.Schedule(config_.msl * 2, [this] {
-    host_.Submit(sim::Priority::kKernel, [this] { OnTimeWaitTimeout(); });
-  });
+  CancelTimer(time_wait_timer_);
+  time_wait_timer_ = ScheduleTimer(config_.msl * 2, "tcp.timer.time_wait",
+                                   &TcpConnection::OnTimeWaitTimeout);
 }
 
 void TcpConnection::OnTimeWaitTimeout() {
@@ -831,9 +851,9 @@ void TcpConnection::EnterClosed(const std::string& reason, bool was_reset) {
   const bool was_open = state_ != State::kClosed;
   state_ = State::kClosed;
   CancelRexmt();
-  sim_.Cancel(delack_timer_);
-  sim_.Cancel(persist_timer_);
-  sim_.Cancel(time_wait_timer_);
+  CancelTimer(delack_timer_);
+  CancelTimer(persist_timer_);
+  CancelTimer(time_wait_timer_);
   if (!was_open) return;
   if (was_reset && cb_.on_reset) cb_.on_reset(reason);
   if (!closed_reported_) {

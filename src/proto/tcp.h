@@ -173,6 +173,14 @@ class TcpConnection {
   std::size_t ParseMssOption(const net::Mbuf& segment, const net::TcpHeader& hdr) const;
 
   // --- timers ---
+  // Every connection timer arms and disarms through these two: the pair
+  // charges CostModel::timer_op (callout-wheel bookkeeping) and the fire
+  // path carries the trace id of the packet that armed the timer, so timer
+  // fires show up attributed in the packet trace (category "timer").
+  sim::EventId ScheduleTimer(sim::Duration delay, const char* trace_name,
+                             void (TcpConnection::*handler)());
+  void CancelTimer(sim::EventId& timer);
+  void ChargeTimerOp();
   void ArmRexmt();
   void CancelRexmt();
   void OnRexmtTimeout();

@@ -54,6 +54,10 @@ struct CostModel {
   Duration checksum_per_byte = Duration::Nanos(8);  // 1s-complement sum @133MHz
   Duration mbuf_alloc = Duration::Micros(1);
   Duration mbuf_free = Duration::Nanos(500);
+  // Arming/disarming/expiring a protocol timer: BSD callout-wheel
+  // bookkeeping, a dozen-odd instructions on the 21064. Charged by TCP on
+  // every rexmt/delack/persist/2MSL arm, cancel, and expiry.
+  Duration timer_op = Duration::Nanos(100);
 
   // --- Application / Section 5 workloads ----------------------------------
   Duration disk_read_fixed = Duration::Micros(300);   // per-frame seek+DMA setup
@@ -117,6 +121,7 @@ struct CostModel {
     c.checksum_per_byte = Duration::Nanos(0);  // offloaded
     c.mbuf_alloc = Duration::Nanos(60);
     c.mbuf_free = Duration::Nanos(30);
+    c.timer_op = Duration::Nanos(5);
     return c;
   }
 };

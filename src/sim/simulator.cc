@@ -1,52 +1,225 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <string_view>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "sim/metrics.h"
 #include "sim/tracer.h"
 
 namespace sim {
 
-Simulator::Simulator() : tracer_(std::make_unique<Tracer>()) {}
+// The seam between the Simulator's run loop and the two queue
+// implementations. Ids are allocated by the queue (the wheel encodes pool
+// locations in them); ordering is always (when, seq).
+class Simulator::EventQueue {
+ public:
+  virtual ~EventQueue() = default;
+  virtual EventId Push(TimePoint when, std::uint64_t seq,
+                       std::function<void()> fn) = 0;
+  // Returns true if `id` was pending (and is now cancelled).
+  virtual bool Cancel(EventId id) = 0;
+  virtual bool Contains(EventId id) const = 0;
+  // Pops the earliest live entry if it is due at or before `horizon`.
+  virtual bool PopDueBefore(TimePoint horizon, TimePoint* when,
+                            std::function<void()>* fn) = 0;
+  virtual std::size_t live() const = 0;
+  virtual std::size_t dead() const = 0;
+};
+
+// --- binary heap (ablation baseline) ----------------------------------------
+//
+// The original std::priority_queue scheduler, restated over a raw vector so
+// dead entries can be compacted. Cancel is lazy — it marks the id dead — but
+// no longer unbounded: whenever dead entries exceed half the queue, the live
+// entries are filtered out and re-heapified, so queue space and pop cost stay
+// proportional to live timers.
+class Simulator::HeapQueue final : public EventQueue {
+ public:
+  explicit HeapQueue(MetricsRegistry& metrics)
+      : dead_gauge_(metrics.gauge("sim.scheduler_dead_entries")),
+        compactions_(metrics.counter("sim.scheduler_compactions")) {}
+
+  EventId Push(TimePoint when, std::uint64_t seq,
+               std::function<void()> fn) override {
+    const EventId id = next_id_++;
+    heap_.push_back(Entry{when, seq, id, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    pending_.insert(id);
+    return id;
+  }
+
+  bool Cancel(EventId id) override {
+    if (pending_.erase(id) == 0) return false;
+    cancelled_.insert(id);
+    dead_gauge_.Set(static_cast<std::int64_t>(cancelled_.size()));
+    MaybeCompact();
+    return true;
+  }
+
+  bool Contains(EventId id) const override { return pending_.contains(id); }
+
+  bool PopDueBefore(TimePoint horizon, TimePoint* when,
+                    std::function<void()>* fn) override {
+    DropDeadHead();
+    if (heap_.empty() || heap_.front().when > horizon) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    pending_.erase(e.id);
+    *when = e.when;
+    *fn = std::move(e.fn);
+    return true;
+  }
+
+  std::size_t live() const override { return pending_.size(); }
+  std::size_t dead() const override { return cancelled_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void DropDeadHead() {
+    while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+      cancelled_.erase(heap_.front().id);
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+    dead_gauge_.Set(static_cast<std::int64_t>(cancelled_.size()));
+  }
+
+  void MaybeCompact() {
+    if (cancelled_.size() * 2 <= heap_.size()) return;
+    std::erase_if(heap_,
+                  [this](const Entry& e) { return cancelled_.contains(e.id); });
+    cancelled_.clear();
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    compactions_.Inc();
+    dead_gauge_.Set(0);
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  Gauge& dead_gauge_;
+  Counter& compactions_;
+};
+
+// --- hierarchical timing wheel (default) ------------------------------------
+class Simulator::WheelQueue final : public EventQueue {
+ public:
+  explicit WheelQueue(MetricsRegistry& metrics)
+      : cascades_(metrics.counter("sim.timer_cascades")) {}
+
+  EventId Push(TimePoint when, std::uint64_t seq,
+               std::function<void()> fn) override {
+    return wheel_.Schedule(when, seq, std::move(fn));
+  }
+
+  bool Cancel(EventId id) override { return wheel_.Cancel(id); }
+  bool Contains(EventId id) const override { return wheel_.Contains(id); }
+
+  bool PopDueBefore(TimePoint horizon, TimePoint* when,
+                    std::function<void()>* fn) override {
+    const bool popped = wheel_.PopDueBefore(horizon, when, fn);
+    const std::uint64_t moves = wheel_.cascade_moves();
+    cascades_.Inc(moves - reported_moves_);
+    reported_moves_ = moves;
+    return popped;
+  }
+
+  std::size_t live() const override { return wheel_.size(); }
+  std::size_t dead() const override { return 0; }  // cancellation is eager
+
+ private:
+  TimerWheel wheel_;
+  Counter& cascades_;
+  std::uint64_t reported_moves_ = 0;
+};
+
+// --- Simulator ---------------------------------------------------------------
+
+SchedulerImpl Simulator::DefaultSchedulerImpl() {
+  const char* env = std::getenv("PLEXUS_SCHED");
+  if (env != nullptr && std::string_view(env) == "heap") {
+    return SchedulerImpl::kHeap;
+  }
+  return SchedulerImpl::kWheel;
+}
+
+Simulator::Simulator(SchedulerImpl impl)
+    : impl_(impl),
+      metrics_(std::make_unique<MetricsRegistry>()),
+      tracer_(std::make_unique<Tracer>()) {
+  schedules_ctr_ = &metrics_->counter("sim.timer_schedules");
+  cancels_ctr_ = &metrics_->counter("sim.timer_cancels");
+  fires_ctr_ = &metrics_->counter("sim.timer_fires");
+  pending_gauge_ = &metrics_->gauge("sim.timer_pending");
+  pending_peak_ = &metrics_->gauge("sim.timer_pending_peak");
+  delay_hist_ = &metrics_->histogram("sim.timer_delay_ns");
+  if (impl_ == SchedulerImpl::kHeap) {
+    queue_ = std::make_unique<HeapQueue>(*metrics_);
+  } else {
+    queue_ = std::make_unique<WheelQueue>(*metrics_);
+  }
+}
+
 Simulator::~Simulator() = default;
 
 EventId Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
   assert(fn && "scheduling an empty callback");
   if (when < now_) when = now_;  // never schedule into the past
-  EventId id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id, std::move(fn)});
-  pending_.insert(id);
+  const EventId id = queue_->Push(when, next_seq_++, std::move(fn));
+  schedules_ctr_->Inc();
+  delay_hist_->Observe((when - now_).ns());
+  pending_gauge_->Set(++live_);
+  if (live_ > pending_peak_->value()) pending_peak_->Set(live_);
   return id;
 }
 
 void Simulator::Cancel(EventId id) {
   if (id == kInvalidEventId) return;
-  if (pending_.contains(id)) cancelled_.insert(id);
+  if (queue_->Cancel(id)) {
+    cancels_ctr_->Inc();
+    pending_gauge_->Set(--live_);
+  }
 }
 
-bool Simulator::PopNext(Entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; move out via const_cast is fragile,
-    // so copy the small fields and move the closure through a local.
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    pending_.erase(e.id);
-    if (cancelled_.erase(e.id) > 0) continue;  // lazily dropped
-    out = std::move(e);
-    return true;
-  }
-  return false;
+bool Simulator::IsPending(EventId id) const {
+  return id != kInvalidEventId && queue_->Contains(id);
+}
+
+void Simulator::NoteFired(TimePoint when) {
+  now_ = when;
+  fires_ctr_->Inc();
+  pending_gauge_->Set(--live_);
+  ++events_processed_;
 }
 
 std::size_t Simulator::Run() {
   stopped_ = false;
   std::size_t fired = 0;
-  Entry e;
-  while (!stopped_ && PopNext(e)) {
-    now_ = e.when;
-    e.fn();
+  TimePoint when;
+  std::function<void()> fn;
+  while (!stopped_ && queue_->PopDueBefore(TimePoint::Max(), &when, &fn)) {
+    NoteFired(when);
+    fn();
     ++fired;
-    ++events_processed_;
   }
   return fired;
 }
@@ -54,24 +227,20 @@ std::size_t Simulator::Run() {
 std::size_t Simulator::RunUntil(TimePoint t) {
   stopped_ = false;
   std::size_t fired = 0;
-  while (!stopped_ && !queue_.empty()) {
-    if (queue_.top().when > t) break;
-    Entry e;
-    if (!PopNext(e)) break;
-    if (e.when > t) {
-      // Re-insert: the popped entry is beyond the horizon (only possible when
-      // the heap head was cancelled and the next live entry is later).
-      pending_.insert(e.id);
-      queue_.push(std::move(e));
-      break;
-    }
-    now_ = e.when;
-    e.fn();
+  TimePoint when;
+  std::function<void()> fn;
+  while (!stopped_ && queue_->PopDueBefore(t, &when, &fn)) {
+    NoteFired(when);
+    fn();
     ++fired;
-    ++events_processed_;
   }
   if (now_ < t) now_ = t;
   return fired;
 }
+
+std::size_t Simulator::pending_events() const {
+  return static_cast<std::size_t>(live_);
+}
+std::size_t Simulator::dead_entries() const { return queue_->dead(); }
 
 }  // namespace sim

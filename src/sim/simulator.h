@@ -2,40 +2,65 @@
 //
 // A Simulator owns a virtual clock and an ordered queue of pending events.
 // Events scheduled for the same instant fire in FIFO order of scheduling,
-// which keeps runs deterministic. Cancellation is lazy: a cancelled entry
-// stays in the heap but is skipped when popped.
+// which keeps runs deterministic regardless of the queue implementation.
+//
+// Two interchangeable event queues back the scheduler (SchedulerImpl):
+//   kWheel  (default) a hierarchical timing wheel (sim/timer_wheel.h):
+//           O(1) Schedule and eager O(1) Cancel, built for workloads with
+//           thousands of concurrent connection timers.
+//   kHeap   the original binary heap with lazy cancellation, kept for
+//           wheel-vs-heap ablation. Cancelled entries are marked dead and
+//           compacted away once they exceed half the queue (the
+//           sim.scheduler_dead_entries gauge tracks the leak).
+// Both fire in exactly the same (deadline, FIFO) order; the environment
+// variable PLEXUS_SCHED=heap|wheel overrides the default.
+//
+// The simulator owns a MetricsRegistry with the scheduler's own
+// instruments (sim.timer_schedules / cancels / fires / pending /
+// pending_peak / delay_ns, plus per-impl counters), separate from the
+// per-host registries.
 #ifndef PLEXUS_SIM_SIMULATOR_H_
 #define PLEXUS_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
 #include "sim/time.h"
+#include "sim/timer_wheel.h"  // EventId / kInvalidEventId live there
 
 namespace sim {
 
-using EventId = std::uint64_t;
-inline constexpr EventId kInvalidEventId = 0;
-
 class Tracer;
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+
+enum class SchedulerImpl { kHeap, kWheel };
 
 class Simulator {
  public:
-  Simulator();
+  // Reads PLEXUS_SCHED ("heap" or "wheel"); the wheel is the default.
+  static SchedulerImpl DefaultSchedulerImpl();
+
+  Simulator() : Simulator(DefaultSchedulerImpl()) {}
+  explicit Simulator(SchedulerImpl impl);
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   TimePoint Now() const { return now_; }
+  SchedulerImpl scheduler_impl() const { return impl_; }
 
   // The per-simulation structured trace (see sim/tracer.h). Always present;
   // disabled (and free) unless SetEnabled or PLEXUS_TRACE turns it on.
   Tracer& tracer() { return *tracer_; }
   const Tracer& tracer() const { return *tracer_; }
+
+  // Scheduler-level instruments (sim.timer_*), distinct from host metrics.
+  MetricsRegistry& metrics() { return *metrics_; }
+  const MetricsRegistry& metrics() const { return *metrics_; }
 
   // Schedules fn to run after delay (>= 0). Returns an id usable with Cancel.
   EventId Schedule(Duration delay, std::function<void()> fn) {
@@ -48,7 +73,7 @@ class Simulator {
   void Cancel(EventId id);
 
   // True if the given id is still pending.
-  bool IsPending(EventId id) const { return id != kInvalidEventId && !cancelled_.contains(id) && pending_.contains(id); }
+  bool IsPending(EventId id) const;
 
   // Runs until the queue drains or Stop() is called. Returns events fired.
   std::size_t Run();
@@ -62,33 +87,34 @@ class Simulator {
   void Stop() { stopped_ = true; }
 
   std::size_t events_processed() const { return events_processed_; }
-  std::size_t pending_events() const { return pending_.size(); }
+  // Live (scheduled, not yet fired or cancelled) events.
+  std::size_t pending_events() const;
+  // Cancelled entries still occupying the queue (heap impl only; the wheel
+  // removes eagerly, so it always reports 0).
+  std::size_t dead_entries() const;
 
  private:
-  struct Entry {
-    TimePoint when;
-    std::uint64_t seq;  // tie-break: FIFO among same-instant events
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  class EventQueue;  // simulator.cc: the impl seam (heap vs wheel)
+  class HeapQueue;
+  class WheelQueue;
 
-  // Pops the next runnable entry (skipping cancelled), or returns false.
-  bool PopNext(Entry& out);
+  void NoteFired(TimePoint when);
 
   TimePoint now_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> pending_;
-  EventId next_id_ = 1;
-  std::uint64_t next_seq_ = 0;
+  SchedulerImpl impl_;
+  std::uint64_t next_seq_ = 0;  // FIFO tie-break among same-instant events
+  std::int64_t live_ = 0;       // live events, tracked here to keep the
+                                // schedule/cancel path free of queue queries
   std::size_t events_processed_ = 0;
   bool stopped_ = false;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  Counter* schedules_ctr_ = nullptr;
+  Counter* cancels_ctr_ = nullptr;
+  Counter* fires_ctr_ = nullptr;
+  Gauge* pending_gauge_ = nullptr;
+  Gauge* pending_peak_ = nullptr;
+  Histogram* delay_hist_ = nullptr;
+  std::unique_ptr<EventQueue> queue_;
   std::unique_ptr<Tracer> tracer_;
 };
 

@@ -1,0 +1,84 @@
+#include "sim/timer_wheel.h"
+
+#include <bit>
+#include <cassert>
+#include <utility>
+
+namespace sim {
+
+int TimerWheel::FirstSlot(int level) const {
+  for (int w = 0; w < kSlotsPerLevel / 64; ++w) {
+    if (bitmap_[level][w] != 0) {
+      return w * 64 + std::countr_zero(bitmap_[level][w]);
+    }
+  }
+  return -1;
+}
+
+void TimerWheel::CascadeSlot(int level, int slot) {
+  std::vector<std::uint32_t>& vec = slots_[level][slot];
+  scratch_.clear();
+  scratch_.swap(vec);
+  bitmap_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  for (std::uint32_t idx : scratch_) {
+    assert(LevelFor(pool_[idx].when) < level && "cascade must descend");
+    Place(idx);
+  }
+  cascade_moves_ += scratch_.size();
+}
+
+bool TimerWheel::PopDueBefore(TimePoint horizon, TimePoint* when,
+                              std::function<void()>* fn) {
+  if (live_ == 0) return false;
+  for (;;) {
+    // Re-file every entry sitting in the cursor's own slot of a higher
+    // level: such entries are stale (placed under an older cursor) and
+    // belong strictly below. Highest level first so each settles once.
+    for (int level = kLevels - 1; level >= 1; --level) {
+      const int cur = CursorSlot(level);
+      if (!slots_[level][cur].empty()) CascadeSlot(level, cur);
+    }
+    // Every entry now sits at the level its deadline implies relative to
+    // the cursor, so levels are strictly time-ordered and the global
+    // minimum is in the first occupied slot of the lowest occupied level.
+    int level = 0;
+    int slot = -1;
+    for (; level < kLevels; ++level) {
+      slot = FirstSlot(level);
+      if (slot >= 0) break;
+    }
+    assert(slot >= 0 && "live_ > 0 but no occupied slot");
+    std::vector<std::uint32_t>& vec = slots_[level][slot];
+    if (level == 0) {
+      // A level-0 slot holds exactly one deadline; fire FIFO by seq.
+      const std::int64_t w = pool_[vec[0]].when;
+      if (w > horizon.ns()) return false;
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < vec.size(); ++i) {
+        if (pool_[vec[i]].seq < pool_[vec[best]].seq) best = i;
+      }
+      const std::uint32_t idx = vec[best];
+      Node& n = pool_[idx];
+      cursor_ = n.when;
+      *when = TimePoint::FromNanos(n.when);
+      *fn = std::move(n.fn);
+      RemoveFromSlot(idx);
+      FreeNode(idx);
+      --live_;
+      return true;
+    }
+    // The slot minimum is the global minimum; if it is beyond the horizon
+    // nothing is due. Otherwise advance the cursor to it (legal: it is the
+    // earliest pending deadline) and cascade the slot, which now is the
+    // cursor slot of `level`, strictly down. Repeats at most kLevels times.
+    std::int64_t wmin = pool_[vec[0]].when;
+    for (std::size_t i = 1; i < vec.size(); ++i) {
+      if (pool_[vec[i]].when < wmin) wmin = pool_[vec[i]].when;
+    }
+    if (wmin > horizon.ns()) return false;
+    cursor_ = wmin;
+    CascadeSlot(level, slot);
+  }
+}
+
+}  // namespace sim

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -359,6 +360,103 @@ TEST(Observability, MetricsCoverEveryLayerOfThePingPath) {
         << cat << " missing:\n"
         << art.breakdown_json;
   }
+}
+
+// --- scheduler / tracing interaction ---------------------------------------
+
+struct TcpTraceArtifacts {
+  std::string chrome_json;
+  std::string metrics_a;
+  std::string metrics_b;
+  std::vector<sim::Tracer::Record> records;
+  sim::Duration total_charged;
+  sim::Duration cpu_busy;
+  std::uint64_t timer_fires = 0;
+};
+
+// A traced TCP exchange that exercises the connection timers: one data
+// segment with nothing to say back (delayed-ACK timer fires), then an
+// orderly close (2MSL TIME_WAIT timer fires). Parameterized on the
+// scheduler implementation so heap and wheel artifacts can be compared.
+TcpTraceArtifacts RunTracedTcpExchange(sim::SchedulerImpl impl) {
+  sim::Simulator sim(impl);
+  sim.tracer().SetEnabled(true);
+  drivers::EthernetSegment segment(sim);
+  const auto profile = drivers::DeviceProfile::Ethernet10();
+  const auto costs = sim::CostModel::Default1996();
+  core::PlexusHost a(sim, "a", costs, profile, Net(1));
+  core::PlexusHost b(sim, "b", costs, profile, Net(2));
+  a.AttachTo(segment);
+  b.AttachTo(segment);
+  a.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  b.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+
+  std::vector<std::shared_ptr<core::PlexusTcpEndpoint>> accepted;
+  b.tcp().Listen(80, [&](std::shared_ptr<core::PlexusTcpEndpoint> ep) {
+    ep->SetOnData([](std::span<const std::byte>) {});
+    core::PlexusTcpEndpoint* raw = ep.get();
+    ep->SetOnClose([raw] { raw->CloseStream(); });
+    accepted.push_back(std::move(ep));
+  });
+
+  std::shared_ptr<core::PlexusTcpEndpoint> conn;
+  a.Run([&] {
+    conn = a.tcp().Connect(net::Ipv4Address(10, 0, 0, 2), 80);
+    conn->SetOnEstablished([&] {
+      const std::vector<std::byte> payload(100);
+      conn->Write(payload);  // one segment: the receiver's delack must fire
+    });
+  });
+  sim.Schedule(sim::Duration::Millis(200), [&] {
+    a.Run([&] { conn->CloseStream(); });  // FIN; "a" ends in TIME_WAIT
+  });
+  sim.RunFor(sim::Duration::Seconds(60));  // past the 2MSL (30s) expiry
+
+  TcpTraceArtifacts out;
+  out.chrome_json = sim.tracer().ExportChromeJson();
+  out.metrics_a = a.host().metrics().ToJson();
+  out.metrics_b = b.host().metrics().ToJson();
+  out.records = sim.tracer().Records();
+  out.total_charged = sim.tracer().total_charged();
+  out.cpu_busy = a.host().cpu().busy_total() + b.host().cpu().busy_total();
+  out.timer_fires = sim.metrics().counter("sim.timer_fires").value();
+  return out;
+}
+
+TEST(Observability, TimerFiresCarryArmingTraceIdsInTimerCategory) {
+  const TcpTraceArtifacts art = RunTracedTcpExchange(sim::SchedulerImpl::kWheel);
+
+  bool saw_delack = false, saw_time_wait = false, saw_traced_timer = false;
+  for (const auto& r : art.records) {
+    if (r.kind != sim::Tracer::Record::Kind::kInstant || r.category != "timer") {
+      continue;
+    }
+    if (r.name == "tcp.timer.delack") saw_delack = true;
+    if (r.name == "tcp.timer.time_wait") saw_time_wait = true;
+    // The fire is attributed to the packet whose processing armed the timer.
+    if (r.trace_id != 0) saw_traced_timer = true;
+  }
+  EXPECT_TRUE(saw_delack) << "no delayed-ACK timer instant recorded";
+  EXPECT_TRUE(saw_time_wait) << "no 2MSL timer instant recorded";
+  EXPECT_TRUE(saw_traced_timer) << "timer fires lost their arming trace id";
+
+  // With timer_op charges in the arm/cancel/fire paths, the charge ledger
+  // must still account for exactly the CPUs' busy time under the wheel.
+  EXPECT_EQ(art.total_charged, art.cpu_busy);
+  EXPECT_GT(art.timer_fires, 0u);
+}
+
+TEST(Observability, SchedulersExportIdenticalTraceArtifacts) {
+  // The scheduler is invisible to every exported artifact: same spans, same
+  // instants, same metrics, same charges, byte for byte.
+  const TcpTraceArtifacts heap = RunTracedTcpExchange(sim::SchedulerImpl::kHeap);
+  const TcpTraceArtifacts wheel = RunTracedTcpExchange(sim::SchedulerImpl::kWheel);
+  EXPECT_EQ(heap.chrome_json, wheel.chrome_json);
+  EXPECT_EQ(heap.metrics_a, wheel.metrics_a);
+  EXPECT_EQ(heap.metrics_b, wheel.metrics_b);
+  EXPECT_EQ(heap.total_charged, wheel.total_charged);
+  EXPECT_EQ(heap.timer_fires, wheel.timer_fires);
+  EXPECT_EQ(heap.total_charged, heap.cpu_busy);
 }
 
 TEST(Observability, DescribeGraphIncludesMetricsSnapshot) {

@@ -7,6 +7,7 @@
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
 #include "sim/host.h"
+#include "sim/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -125,6 +126,40 @@ TEST(Simulator, ScheduleInPastClampsToNow) {
   });
   EXPECT_NO_FATAL_FAILURE(s.Run());
   EXPECT_EQ(s.Now().us(), 10.0);
+}
+
+TEST(Simulator, HeapCompactionBoundsDeadEntries) {
+  // Regression for the lazy-cancellation leak: cancelling most of a large
+  // queue must not leave the heap full of dead entries. Compaction runs
+  // whenever dead entries exceed half the queue, so the residue is always
+  // bounded by the live population.
+  Simulator s(SchedulerImpl::kHeap);
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(s.Schedule(Duration::Micros(10 + i), [&] { ++fired; }));
+  }
+  for (int i = 0; i < 900; ++i) s.Cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(s.pending_events(), 100u);
+  EXPECT_LE(s.dead_entries(), s.pending_events() + 1);
+  EXPECT_EQ(s.metrics().gauge("sim.scheduler_dead_entries").value(),
+            static_cast<std::int64_t>(s.dead_entries()));
+  EXPECT_GE(s.metrics().counter("sim.scheduler_compactions").value(), 1u);
+  s.Run();
+  EXPECT_EQ(fired, 100);  // every survivor fires exactly once
+  EXPECT_EQ(s.dead_entries(), 0u);
+}
+
+TEST(Simulator, WheelCancelsEagerly) {
+  Simulator s(SchedulerImpl::kWheel);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(s.Schedule(Duration::Micros(10 + i), [] {}));
+  }
+  for (int i = 0; i < 900; ++i) s.Cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(s.pending_events(), 100u);
+  EXPECT_EQ(s.dead_entries(), 0u);  // no lazy residue, ever
+  EXPECT_EQ(s.metrics().counter("sim.timer_cancels").value(), 900u);
 }
 
 TEST(Cpu, SerializesTasks) {

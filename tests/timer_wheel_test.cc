@@ -1,0 +1,264 @@
+// Property-test harness for the scheduler: the hierarchical timing wheel and
+// the binary heap must be observationally identical.
+//
+// Mirrors demux_equivalence_test: a seeded generator produces randomized
+// op scripts (schedule / cancel / reschedule / advance, plus events that
+// schedule further events from inside their callbacks), each script is
+// applied in lockstep to two Simulators — one per SchedulerImpl — and every
+// observable is compared: the full (tag, fire-time) log byte for byte, the
+// virtual clock, pending/processed counts, per-handle IsPending, and the
+// sim.timer_* instruments. Any divergence in firing order, tie-breaking, or
+// cancellation semantics between the implementations fails here first.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "sim/timer_wheel.h"
+
+namespace sim {
+namespace {
+
+// splitmix64: deterministic, implementation-independent stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Delays spanning every wheel level: immediate ties, sub-slot, and horizons
+// out to minutes (RTO backoff / 2MSL territory).
+Duration DelayFromDraw(std::uint64_t draw) {
+  switch (draw % 8) {
+    case 0: return Duration::Nanos(0);  // same-instant FIFO ties
+    case 1: return Duration::Nanos(static_cast<std::int64_t>(draw / 8 % 256));
+    case 2: return Duration::Micros(static_cast<std::int64_t>(draw / 8 % 1000));
+    case 3: return Duration::Millis(static_cast<std::int64_t>(draw / 8 % 50));
+    case 4: return Duration::Millis(static_cast<std::int64_t>(draw / 8 % 1000));
+    case 5: return Duration::Seconds(static_cast<std::int64_t>(draw / 8 % 70));
+    case 6: return Duration::Millis(200);  // repeated identical deadline
+    default:
+      return Duration::Nanos(static_cast<std::int64_t>(draw / 8 % 5'000'000));
+  }
+}
+
+// One simulator plus everything observable about it.
+struct Driver {
+  explicit Driver(SchedulerImpl impl) : sim(impl) {}
+  Simulator sim;
+  std::vector<EventId> handles;
+  std::vector<std::pair<int, std::int64_t>> log;  // (tag, fire time ns)
+
+  void ScheduleTagged(int tag, Duration delay) {
+    handles.push_back(sim.Schedule(delay, [this, tag] {
+      log.emplace_back(tag, sim.Now().ns());
+      // Every third event schedules a child from inside its callback, with
+      // a tag-derived delay: events-scheduling-events must stay in lockstep.
+      if (tag % 3 == 0) {
+        const int child = tag + 100000;
+        sim.Schedule(Duration::Micros((tag * 7) % 500),
+                     [this, child] { log.emplace_back(child, sim.Now().ns()); });
+      }
+    }));
+  }
+};
+
+// Applies the same seeded op script to both implementations and compares
+// every observable. Returns false (with gtest failures recorded) on the
+// first divergence.
+void RunScript(std::uint64_t seed, int ops) {
+  Driver heap(SchedulerImpl::kHeap);
+  Driver wheel(SchedulerImpl::kWheel);
+  Rng rng(seed);
+  int next_tag = 0;
+
+  for (int op = 0; op < ops; ++op) {
+    switch (rng.Below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // schedule
+        const int tag = next_tag++;
+        const Duration d = DelayFromDraw(rng.Next());
+        heap.ScheduleTagged(tag, d);
+        wheel.ScheduleTagged(tag, d);
+        break;
+      }
+      case 4:
+      case 5: {  // cancel a random handle (may already be fired: no-op)
+        if (heap.handles.empty()) break;
+        const std::size_t i = rng.Below(heap.handles.size());
+        ASSERT_EQ(heap.sim.IsPending(heap.handles[i]),
+                  wheel.sim.IsPending(wheel.handles[i]))
+            << "seed " << seed << " op " << op;
+        heap.sim.Cancel(heap.handles[i]);
+        wheel.sim.Cancel(wheel.handles[i]);
+        break;
+      }
+      case 6: {  // reschedule: cancel + re-arm under a fresh deadline
+        if (heap.handles.empty()) break;
+        const std::size_t i = rng.Below(heap.handles.size());
+        heap.sim.Cancel(heap.handles[i]);
+        wheel.sim.Cancel(wheel.handles[i]);
+        const int tag = next_tag++;
+        const Duration d = DelayFromDraw(rng.Next());
+        heap.ScheduleTagged(tag, d);
+        wheel.ScheduleTagged(tag, d);
+        break;
+      }
+      default: {  // advance
+        const Duration d = DelayFromDraw(rng.Next());
+        heap.sim.RunFor(d);
+        wheel.sim.RunFor(d);
+        ASSERT_EQ(heap.sim.Now(), wheel.sim.Now()) << "seed " << seed;
+        break;
+      }
+    }
+    ASSERT_EQ(heap.sim.pending_events(), wheel.sim.pending_events())
+        << "seed " << seed << " op " << op;
+  }
+
+  // Drain both, then compare every observable.
+  heap.sim.Run();
+  wheel.sim.Run();
+  ASSERT_EQ(heap.log, wheel.log) << "firing order diverged, seed " << seed;
+  ASSERT_EQ(heap.sim.Now(), wheel.sim.Now()) << "seed " << seed;
+  ASSERT_EQ(heap.sim.pending_events(), 0u) << "seed " << seed;
+  ASSERT_EQ(wheel.sim.pending_events(), 0u) << "seed " << seed;
+  ASSERT_EQ(heap.sim.events_processed(), wheel.sim.events_processed())
+      << "seed " << seed;
+
+  // Scheduler instruments agree (cascades/compactions are impl-specific).
+  for (const char* name :
+       {"sim.timer_schedules", "sim.timer_cancels", "sim.timer_fires"}) {
+    ASSERT_EQ(heap.sim.metrics().counter(name).value(),
+              wheel.sim.metrics().counter(name).value())
+        << name << ", seed " << seed;
+  }
+  ASSERT_EQ(heap.sim.metrics().gauge("sim.timer_pending_peak").value(),
+            wheel.sim.metrics().gauge("sim.timer_pending_peak").value())
+      << "seed " << seed;
+
+  // Cancel-after-fire safety: every handle is long dead; Cancel must be a
+  // no-op on both sides and IsPending must agree (false).
+  for (std::size_t i = 0; i < heap.handles.size(); ++i) {
+    ASSERT_FALSE(heap.sim.IsPending(heap.handles[i])) << "seed " << seed;
+    ASSERT_FALSE(wheel.sim.IsPending(wheel.handles[i])) << "seed " << seed;
+    heap.sim.Cancel(heap.handles[i]);
+    wheel.sim.Cancel(wheel.handles[i]);
+  }
+  ASSERT_EQ(heap.sim.pending_events(), wheel.sim.pending_events());
+}
+
+TEST(SchedulerEquivalence, RandomizedScriptsAgreeByteForByte) {
+  // >= 1000 distinct seeds; short scripts keep the suite fast while the
+  // delay distribution still exercises every wheel level and FIFO ties.
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    RunScript(seed, 60);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(SchedulerEquivalence, DenseTieStorm) {
+  // Many events on few distinct instants: tie-breaking is the whole test.
+  for (std::uint64_t seed = 2000; seed < 2050; ++seed) {
+    Driver heap(SchedulerImpl::kHeap);
+    Driver wheel(SchedulerImpl::kWheel);
+    Rng rng(seed);
+    for (int i = 0; i < 400; ++i) {
+      const Duration d = Duration::Micros(static_cast<std::int64_t>(rng.Below(4)));
+      heap.ScheduleTagged(i, d);
+      wheel.ScheduleTagged(i, d);
+    }
+    heap.sim.Run();
+    wheel.sim.Run();
+    ASSERT_EQ(heap.log, wheel.log) << "seed " << seed;
+  }
+}
+
+// --- direct TimerWheel unit coverage ---------------------------------------
+
+TEST(TimerWheel, FiresInDeadlineThenSeqOrder) {
+  TimerWheel w;
+  std::vector<int> order;
+  w.Schedule(TimePoint::FromNanos(500), 2, [&] { order.push_back(2); });
+  w.Schedule(TimePoint::FromNanos(100), 1, [&] { order.push_back(1); });
+  w.Schedule(TimePoint::FromNanos(500), 0, [&] { order.push_back(0); });
+  TimePoint when;
+  std::function<void()> fn;
+  while (w.PopDueBefore(TimePoint::Max(), &when, &fn)) fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, CancelIsEagerAndIdsDoNotAlias) {
+  TimerWheel w;
+  const EventId a = w.Schedule(TimePoint::FromNanos(1000), 0, [] {});
+  EXPECT_TRUE(w.Contains(a));
+  EXPECT_TRUE(w.Cancel(a));
+  EXPECT_EQ(w.size(), 0u);       // removed immediately, no dead entry
+  EXPECT_FALSE(w.Cancel(a));     // double-cancel is a no-op
+  // The node is reused; the stale id must not cancel the new entry.
+  const EventId b = w.Schedule(TimePoint::FromNanos(2000), 1, [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(w.Contains(a));
+  EXPECT_FALSE(w.Cancel(a));
+  EXPECT_TRUE(w.Contains(b));
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(TimerWheel, LongHorizonCascadesDown) {
+  // A deadline far beyond level 0 must cascade down and still fire at the
+  // exact instant, before a later short timer scheduled afterwards.
+  TimerWheel w;
+  std::vector<int> order;
+  const std::int64_t far = Duration::Seconds(300).ns();  // level >= 4
+  w.Schedule(TimePoint::FromNanos(far), 0, [&] { order.push_back(0); });
+  w.Schedule(TimePoint::FromNanos(far + 1), 1, [&] { order.push_back(1); });
+  TimePoint when;
+  std::function<void()> fn;
+  ASSERT_TRUE(w.PopDueBefore(TimePoint::Max(), &when, &fn));
+  EXPECT_EQ(when.ns(), far);
+  fn();
+  ASSERT_TRUE(w.PopDueBefore(TimePoint::Max(), &when, &fn));
+  EXPECT_EQ(when.ns(), far + 1);
+  fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_GT(w.cascade_moves(), 0u);
+}
+
+TEST(TimerWheel, HorizonBoundsPop) {
+  TimerWheel w;
+  w.Schedule(TimePoint::FromNanos(5000), 0, [] {});
+  TimePoint when;
+  std::function<void()> fn;
+  EXPECT_FALSE(w.PopDueBefore(TimePoint::FromNanos(4999), &when, &fn));
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_TRUE(w.PopDueBefore(TimePoint::FromNanos(5000), &when, &fn));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, InvalidIdsAreSafe) {
+  TimerWheel w;
+  EXPECT_FALSE(w.Cancel(kInvalidEventId));
+  EXPECT_FALSE(w.Contains(kInvalidEventId));
+  EXPECT_FALSE(w.Cancel(0xdeadbeefULL << 32 | 7));  // out-of-range pool index
+}
+
+}  // namespace
+}  // namespace sim
