@@ -11,6 +11,10 @@
 #                          binary heap, schedule+cancel and drain)
 #   BENCH_scale.json       Connection-scale workload (100..10k concurrent
 #                          TCP clients against the in-kernel web server)
+#   BENCH_overload.json    Overload sweep: goodput vs offered load 0.1x-10x,
+#                          protected (rx ring + poll switch + bounded pool +
+#                          deferred-queue shedding) vs unprotected, plus the
+#                          HTTP-under-flood progress check
 # Also runs the gated microbenchmarks, whose exit statuses assert that
 # disabled tracing adds no measurable cost to Event::Raise, that indexed
 # dispatch at N=256 handlers is >=5x the linear scan, and that the timing
@@ -24,7 +28,7 @@ OUT_DIR="${OUT_DIR:-.}"
 cmake -B "$BUILD_DIR" -S .  # RelWithDebInfo by default (top-level CMakeLists)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   bench_fig5_udp_latency bench_tab1_tcp_throughput bench_micro_dispatch \
-  bench_micro_timer bench_scale_connections
+  bench_micro_timer bench_scale_connections bench_overload_sweep
 
 "$BUILD_DIR/bench/bench_fig5_udp_latency" \
   --json "$OUT_DIR/BENCH_fig5.json" --trace "$OUT_DIR/BENCH_fig5_trace.json"
@@ -33,7 +37,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   --json "$OUT_DIR/BENCH_micro.json"
 "$BUILD_DIR/bench/bench_micro_timer" --json "$OUT_DIR/BENCH_timer.json"
 "$BUILD_DIR/bench/bench_scale_connections" --json "$OUT_DIR/BENCH_scale.json"
+"$BUILD_DIR/bench/bench_overload_sweep" --json "$OUT_DIR/BENCH_overload.json"
 
 echo "bench artifacts: $OUT_DIR/BENCH_fig5.json $OUT_DIR/BENCH_tab1.json" \
      "$OUT_DIR/BENCH_fig5_trace.json $OUT_DIR/BENCH_micro.json" \
-     "$OUT_DIR/BENCH_timer.json $OUT_DIR/BENCH_scale.json"
+     "$OUT_DIR/BENCH_timer.json $OUT_DIR/BENCH_scale.json" \
+     "$OUT_DIR/BENCH_overload.json"

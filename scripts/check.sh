@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Builds the suite under AddressSanitizer + UndefinedBehaviorSanitizer and
-# runs every test twice: once plain, once with PLEXUS_TRACE=1 so every
-# simulator runs with the tracer recording. Catches the memory bugs the
-# fault-containment and tracing machinery must never introduce
-# (use-after-free across handler quarantine, fence lifetime mistakes during
-# stack unwinding, dangling span frames across ring eviction, ...).
+# runs every tier-1 test three times: once plain, once with PLEXUS_TRACE=1
+# so every simulator runs with the tracer recording, and once with
+# PLEXUS_MBUF_POOL=small so every host runs on a starved 256-segment mbuf
+# pool. Catches the memory bugs the fault-containment, tracing, and
+# overload-control machinery must never introduce (use-after-free across
+# handler quarantine, fence lifetime mistakes during stack unwinding,
+# dangling span frames across ring eviction, pool accounting races on
+# drop paths, ...).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +25,12 @@ ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
 echo "=== second pass: tracer enabled (PLEXUS_TRACE=1) ==="
 PLEXUS_TRACE=1 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
 
+echo "=== third pass: starved mbuf pool (PLEXUS_MBUF_POOL=small) ==="
+# 256-segment pools force the exhaustion paths (rx refill failures, tx
+# ENOBUFS drops, TCP retransmit recovery) through the whole tier-1 suite,
+# still under the sanitizers: exhaustion must degrade, never corrupt.
+PLEXUS_MBUF_POOL=small ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
+
 echo "=== slow pass: soak / scale suites (label: slow) ==="
 # The connection-churn soak and other large-population suites run once,
 # in their own labelled pass, still under the sanitizers.
@@ -37,6 +46,12 @@ echo "=== perf smoke: demux index vs linear guard scan, timer wheel vs heap ==="
 PERF_BUILD_DIR="${PERF_BUILD_DIR:-build}"
 cmake -B "$PERF_BUILD_DIR" -S .
 cmake --build "$PERF_BUILD_DIR" -j "$(nproc)" --target bench_micro_dispatch \
-  bench_micro_timer
+  bench_micro_timer bench_overload_sweep
 "$PERF_BUILD_DIR/bench/bench_micro_dispatch" --benchmark_filter=none
 "$PERF_BUILD_DIR/bench/bench_micro_timer"
+
+echo "=== overload gate: graceful degradation at 10x offered load ==="
+# Exits non-zero unless the protected server's goodput at 10x stays >= 60%
+# of its peak, interrupt->poll transitions occur and are traced, and the
+# mbuf pool drains to zero after every run.
+"$PERF_BUILD_DIR/bench/bench_overload_sweep"

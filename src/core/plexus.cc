@@ -36,9 +36,12 @@ EthernetManager::EthernetManager(PlexusHost& plexus, proto::EthLayer& eth)
   });
 }
 
+// The driver-edge hop: the only sheddable raise in the graph (nothing has
+// been invested in the frame yet beyond driver receive work).
 void EthernetManager::OnFrame(net::MbufPtr frame, const net::EthernetHeader& hdr) {
   PacketRef ref(frame.release());
-  plexus_.GraphHop([this, ref, hdr] { packet_recv_.Raise(*ref, hdr); });
+  plexus_.GraphHop([this, ref, hdr] { packet_recv_.Raise(*ref, hdr); },
+                   /*sheddable=*/true);
 }
 
 spin::Result<spin::HandlerId> EthernetManager::InstallTypeHandler(
@@ -370,7 +373,8 @@ TcpManager::TcpManager(PlexusHost& plexus, proto::TcpConfig config)
     }
     rst.window = 0;
     rst.checksum = 0;
-    auto m = net::Mbuf::Allocate(sizeof(rst));
+    auto m = net::PoolAllocate(plexus_.host().mbuf_pool(), sizeof(rst));
+    if (m == nullptr) return;  // pool dry: RSTs are best-effort
     net::StorePacket(*m, rst);
     rst.checksum = proto::TransportChecksum(dst, src, net::ipproto::kTcp, *m);
     net::StorePacket(*m, rst);
@@ -526,6 +530,8 @@ PlexusHost::PlexusHost(sim::Simulator& s, std::string name, sim::CostModel costs
                        drivers::DeviceProfile profile, NetConfig net_config, HandlerMode mode,
                        std::uint64_t seed)
     : host_(s, std::move(name), costs, seed),
+      mbuf_pool_(std::make_unique<net::MbufPool>(net::MbufPool::DefaultCapacity())),
+      deferred_(host_),
       dispatcher_(&host_),
       linker_(&host_),
       net_config_(net_config),
@@ -536,6 +542,7 @@ PlexusHost::PlexusHost(sim::Simulator& s, std::string name, sim::CostModel costs
       icmp_(host_, ip_layer_),
       udp_layer_(host_, ip_layer_),
       am_(host_, *ifaces_[0].eth) {
+  WireMbufPool();
   eth_mgr_ = std::make_unique<EthernetManager>(*this, *ifaces_[0].eth);
   ip_mgr_ = std::make_unique<IpManager>(*this, ip_layer_, *ifaces_[0].arp);
   udp_mgr_ = std::make_unique<UdpManager>(*this, udp_layer_);
@@ -584,17 +591,40 @@ std::string PlexusHost::DescribeGraph() const {
   return out;
 }
 
-void PlexusHost::GraphHop(std::function<void()> raise) {
+void PlexusHost::GraphHop(std::function<void()> raise, bool sheddable) {
   if (mode_ == HandlerMode::kInterrupt) {
     raise();
     return;
   }
-  // Thread mode: "each event raise creating a new thread".
+  // Thread mode: "each event raise creating a new thread". The backlog of
+  // spawned-but-not-run threads is bounded; past the watermark the newest
+  // driver-edge work is shed before any CPU is spent on it.
+  if (!deferred_.Admit(sheddable)) return;
   host_.Charge(host_.costs().thread_spawn);
   host_.Submit(sim::Priority::kThread, [this, raise = std::move(raise)] {
+    deferred_.OnStart();
     host_.Charge(host_.costs().thread_handoff);
     raise();
   });
+}
+
+void PlexusHost::WireMbufPool() {
+  host_.set_mbuf_pool(mbuf_pool_.get());
+  auto& in_use = host_.metrics().gauge("mbuf.pool_in_use");
+  auto& peak = host_.metrics().gauge("mbuf.pool_peak");
+  auto& exhausted = host_.metrics().counter("mbuf.pool_exhausted");
+  mbuf_pool_->SetOccupancyHook([&in_use, &peak](std::size_t cur, std::size_t pk) {
+    in_use.Set(static_cast<std::int64_t>(cur));
+    peak.Set(static_cast<std::int64_t>(pk));
+  });
+  mbuf_pool_->SetExhaustionHook([&exhausted] { exhausted.Inc(); });
+}
+
+void PlexusHost::SetMbufPoolCapacity(std::size_t segments) {
+  // Swap in a fresh pool; buffers from the old one stay valid and retire
+  // against its (now hook-less) books.
+  mbuf_pool_ = std::make_unique<net::MbufPool>(segments);
+  WireMbufPool();
 }
 
 void PlexusHost::WireGraph() {

@@ -45,6 +45,7 @@
 #include "drivers/nic.h"
 #include "net/headers.h"
 #include "net/mbuf.h"
+#include "net/mbuf_pool.h"
 #include "proto/active_message.h"
 #include "proto/arp.h"
 #include "proto/eth.h"
@@ -55,6 +56,7 @@
 #include "proto/tcp_demux.h"
 #include "proto/udp.h"
 #include "sim/host.h"
+#include "spin/deferred.h"
 #include "spin/dispatcher.h"
 #include "spin/domain.h"
 #include "spin/event.h"
@@ -405,8 +407,19 @@ class PlexusHost {
   void Run(std::function<void()> fn) { host_.Submit(sim::Priority::kKernel, std::move(fn)); }
 
   // One hop up the protocol graph: inline in interrupt mode, a fresh
-  // handler thread in thread mode.
-  void GraphHop(std::function<void()> raise);
+  // handler thread in thread mode. `sheddable` marks the driver-edge hop:
+  // thread-mode overload may refuse it (see spin::DeferredQueue) instead of
+  // growing the spawned-thread backlog without bound. Interior hops —
+  // packets the graph already invested work in — are never shed.
+  void GraphHop(std::function<void()> raise, bool sheddable = false);
+
+  // The bounded buffer pool every pooled allocation on this host draws
+  // from. Replacing the capacity swaps in a fresh pool; buffers still
+  // outstanding stay valid and retire against the old books.
+  net::MbufPool& mbuf_pool() { return *mbuf_pool_; }
+  void SetMbufPoolCapacity(std::size_t segments);
+
+  spin::DeferredQueue& deferred_queue() { return deferred_; }
 
   // Whether graph events demand EPHEMERAL handlers (interrupt mode).
   bool requires_ephemeral() const { return mode_ == HandlerMode::kInterrupt; }
@@ -424,11 +437,14 @@ class PlexusHost {
   };
 
   void WireGraph();
+  void WireMbufPool();
   Iface MakeIface(drivers::DeviceProfile profile, NetConfig cfg);
   std::vector<Iface> MakeInitialIfaces(const drivers::DeviceProfile& profile, NetConfig cfg);
   int IfIndexForRcvif(int rcvif) const;
 
   sim::Host host_;
+  std::unique_ptr<net::MbufPool> mbuf_pool_;
+  spin::DeferredQueue deferred_;
   spin::Dispatcher dispatcher_;
   spin::DynamicLinker linker_;
   NetConfig net_config_;

@@ -46,6 +46,24 @@ struct DeviceProfile {
   sim::Duration tx_fixed = sim::Duration::Zero();
   sim::Duration rx_fixed = sim::Duration::Zero();
 
+  // --- Overload control ------------------------------------------------------
+  // Receive descriptor ring: frames arriving while `rx_ring_depth` frames
+  // already await service are dropped at the wire (free drops — no CPU is
+  // consumed), like a LANCE running out of rx descriptors. 0 = unbounded
+  // (ablation only; real adapters always have a finite ring). The default
+  // is deep enough that none of the paper-reproduction workloads ever
+  // queue near it.
+  std::size_t rx_ring_depth = 1024;
+  // Interrupt->poll switch (receive-livelock avoidance): when interrupt-
+  // level receive work exceeds `poll_threshold` of CPU time over a sliding
+  // `poll_window`, the driver masks rx interrupts and drains the ring from
+  // a task-priority polling loop, at most `poll_quota` frames per pass;
+  // interrupts are re-enabled when the ring empties. threshold >= 1.0
+  // disables the switch (the stock-driver behavior the paper inherits).
+  double poll_threshold = 1.0;
+  sim::Duration poll_window = sim::Duration::Millis(1);
+  std::size_t poll_quota = 8;
+
   // Wire occupancy for a frame of `len` payload bytes.
   sim::Duration SerializationDelay(std::size_t len) const {
     std::size_t wire_bytes;

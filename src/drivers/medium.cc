@@ -9,7 +9,7 @@ namespace drivers {
 
 void PointToPointLink::Transmit(Nic* from, net::MbufPtr frame) {
   assert(taps_.size() == 2 && "point-to-point link needs exactly two taps");
-  frame = MaybeCorrupt(std::move(frame));
+  frame = MaybeTruncate(MaybeCorrupt(std::move(frame)));
   auto shared = std::shared_ptr<net::Mbuf>(frame.release());
   if (MaybeHold(from, shared)) return;  // released after the next transmit
 
@@ -41,7 +41,7 @@ void PointToPointLink::Transmit(Nic* from, net::MbufPtr frame) {
 }
 
 void EthernetSegment::Transmit(Nic* from, net::MbufPtr frame) {
-  frame = MaybeCorrupt(std::move(frame));
+  frame = MaybeTruncate(MaybeCorrupt(std::move(frame)));
   auto shared = std::shared_ptr<net::Mbuf>(frame.release());
   if (MaybeHold(from, shared)) return;  // released after the next transmit
 

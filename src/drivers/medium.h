@@ -23,6 +23,7 @@ struct Faults {
   double drop_probability = 0.0;
   double duplicate_probability = 0.0;
   double corrupt_probability = 0.0;  // flip one random byte of the frame
+  double truncate_probability = 0.0;  // deliver only a random prefix of the frame
   double reorder_probability = 0.0;  // hold the frame, deliver after the next one
   sim::Duration jitter_max = sim::Duration::Zero();  // extra uniform delay
 };
@@ -46,6 +47,7 @@ class Medium {
   std::uint64_t frames_dropped() const { return frames_dropped_; }
   std::uint64_t frames_carried() const { return frames_carried_; }
   std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+  std::uint64_t frames_truncated() const { return frames_truncated_; }
   std::uint64_t frames_reordered() const { return frames_reordered_; }
 
  protected:
@@ -109,6 +111,21 @@ class Medium {
     return copy;
   }
 
+  // Possibly truncates a frame (a collision fragment / aborted DMA): only a
+  // random non-empty prefix reaches the receivers. Every header parse
+  // downstream must survive the short frame.
+  net::MbufPtr MaybeTruncate(net::MbufPtr frame) {
+    if (faults_.truncate_probability <= 0.0 ||
+        !rng_.Bernoulli(faults_.truncate_probability) || frame->PacketLength() <= 1) {
+      return frame;
+    }
+    ++frames_truncated_;
+    auto copy = frame->DeepCopy();
+    const std::size_t keep = 1 + rng_.UniformU64(copy->PacketLength() - 1);
+    copy->TrimBack(copy->PacketLength() - keep);
+    return copy;
+  }
+
   sim::Simulator& sim_;
   sim::Random rng_;
   std::vector<Nic*> taps_;
@@ -116,6 +133,7 @@ class Medium {
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_carried_ = 0;
   std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t frames_truncated_ = 0;
   std::uint64_t frames_reordered_ = 0;
   Nic* held_from_ = nullptr;
   std::shared_ptr<net::Mbuf> held_frame_;

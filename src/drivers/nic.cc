@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "net/headers.h"
+#include "net/mbuf_pool.h"
 #include "net/view.h"
 
 namespace drivers {
@@ -17,6 +18,12 @@ Nic::Nic(sim::Host& host, DeviceProfile profile, net::MacAddress mac)
       rx_frames_(host.metrics().counter(metrics_prefix_ + "rx_frames")),
       rx_bytes_(host.metrics().counter(metrics_prefix_ + "rx_bytes")),
       rx_filtered_(host.metrics().counter(metrics_prefix_ + "rx_filtered")),
+      rx_dropped_(host.metrics().counter(metrics_prefix_ + "rx_dropped")),
+      rx_ring_drops_(host.metrics().counter(metrics_prefix_ + "rx_ring_drops")),
+      rx_pool_drops_(host.metrics().counter(metrics_prefix_ + "rx_pool_drops")),
+      poll_entries_(host.metrics().counter(metrics_prefix_ + "poll_entries")),
+      poll_exits_(host.metrics().counter(metrics_prefix_ + "poll_exits")),
+      rx_ring_gauge_(host.metrics().gauge(metrics_prefix_ + "rx_ring")),
       index_(next_index_++) {}
 
 void Nic::ResetStats() {
@@ -25,6 +32,11 @@ void Nic::ResetStats() {
   rx_frames_.Reset();
   rx_bytes_.Reset();
   rx_filtered_.Reset();
+  rx_dropped_.Reset();
+  rx_ring_drops_.Reset();
+  rx_pool_drops_.Reset();
+  poll_entries_.Reset();
+  poll_exits_.Reset();
 }
 
 void Nic::Transmit(net::MbufPtr frame) {
@@ -61,27 +73,116 @@ void Nic::DeliverFromWire(net::MbufPtr frame, bool check_address) {
       return;
     }
   }
-  const std::size_t len = frame->PacketLength();
+  // Finite descriptor ring: frames arriving while it is full die on the
+  // wire. A free drop — no buffer is consumed and no CPU ever runs for the
+  // frame — which is what keeps saturation survivable.
+  if (profile_.rx_ring_depth > 0 && rx_ring_.size() >= profile_.rx_ring_depth) {
+    rx_ring_drops_.Inc();
+    rx_dropped_.Inc();
+    host_.TraceInstant("nic.rx.ring_drop", "drop", frame->pkthdr().trace_id);
+    return;
+  }
+  // Refill the descriptor from the host's bounded mbuf pool: an exhausted
+  // pool is the same wire drop, not an unbounded heap allocation.
+  net::MbufPtr buf;
+  if (net::MbufPool* pool = host_.mbuf_pool(); pool != nullptr) {
+    buf = pool->TryCopy(*frame);
+    if (buf == nullptr) {
+      rx_pool_drops_.Inc();
+      rx_dropped_.Inc();
+      host_.TraceInstant("nic.rx.pool_drop", "drop", frame->pkthdr().trace_id);
+      return;
+    }
+  } else {
+    buf = std::move(frame);
+  }
+  const std::size_t len = buf->PacketLength();
   rx_frames_.Inc();
   rx_bytes_.Inc(len);
-  frame->pkthdr().rcvif = index_;
+  buf->pkthdr().rcvif = index_;
+  rx_ring_.push_back(std::move(buf));
+  rx_ring_gauge_.Set(static_cast<std::int64_t>(rx_ring_.size()));
 
   // Raise the device interrupt: driver receive work runs at interrupt
-  // priority; the callback is the bottom of the protocol graph.
-  auto shared = std::shared_ptr<net::Mbuf>(frame.release());
-  host_.Submit(sim::Priority::kInterrupt, [this, shared, len]() mutable {
-    if (host_.tracing() && shared->pkthdr().trace_id == 0) {
-      shared->pkthdr().trace_id = host_.tracer().NextTraceId();
-    }
-    const std::uint64_t tid = shared->pkthdr().trace_id;
-    sim::PacketTraceScope packet_scope(host_, tid);
-    sim::TraceSpan span(host_, "nic.rx", "driver", tid);
-    const auto& cm = host_.costs();
-    host_.Charge(cm.interrupt_entry);
-    host_.Charge(profile_.RxCpuCost(len));
-    if (rx_callback_) rx_callback_(net::MbufPtr(shared->ShareClone()));
-    host_.Charge(cm.interrupt_exit);
-  });
+  // priority; the callback is the bottom of the protocol graph. In polled
+  // mode rx interrupts are masked — the poll task owns the ring.
+  if (!polling_) {
+    host_.Submit(sim::Priority::kInterrupt, [this] { RxInterrupt(); });
+  }
+}
+
+void Nic::RxInterrupt() {
+  // Masked (the poll loop took over after this interrupt was raised) or
+  // spurious (the poll loop already consumed the frame): a free no-op.
+  if (polling_ || rx_ring_.empty()) return;
+  DeliverOne(/*polled=*/false);
+  NoteRxWork(host_.charged_so_far());
+}
+
+void Nic::DeliverOne(bool polled) {
+  net::MbufPtr buf = std::move(rx_ring_.front());
+  rx_ring_.pop_front();
+  rx_ring_gauge_.Set(static_cast<std::int64_t>(rx_ring_.size()));
+  const std::size_t len = buf->PacketLength();
+  if (host_.tracing() && buf->pkthdr().trace_id == 0) {
+    buf->pkthdr().trace_id = host_.tracer().NextTraceId();
+  }
+  const std::uint64_t tid = buf->pkthdr().trace_id;
+  sim::PacketTraceScope packet_scope(host_, tid);
+  sim::TraceSpan span(host_, polled ? "nic.rx.poll" : "nic.rx", "driver", tid);
+  const auto& cm = host_.costs();
+  if (!polled) host_.Charge(cm.interrupt_entry);
+  host_.Charge(profile_.RxCpuCost(len));
+  if (rx_callback_) rx_callback_(std::move(buf));
+  if (!polled) host_.Charge(cm.interrupt_exit);
+}
+
+void Nic::NoteRxWork(sim::Duration d) {
+  if (profile_.poll_threshold >= 1.0 || profile_.poll_window.is_zero()) return;
+  const sim::TimePoint now = host_.Now();
+  if (now - window_start_ >= profile_.poll_window) {
+    window_start_ = now;
+    window_work_ = sim::Duration::Zero();
+  }
+  window_work_ += d;
+  if (!polling_ &&
+      static_cast<double>(window_work_.ns()) >
+          profile_.poll_threshold * static_cast<double>(profile_.poll_window.ns())) {
+    EnterPollMode();
+  }
+}
+
+void Nic::EnterPollMode() {
+  // Runs inside the tripping rx interrupt: mask rx interrupts (one CSR
+  // write) and hand the ring to a task-priority poll loop, which competes
+  // fairly — FIFO — with protocol threads and applications. That fairness
+  // is the livelock fix.
+  polling_ = true;
+  poll_entries_.Inc();
+  host_.Charge(host_.costs().intr_mask);
+  host_.TraceInstant("nic.poll.enter", "driver");
+  host_.Submit(sim::Priority::kThread, [this] { PollTask(); });
+}
+
+void Nic::PollTask() {
+  if (!polling_) return;
+  if (rx_ring_.empty()) {
+    // Drained: unmask and fall back to interrupts.
+    polling_ = false;
+    poll_exits_.Inc();
+    host_.Charge(host_.costs().intr_mask);
+    host_.TraceInstant("nic.poll.exit", "driver");
+    return;
+  }
+  sim::TraceSpan span(host_, "nic.poll", "driver");
+  host_.Charge(host_.costs().poll_entry);
+  const std::size_t quota = profile_.poll_quota > 0 ? profile_.poll_quota : 1;
+  for (std::size_t i = 0; i < quota && !rx_ring_.empty(); ++i) {
+    DeliverOne(/*polled=*/true);
+  }
+  // Yield between passes even when more frames wait — the quota is what
+  // bounds how long the poll loop can starve other threads.
+  host_.Submit(sim::Priority::kThread, [this] { PollTask(); });
 }
 
 }  // namespace drivers

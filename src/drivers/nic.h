@@ -9,15 +9,26 @@
 // instant (i.e. once the CPU has actually issued the I/O).
 //
 // Receive path: the medium delivers a frame at a simulated instant; the NIC
-// raises a device interrupt by submitting an interrupt-priority task that
-// charges interrupt + driver receive costs and then invokes the receive
-// callback — this is where "only privileged device driver code — the bottom
-// of the Plexus protocol graph — runs directly in response to network
-// device interrupts" (paper Section 3.3).
+// refills a receive buffer from the host's bounded mbuf pool, enqueues it on
+// a finite rx descriptor ring, and raises a device interrupt — an
+// interrupt-priority task that charges interrupt + driver receive costs and
+// invokes the receive callback, "the bottom of the Plexus protocol graph"
+// (paper Section 3.3). A full ring or an exhausted pool drops the frame at
+// the wire, consuming no CPU.
+//
+// Livelock avoidance: the architecture above is exactly the one that
+// collapses under receive livelock — at saturation the CPU spends all its
+// time in rx interrupts and no task-level work (the rest of the protocol
+// graph in thread mode, applications) ever runs. When interrupt-level rx
+// work exceeds DeviceProfile::poll_threshold of CPU time over a sliding
+// window, the driver masks rx interrupts and drains the ring from a
+// task-priority polling loop under a per-pass quota, re-enabling interrupts
+// once the ring is empty. Mode transitions are counted and traced.
 #ifndef PLEXUS_DRIVERS_NIC_H_
 #define PLEXUS_DRIVERS_NIC_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <utility>
@@ -35,12 +46,18 @@ class Nic {
   struct Stats {
     std::uint64_t tx_frames = 0;
     std::uint64_t tx_bytes = 0;
-    std::uint64_t rx_frames = 0;
+    std::uint64_t rx_frames = 0;  // accepted into the rx ring
     std::uint64_t rx_bytes = 0;
-    std::uint64_t rx_filtered = 0;  // not addressed to us
+    std::uint64_t rx_filtered = 0;   // not addressed to us
+    std::uint64_t rx_dropped = 0;    // ring-full + pool-exhausted drops
+    std::uint64_t rx_ring_drops = 0;
+    std::uint64_t rx_pool_drops = 0;
+    std::uint64_t poll_entries = 0;  // interrupt -> polled transitions
+    std::uint64_t poll_exits = 0;    // polled -> interrupt transitions
   };
 
-  // The receive callback runs inside the interrupt-priority CPU task.
+  // The receive callback runs inside the interrupt-priority CPU task (or
+  // the task-priority polling loop when the driver is in polled mode).
   using ReceiveCallback = std::function<void(net::MbufPtr)>;
 
   Nic(sim::Host& host, DeviceProfile profile, net::MacAddress mac);
@@ -57,6 +74,8 @@ class Nic {
   net::MacAddress mac() const { return mac_; }
   int index() const { return index_; }
   void set_promiscuous(bool v) { promiscuous_ = v; }
+  bool polling() const { return polling_; }
+  std::size_t rx_ring_size() const { return rx_ring_.size(); }
 
   void SetReceiveCallback(ReceiveCallback cb) { rx_callback_ = std::move(cb); }
 
@@ -70,8 +89,10 @@ class Nic {
   // Snapshot of the registry-backed counters ("<metrics_prefix>tx_frames"
   // etc. in host.metrics()).
   Stats stats() const {
-    return Stats{tx_frames_.value(), tx_bytes_.value(), rx_frames_.value(),
-                 rx_bytes_.value(), rx_filtered_.value()};
+    return Stats{tx_frames_.value(),    tx_bytes_.value(),     rx_frames_.value(),
+                 rx_bytes_.value(),     rx_filtered_.value(),  rx_dropped_.value(),
+                 rx_ring_drops_.value(), rx_pool_drops_.value(), poll_entries_.value(),
+                 poll_exits_.value()};
   }
   void ResetStats();
   // "nic0.", "nic1.", ... — per-host ordinal, deterministic across runs
@@ -79,6 +100,20 @@ class Nic {
   const std::string& metrics_prefix() const { return metrics_prefix_; }
 
  private:
+  // The interrupt-priority rx service routine: pops one frame off the ring,
+  // charges driver costs, runs the callback, and updates the livelock
+  // window. A no-op if the ring is empty or interrupts have been masked
+  // (latched interrupts for frames the poll loop already consumed).
+  void RxInterrupt();
+  // Delivers the ring's head frame through the callback. The polled path
+  // skips interrupt entry/exit — that is the entire point of the switch.
+  void DeliverOne(bool polled);
+  // Sliding-window accounting of interrupt-level rx work; trips the
+  // interrupt->poll transition past the profile's threshold.
+  void NoteRxWork(sim::Duration d);
+  void EnterPollMode();
+  void PollTask();
+
   sim::Host& host_;
   DeviceProfile profile_;
   net::MacAddress mac_;
@@ -90,6 +125,16 @@ class Nic {
   sim::Counter& rx_frames_;
   sim::Counter& rx_bytes_;
   sim::Counter& rx_filtered_;
+  sim::Counter& rx_dropped_;
+  sim::Counter& rx_ring_drops_;
+  sim::Counter& rx_pool_drops_;
+  sim::Counter& poll_entries_;
+  sim::Counter& poll_exits_;
+  sim::Gauge& rx_ring_gauge_;
+  std::deque<net::MbufPtr> rx_ring_;
+  bool polling_ = false;
+  sim::TimePoint window_start_;
+  sim::Duration window_work_;
   bool promiscuous_ = false;
   int index_;
 

@@ -137,6 +137,11 @@ class Mbuf {
   bool CheckInvariants() const;
 
  private:
+  // MbufPool builds segments over refcount-tracked storage (bounded
+  // allocation with pool-credit-on-release deleters); it needs the private
+  // constructor and chain link but nothing else.
+  friend class MbufPool;
+
   using Storage = std::vector<std::byte>;
 
   Mbuf(std::shared_ptr<Storage> storage, std::size_t offset, std::size_t length)

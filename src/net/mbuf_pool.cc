@@ -1,0 +1,131 @@
+#include "net/mbuf_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace net {
+
+struct MbufPool::Control {
+  std::size_t in_use = 0;
+  std::size_t peak = 0;
+  std::uint64_t total_allocated = 0;
+  std::uint64_t exhaustions = 0;
+  OccupancyHook on_occupancy;
+  ExhaustionHook on_exhausted;
+
+  void NotifyOccupancy() {
+    if (on_occupancy) on_occupancy(in_use, peak);
+  }
+};
+
+MbufPool::MbufPool(std::size_t capacity_segments)
+    : ctl_(std::make_shared<Control>()), capacity_(capacity_segments) {}
+
+MbufPool::~MbufPool() {
+  // Outstanding segments may be released long after the pool (and the host
+  // whose instruments the hooks reference) is gone.
+  ctl_->on_occupancy = nullptr;
+  ctl_->on_exhausted = nullptr;
+}
+
+std::size_t MbufPool::in_use() const { return ctl_->in_use; }
+std::size_t MbufPool::peak_in_use() const { return ctl_->peak; }
+std::uint64_t MbufPool::total_allocated() const { return ctl_->total_allocated; }
+std::uint64_t MbufPool::exhaustions() const { return ctl_->exhaustions; }
+
+void MbufPool::SetOccupancyHook(OccupancyHook h) { ctl_->on_occupancy = std::move(h); }
+void MbufPool::SetExhaustionHook(ExhaustionHook h) { ctl_->on_exhausted = std::move(h); }
+
+std::size_t MbufPool::SegmentsFor(std::size_t len) {
+  // Mirrors the chain shape Mbuf::Allocate builds: the first segment takes
+  // up to one cluster, each further cluster is its own segment.
+  const std::size_t first = std::min(len, Mbuf::kClusterSize);
+  const std::size_t rest = len - first;
+  return 1 + (rest + Mbuf::kClusterSize - 1) / Mbuf::kClusterSize;
+}
+
+bool MbufPool::Reserve(std::size_t segments) {
+  if (ctl_->in_use + segments > capacity_) {
+    ++ctl_->exhaustions;
+    if (ctl_->on_exhausted) ctl_->on_exhausted();
+    return false;
+  }
+  ctl_->in_use += segments;
+  ctl_->peak = std::max(ctl_->peak, ctl_->in_use);
+  ctl_->total_allocated += segments;
+  ctl_->NotifyOccupancy();
+  return true;
+}
+
+MbufPtr MbufPool::MakeSegment(std::size_t capacity, std::size_t offset, std::size_t length) {
+  // The deleter credits the pool when the LAST reference to this storage
+  // dies — clones and splits share storage, so they never double-charge.
+  auto ctl = ctl_;
+  std::shared_ptr<Mbuf::Storage> storage(new Mbuf::Storage(capacity),
+                                         [ctl](Mbuf::Storage* p) {
+                                           delete p;
+                                           --ctl->in_use;
+                                           ctl->NotifyOccupancy();
+                                         });
+  return MbufPtr(new Mbuf(std::move(storage), offset, length));
+}
+
+MbufPtr MbufPool::TryAllocate(std::size_t len, std::size_t headroom) {
+  if (!Reserve(SegmentsFor(len))) return nullptr;
+  const std::size_t first_payload = std::min(len, Mbuf::kClusterSize);
+  MbufPtr head = MakeSegment(headroom + std::max<std::size_t>(first_payload, 1), headroom,
+                             first_payload);
+  std::size_t remaining = len - first_payload;
+  Mbuf* tail = head.get();
+  while (remaining > 0) {
+    const std::size_t n = std::min(remaining, Mbuf::kClusterSize);
+    tail->next_ = MakeSegment(n, 0, n);
+    tail = tail->next_.get();
+    remaining -= n;
+  }
+  return head;
+}
+
+MbufPtr MbufPool::TryFromBytes(std::span<const std::byte> bytes, std::size_t headroom) {
+  MbufPtr m = TryAllocate(bytes.size(), headroom);
+  if (m != nullptr) m->CopyIn(0, bytes);
+  return m;
+}
+
+MbufPtr MbufPool::TryCopy(const Mbuf& chain, std::size_t headroom) {
+  MbufPtr out = TryAllocate(chain.PacketLength(), headroom);
+  if (out == nullptr) return nullptr;
+  std::size_t off = 0;
+  chain.ForEachSegment([&](std::span<const std::byte> s) {
+    out->CopyIn(off, s);
+    off += s.size();
+  });
+  out->pkthdr() = chain.pkthdr();
+  return out;
+}
+
+std::size_t MbufPool::DefaultCapacity() {
+  constexpr std::size_t kGenerous = 65536;
+  const char* env = std::getenv("PLEXUS_MBUF_POOL");
+  if (env == nullptr || *env == '\0') return kGenerous;
+  const std::string v(env);
+  if (v == "small") return 256;
+  if (v == "large" || v == "default") return kGenerous;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(env, &end, 10);
+  if (end != env && *end == '\0' && n > 0) return static_cast<std::size_t>(n);
+  return kGenerous;
+}
+
+MbufPtr PoolAllocate(MbufPool* pool, std::size_t len, std::size_t headroom) {
+  if (pool == nullptr) return Mbuf::Allocate(len, headroom);
+  return pool->TryAllocate(len, headroom);
+}
+
+MbufPtr PoolFromBytes(MbufPool* pool, std::span<const std::byte> bytes, std::size_t headroom) {
+  if (pool == nullptr) return Mbuf::FromBytes(bytes, headroom);
+  return pool->TryFromBytes(bytes, headroom);
+}
+
+}  // namespace net

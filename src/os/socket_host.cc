@@ -57,13 +57,32 @@ void SocketHost::WireIfaceUpcall(Iface& iface) {
 SocketHost::SocketHost(sim::Simulator& s, std::string name, sim::CostModel costs,
                        drivers::DeviceProfile profile, NetConfig net_config, std::uint64_t seed)
     : host_(s, std::move(name), costs, seed),
+      mbuf_pool_(std::make_unique<net::MbufPool>(net::MbufPool::DefaultCapacity())),
       net_config_(net_config),
       ifaces_(MakeInitialIfaces(profile, net_config)),
       ip_layer_(host_,
                 proto::Ipv4Layer::Config{net_config.ip, net_config.prefix_len, profile.mtu}),
       icmp_(host_, ip_layer_),
       udp_layer_(host_, ip_layer_) {
+  WireMbufPool();
   WireStack();
+}
+
+void SocketHost::WireMbufPool() {
+  host_.set_mbuf_pool(mbuf_pool_.get());
+  auto& in_use = host_.metrics().gauge("mbuf.pool_in_use");
+  auto& peak = host_.metrics().gauge("mbuf.pool_peak");
+  auto& exhausted = host_.metrics().counter("mbuf.pool_exhausted");
+  mbuf_pool_->SetOccupancyHook([&in_use, &peak](std::size_t cur, std::size_t pk) {
+    in_use.Set(static_cast<std::int64_t>(cur));
+    peak.Set(static_cast<std::int64_t>(pk));
+  });
+  mbuf_pool_->SetExhaustionHook([&exhausted] { exhausted.Inc(); });
+}
+
+void SocketHost::SetMbufPoolCapacity(std::size_t segments) {
+  mbuf_pool_ = std::make_unique<net::MbufPool>(segments);
+  WireMbufPool();
 }
 
 void SocketHost::WireStack() {
@@ -126,7 +145,8 @@ void SocketHost::WireStack() {
     }
     rst.window = 0;
     rst.checksum = 0;
-    auto m = net::Mbuf::Allocate(sizeof(rst));
+    auto m = net::PoolAllocate(host_.mbuf_pool(), sizeof(rst));
+    if (m == nullptr) return;  // pool dry: RSTs are best-effort
     net::StorePacket(*m, rst);
     rst.checksum = proto::TransportChecksum(dst, src, net::ipproto::kTcp, *m);
     net::StorePacket(*m, rst);

@@ -23,6 +23,7 @@
 #include "drivers/nic.h"
 #include "net/headers.h"
 #include "net/mbuf.h"
+#include "net/mbuf_pool.h"
 #include "proto/arp.h"
 #include "proto/eth.h"
 #include "proto/icmp.h"
@@ -82,6 +83,11 @@ class SocketHost {
   // in a later user task after wakeup, context switch, and copyout.
   void DeliverToUser(std::size_t bytes, std::function<void()> app_callback);
 
+  // The bounded buffer pool (same bound as the Plexus side — the drivers
+  // are shared, so the comparison stays controlled).
+  net::MbufPool& mbuf_pool() { return *mbuf_pool_; }
+  void SetMbufPoolCapacity(std::size_t segments);
+
  private:
   struct Iface {
     std::unique_ptr<drivers::Nic> nic;
@@ -90,12 +96,14 @@ class SocketHost {
   };
 
   void WireStack();
+  void WireMbufPool();
   Iface MakeIface(drivers::DeviceProfile profile, NetConfig cfg);
   std::vector<Iface> MakeInitialIfaces(const drivers::DeviceProfile& profile, NetConfig cfg);
   void WireIfaceUpcall(Iface& iface);
   int IfIndexForRcvif(int rcvif) const;
 
   sim::Host host_;
+  std::unique_ptr<net::MbufPool> mbuf_pool_;
   // "os.*" counters: the baseline's trap/copy/schedule activity (the very
   // costs the paper's Section 4 breakdown charges against this structure).
   sim::Counter& syscalls_ = host_.metrics().counter("os.syscalls");

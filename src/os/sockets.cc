@@ -27,8 +27,10 @@ void UdpSocket::SendTo(std::span<const std::byte> data, net::Ipv4Address dst,
   const std::size_t len = copy.size();  // before the move: argument evaluation
                                         // order is unspecified
   os_.Syscall(len, [this, copy = std::move(copy), dst, dst_port] {
-    os_.udp_layer().Output(net::Mbuf::FromBytes(copy), net::Ipv4Address::Any(), port_, dst,
-                           dst_port, checksum_);
+    auto m = net::PoolFromBytes(os_.host().mbuf_pool(), copy);
+    if (m == nullptr) return;  // pool dry: ENOBUFS — the datagram is dropped
+    os_.udp_layer().Output(std::move(m), net::Ipv4Address::Any(), port_, dst, dst_port,
+                           checksum_);
   });
 }
 

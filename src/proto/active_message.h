@@ -20,6 +20,7 @@
 
 #include "net/headers.h"
 #include "net/mbuf.h"
+#include "net/mbuf_pool.h"
 #include "net/view.h"
 #include "proto/eth.h"
 #include "sim/host.h"
@@ -47,7 +48,8 @@ class ActiveMessageEndpoint {
     hdr.length = static_cast<std::uint16_t>(payload.size());
     hdr.arg0 = arg0;
     hdr.arg1 = arg1;
-    auto m = net::Mbuf::Allocate(sizeof(hdr) + payload.size());
+    auto m = net::PoolAllocate(host_.mbuf_pool(), sizeof(hdr) + payload.size());
+    if (m == nullptr) return;  // pool dry: active messages are unreliable
     net::StorePacket(*m, hdr);
     if (!payload.empty()) m->CopyIn(sizeof(hdr), payload);
     ++stats_.sent;

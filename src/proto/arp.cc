@@ -1,5 +1,6 @@
 #include "proto/arp.h"
 
+#include "net/mbuf_pool.h"
 #include "net/view.h"
 #include "proto/eth.h"
 
@@ -56,9 +57,12 @@ void ArpService::SendRequest(net::Ipv4Address ip) {
   pkt.target_mac = net::MacAddress();
   pkt.target_ip = ip;
 
-  auto m = net::Mbuf::Allocate(sizeof(pkt));
-  net::StorePacket(*m, pkt);
-  eth_.Output(std::move(m), net::MacAddress::Broadcast(), net::ethertype::kArp);
+  auto m = net::PoolAllocate(host_.mbuf_pool(), sizeof(pkt));
+  if (m != nullptr) {
+    // Pool dry: the request is skipped; the retry timer below re-sends.
+    net::StorePacket(*m, pkt);
+    eth_.Output(std::move(m), net::MacAddress::Broadcast(), net::ethertype::kArp);
+  }
 
   auto it = pending_.find(ip);
   if (it != pending_.end()) {
@@ -125,7 +129,8 @@ void ArpService::Input(net::MbufPtr payload) {
     reply.sender_ip = my_ip_;
     reply.target_mac = pkt.sender_mac;
     reply.target_ip = pkt.sender_ip;
-    auto m = net::Mbuf::Allocate(sizeof(reply));
+    auto m = net::PoolAllocate(host_.mbuf_pool(), sizeof(reply));
+    if (m == nullptr) return;  // pool dry: the requester retries
     net::StorePacket(*m, reply);
     eth_.Output(std::move(m), pkt.sender_mac, net::ethertype::kArp);
   }

@@ -15,6 +15,7 @@
 #include "drivers/nic.h"
 #include "net/headers.h"
 #include "net/mbuf.h"
+#include "net/mbuf_pool.h"
 #include "net/view.h"
 #include "sim/host.h"
 
@@ -50,7 +51,8 @@ class EthLayer {
     // keeps receive-side lengths faithful).
     const std::size_t min = nic_.profile().min_frame;
     if (min > 0 && payload->PacketLength() < min) {
-      auto pad = net::Mbuf::Allocate(min - payload->PacketLength(), 0);
+      auto pad = net::PoolAllocate(host_.mbuf_pool(), min - payload->PacketLength(), 0);
+      if (pad == nullptr) return;  // pool dry: drop the frame at the driver edge
       payload->AppendChain(std::move(pad));
     }
     nic_.Transmit(std::move(payload));

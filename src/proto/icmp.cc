@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "net/checksum.h"
+#include "net/mbuf_pool.h"
 #include "net/view.h"
 #include "proto/ip.h"
 
@@ -29,7 +30,8 @@ void IcmpLayer::SendEchoRequest(net::Ipv4Address dst, std::uint16_t id, std::uin
   hdr.type = net::icmptype::kEchoRequest;
   hdr.id = id;
   hdr.seq = seq;
-  auto m = net::Mbuf::Allocate(sizeof(hdr) + payload_len);
+  auto m = net::PoolAllocate(host_.mbuf_pool(), sizeof(hdr) + payload_len);
+  if (m == nullptr) return;  // pool dry: the ping is simply lost
   net::StorePacket(*m, hdr);
   for (std::size_t i = 0; i < payload_len; ++i) {
     const std::byte b{static_cast<unsigned char>(i & 0xff)};
@@ -48,7 +50,8 @@ void IcmpLayer::SendError(const net::Ipv4Header& offending, std::uint8_t type,
   net::IcmpHeader hdr;
   hdr.type = type;
   hdr.code = code;
-  auto m = net::Mbuf::Allocate(sizeof(hdr) + sizeof(net::Ipv4Header));
+  auto m = net::PoolAllocate(host_.mbuf_pool(), sizeof(hdr) + sizeof(net::Ipv4Header));
+  if (m == nullptr) return;  // pool dry: ICMP errors are best-effort
   net::StorePacket(*m, hdr);
   net::StorePacket(*m, offending, sizeof(hdr));
   ++stats_.errors_sent;

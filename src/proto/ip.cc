@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "net/checksum.h"
+#include "net/mbuf_pool.h"
 #include "net/view.h"
 
 namespace proto {
@@ -234,7 +235,8 @@ void Ipv4Layer::HandleFragment(net::MbufPtr packet, const net::Ipv4Header& hdr) 
   first.set_fragment(0, false);
   first.total_length = static_cast<std::uint16_t>(sizeof(net::Ipv4Header) + whole.size());
   if (deliver_) {
-    auto reassembled = net::Mbuf::FromBytes(whole);
+    auto reassembled = net::PoolFromBytes(host_.mbuf_pool(), whole);
+    if (reassembled == nullptr) return;  // pool dry: the datagram is lost whole
     reassembled->pkthdr().trace_id = trace_id;  // FromBytes starts a fresh pkthdr
     deliver_(std::move(reassembled), first);
   }

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "net/mbuf_pool.h"
 #include "net/view.h"
 #include "proto/transport_checksum.h"
 
@@ -142,7 +143,11 @@ void TcpConnection::EmitSegment(std::uint8_t flags, Seq seq, std::span<const std
                                 bool with_mss_option) {
   const std::size_t hdr_len = sizeof(net::TcpHeader) + (with_mss_option ? kMssOptionLen : 0);
 
-  auto m = net::Mbuf::Allocate(hdr_len + payload.size());
+  // Pool dry: skip the emission entirely. TCP's own machinery recovers —
+  // data retransmits on the rexmt timer, ACKs regenerate on the next
+  // segment or delack tick.
+  auto m = net::PoolAllocate(host_.mbuf_pool(), hdr_len + payload.size());
+  if (m == nullptr) return;
   net::TcpHeader hdr;
   hdr.src_port = endpoints_.local_port;
   hdr.dst_port = endpoints_.remote_port;

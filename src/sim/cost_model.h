@@ -39,6 +39,11 @@ struct CostModel {
   // --- Interrupt path (shared; same drivers on both systems) --------------
   Duration interrupt_entry = Duration::Micros(4);  // vector + prologue
   Duration interrupt_exit = Duration::Micros(2);
+  // Livelock avoidance (Mogul/Ramakrishnan-style interrupt->poll switch):
+  // masking or unmasking the device's rx interrupt is one CSR write; a poll
+  // pass pays a fixed entry cost (ring/status reads) before draining frames.
+  Duration intr_mask = Duration::Nanos(300);
+  Duration poll_entry = Duration::Micros(1);
 
   // --- Protocol processing (shared implementation on both systems) --------
   Duration eth_input = Duration::Micros(3);
@@ -108,6 +113,8 @@ struct CostModel {
     c.thread_handoff = Duration::Nanos(800);
     c.interrupt_entry = Duration::Nanos(600);
     c.interrupt_exit = Duration::Nanos(300);
+    c.intr_mask = Duration::Nanos(40);
+    c.poll_entry = Duration::Nanos(150);
     c.eth_input = Duration::Nanos(150);
     c.eth_output = Duration::Nanos(150);
     c.ip_input = Duration::Nanos(300);

@@ -19,6 +19,10 @@
 #include "sim/simulator.h"
 #include "sim/tracer.h"
 
+namespace net {
+class MbufPool;
+}  // namespace net
+
 namespace sim {
 
 // A budget fence bounds the CPU time the code it brackets may charge.
@@ -151,6 +155,13 @@ class Host {
     current_->After(std::move(fn));
   }
 
+  // The host's bounded mbuf pool, or nullptr when the owner never attached
+  // one (raw driver tests / benches keep unbounded allocation). A pointer
+  // only: sim must not depend on net, and ownership stays with the
+  // PlexusHost/SocketHost that wires the pool's hooks into metrics().
+  net::MbufPool* mbuf_pool() const { return mbuf_pool_; }
+  void set_mbuf_pool(net::MbufPool* pool) { mbuf_pool_ = pool; }
+
   bool in_task() const { return current_ != nullptr; }
   Duration charged_so_far() const {
     assert(current_ != nullptr);
@@ -169,6 +180,7 @@ class Host {
   Tracer* tracer_;
   int trace_track_;
   std::uint64_t current_trace_id_ = 0;
+  net::MbufPool* mbuf_pool_ = nullptr;
 };
 
 // RAII span on a host's trace track. Free when tracing is disabled: the

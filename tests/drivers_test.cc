@@ -227,5 +227,62 @@ TEST(Nic, RuntFrameWithoutEthernetHeaderFiltered) {
   EXPECT_EQ(f.nb.stats().rx_filtered, 1u);
 }
 
+TEST(Nic, ResetStatsZeroesEverythingAndTheRegistryAgrees) {
+  // stats() is a snapshot of the registry-backed counters; after ResetStats
+  // the two views must agree at zero — the old drift bug kept a shadow
+  // struct that survived the reset while the registry did not.
+  auto profile = DeviceProfile::DecT3();
+  profile.rx_ring_depth = 1;
+  NicFixture f(profile);
+  PointToPointLink link(f.sim);
+  f.Attach(link);
+  f.nb.SetReceiveCallback([](net::MbufPtr) {});
+  f.ha.Submit(sim::Priority::kKernel, [&] {
+    f.na.Transmit(NicFixture::Frame(f.na.mac(), f.nb.mac(), 100));
+  });
+  f.sim.RunFor(sim::Duration::Millis(10));
+  // A misaddressed frame is filtered; a depth-1 ring with simultaneous
+  // arrivals forces a counted drop.
+  f.nb.DeliverFromWire(NicFixture::Frame(f.na.mac(), net::MacAddress::FromId(77), 100),
+                       true);
+  auto burst = std::shared_ptr<net::Mbuf>(
+      NicFixture::Frame(f.na.mac(), f.nb.mac(), 100).release());
+  f.nb.DeliverFromWire(net::MbufPtr(burst->ShareClone()), true);
+  f.nb.DeliverFromWire(net::MbufPtr(burst->ShareClone()), true);
+  f.nb.DeliverFromWire(net::MbufPtr(burst->ShareClone()), true);
+  f.sim.RunFor(sim::Duration::Millis(10));
+
+  const auto reg = [&](Nic& nic, const char* name) {
+    return nic.host().metrics().counter(nic.metrics_prefix() + name).value();
+  };
+  auto before = f.nb.stats();
+  EXPECT_GT(before.rx_frames, 0u);
+  EXPECT_GT(before.rx_filtered, 0u);
+  EXPECT_GT(before.rx_dropped, 0u);
+  EXPECT_EQ(before.rx_dropped, before.rx_ring_drops + before.rx_pool_drops);
+  EXPECT_EQ(before.rx_frames, reg(f.nb, "rx_frames"));
+  EXPECT_EQ(before.rx_dropped, reg(f.nb, "rx_dropped"));
+  EXPECT_EQ(f.na.stats().tx_frames, reg(f.na, "tx_frames"));
+
+  f.na.ResetStats();
+  f.nb.ResetStats();
+  const auto a = f.na.stats();
+  const auto b = f.nb.stats();
+  EXPECT_EQ(a.tx_frames, 0u);
+  EXPECT_EQ(a.tx_bytes, 0u);
+  EXPECT_EQ(b.rx_frames, 0u);
+  EXPECT_EQ(b.rx_bytes, 0u);
+  EXPECT_EQ(b.rx_filtered, 0u);
+  EXPECT_EQ(b.rx_dropped, 0u);
+  EXPECT_EQ(b.rx_ring_drops, 0u);
+  EXPECT_EQ(b.rx_pool_drops, 0u);
+  EXPECT_EQ(b.poll_entries, 0u);
+  EXPECT_EQ(b.poll_exits, 0u);
+  EXPECT_EQ(reg(f.na, "tx_frames"), 0u);
+  EXPECT_EQ(reg(f.nb, "rx_frames"), 0u);
+  EXPECT_EQ(reg(f.nb, "rx_dropped"), 0u);
+  EXPECT_EQ(reg(f.nb, "rx_filtered"), 0u);
+}
+
 }  // namespace
 }  // namespace drivers

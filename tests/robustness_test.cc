@@ -291,6 +291,99 @@ TEST(Robustness, FaultInjectionIsDeterministicPerSeed) {
   EXPECT_FALSE(first == other);
 }
 
+TEST(Robustness, TruncatedFramesAreRejectedNotCrashedOn) {
+  // Every frame loses its tail mid-flight. A 65-byte echo request can never
+  // survive with its full IP-claimed length intact, so header/length
+  // validation must reject all of them — without quarantines or crashes.
+  CorruptNet net(0.0, /*seed=*/55);
+  drivers::Faults f;
+  f.truncate_probability = 1.0;
+  net.segment.set_faults(f);
+  auto tx = net.a.udp().CreateEndpoint(5000).value();
+  auto rx = net.b.udp().CreateEndpoint(7).value();
+  int delivered = 0;
+  spin::HandlerOptions opts;
+  opts.ephemeral = true;
+  rx->InstallReceiveHandler(
+      [&](const net::Mbuf&, const proto::UdpDatagram&) { ++delivered; }, opts);
+  for (int i = 0; i < 50; ++i) {
+    net.a.Run([&] {
+      tx->Send(net::Mbuf::FromString("payload-payload-payload"),
+               net::Ipv4Address(10, 0, 0, 2), 7);
+    });
+  }
+  net.sim.RunFor(sim::Duration::Seconds(5));
+  EXPECT_EQ(net.segment.frames_truncated(), 50u);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.b.dispatcher().stats().quarantines, 0u);
+  // The host still works once the wire heals.
+  net.segment.set_faults({});
+  net.a.Run([&] {
+    tx->Send(net::Mbuf::FromString("intact"), net::Ipv4Address(10, 0, 0, 2), 7);
+  });
+  net.sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Robustness, TruncationAndCorruptionFuzzSweepStaysClean) {
+  // Seeded sweep: random tail cuts and byte flips together, across several
+  // seeds. Whatever the mangled frames parse as, nothing may crash and the
+  // SPIN dispatchers must not quarantine a handler over garbage input.
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    CorruptNet net(0.0, seed);
+    drivers::Faults f;
+    f.truncate_probability = 0.4;
+    f.corrupt_probability = 0.3;
+    net.segment.set_faults(f);
+    auto tx = net.a.udp().CreateEndpoint(5000).value();
+    auto rx = net.b.udp().CreateEndpoint(7).value();
+    int delivered = 0;
+    spin::HandlerOptions opts;
+    opts.ephemeral = true;
+    rx->InstallReceiveHandler(
+        [&](const net::Mbuf&, const proto::UdpDatagram&) { ++delivered; }, opts);
+    for (int i = 0; i < 40; ++i) {
+      net.a.Run([&] {
+        tx->Send(net::Mbuf::FromString("fuzz-sweep-datagram-000000000000"),
+                 net::Ipv4Address(10, 0, 0, 2), 7);
+      });
+    }
+    EXPECT_NO_THROW(net.sim.RunFor(sim::Duration::Seconds(5)));
+    EXPECT_GT(net.segment.frames_truncated(), 0u) << "seed " << seed;
+    EXPECT_EQ(net.a.dispatcher().stats().quarantines, 0u) << "seed " << seed;
+    EXPECT_EQ(net.b.dispatcher().stats().quarantines, 0u) << "seed " << seed;
+    // Intact frames (neither truncated nor corrupted) must still land.
+    EXPECT_GT(delivered, 0) << "seed " << seed;
+    EXPECT_LT(delivered, 40) << "seed " << seed;
+  }
+}
+
+TEST(Robustness, TcpDeliversExactStreamDespiteTruncation) {
+  CorruptNet net(0.0, /*seed=*/456);
+  drivers::Faults f;
+  f.truncate_probability = 0.08;
+  net.segment.set_faults(f);
+  std::vector<std::byte> payload(60 * 1024);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>((i * 17) & 0xff);
+  }
+  std::vector<std::byte> received;
+  net.b.tcp().Listen(80, [&](std::shared_ptr<PlexusTcpEndpoint> ep) {
+    ep->SetOnData([&](std::span<const std::byte> d) {
+      received.insert(received.end(), d.begin(), d.end());
+    });
+  });
+  std::shared_ptr<PlexusTcpEndpoint> conn;
+  net.a.Run([&] {
+    conn = net.a.tcp().Connect(net::Ipv4Address(10, 0, 0, 2), 80);
+    conn->SetOnEstablished([&] { conn->Write(payload); });
+  });
+  net.sim.RunFor(sim::Duration::Seconds(300));
+  ASSERT_EQ(received.size(), payload.size());
+  EXPECT_EQ(received, payload);
+  EXPECT_GT(net.segment.frames_truncated(), 0u);
+}
+
 TEST(Robustness, ChecksumOffLetsCorruptionThrough) {
   // The contrast case for the AV optimization: without the UDP checksum a
   // payload flip is delivered as-is (IP header flips are still caught).

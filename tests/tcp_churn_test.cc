@@ -183,4 +183,94 @@ TEST(TcpChurn, ThousandsOfConnectionsUnderFaultsDeliverExactly) {
   EXPECT_GT(sim.metrics().counter("sim.timer_fires").value(), 0u);
 }
 
+TEST(TcpChurn, ConvergesWithConstrainedMbufPools) {
+  // Same exactly-once contract, but both hosts run on starved mbuf pools:
+  // tx segments queue on the shared half-duplex wire while pooled, so
+  // concurrent connections exhaust the pool, EmitSegment drops, and the
+  // retransmission machinery must absorb every drop. At the end the books
+  // must be balanced — every pooled segment returned.
+  constexpr int kSmallConns = 400;
+  sim::Simulator sim;
+  drivers::EthernetSegment segment(sim);
+
+  const auto costs = sim::CostModel::Default1996();
+  const auto profile = drivers::DeviceProfile::Ethernet10();
+  core::PlexusHost server(sim, "server", costs, profile,
+                          {net::MacAddress::FromId(1), net::Ipv4Address(10, 0, 0, 1), 24});
+  core::PlexusHost client(sim, "client", costs, profile,
+                          {net::MacAddress::FromId(2), net::Ipv4Address(10, 0, 0, 2), 24});
+  server.SetMbufPoolCapacity(48);
+  client.SetMbufPoolCapacity(48);
+  server.AttachTo(segment);
+  client.AttachTo(segment);
+  server.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  client.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  server.arp().AddStatic(net::Ipv4Address(10, 0, 0, 2), net::MacAddress::FromId(2));
+  client.arp().AddStatic(net::Ipv4Address(10, 0, 0, 1), net::MacAddress::FromId(1));
+
+  struct ServerConn {
+    std::shared_ptr<core::PlexusTcpEndpoint> ep;
+    std::vector<std::byte> received;
+  };
+  std::vector<std::unique_ptr<ServerConn>> server_conns;
+  int verified = 0, mismatched = 0;
+  ASSERT_TRUE(server.tcp().Listen(80, [&](std::shared_ptr<core::PlexusTcpEndpoint> ep) {
+    auto sc = std::make_unique<ServerConn>();
+    ServerConn* raw = sc.get();
+    raw->ep = std::move(ep);
+    raw->ep->SetOnData([raw](std::span<const std::byte> data) {
+      raw->received.insert(raw->received.end(), data.begin(), data.end());
+    });
+    raw->ep->SetOnClose([&, raw] {
+      if (raw->received.size() >= 4) {
+        const int idx = static_cast<int>(std::to_integer<unsigned>(raw->received[0])) |
+                        static_cast<int>(std::to_integer<unsigned>(raw->received[1])) << 8 |
+                        static_cast<int>(std::to_integer<unsigned>(raw->received[2])) << 16 |
+                        static_cast<int>(std::to_integer<unsigned>(raw->received[3])) << 24;
+        if (raw->received == PayloadFor(idx)) {
+          ++verified;
+        } else {
+          ++mismatched;
+        }
+      }
+      raw->ep->CloseStream();
+    });
+    server_conns.push_back(std::move(sc));
+  }));
+
+  std::vector<std::shared_ptr<core::PlexusTcpEndpoint>> conns(kSmallConns);
+  int client_closed = 0;
+  const sim::Duration gap = sim::Duration::Micros(100);
+  for (int i = 0; i < kSmallConns; ++i) {
+    sim.Schedule(gap * i, [&, i] {
+      client.Run([&, i] {
+        auto& ep = conns[static_cast<std::size_t>(i)];
+        ep = client.tcp().Connect(net::Ipv4Address(10, 0, 0, 1), 80);
+        ep->SetOnClose([&] { ++client_closed; });
+        ep->SetOnEstablished([&, i] {
+          auto& cc = conns[static_cast<std::size_t>(i)];
+          cc->Write(PayloadFor(i));
+          cc->CloseStream();
+        });
+      });
+    });
+  }
+
+  for (int rounds = 0; rounds < 300 && client_closed < kSmallConns; ++rounds) {
+    sim.RunFor(sim::Duration::Seconds(1));
+  }
+  ASSERT_EQ(client_closed, kSmallConns) << "connections still unresolved";
+  EXPECT_EQ(mismatched, 0);
+  EXPECT_EQ(verified, kSmallConns);
+
+  // The starved pools actually bit — and recovered without leaking.
+  EXPECT_GT(client.host().metrics().counter("mbuf.pool_exhausted").value() +
+                server.host().metrics().counter("mbuf.pool_exhausted").value(),
+            0u);
+  EXPECT_EQ(client.mbuf_pool().in_use(), 0u);
+  EXPECT_EQ(server.mbuf_pool().in_use(), 0u);
+  EXPECT_EQ(server.dispatcher().stats().quarantines, 0u);
+  EXPECT_EQ(client.dispatcher().stats().quarantines, 0u);
+}
+
 }  // namespace
