@@ -15,6 +15,8 @@
 #                          protected (rx ring + poll switch + bounded pool +
 #                          deferred-queue shedding) vs unprotected, plus the
 #                          HTTP-under-flood progress check
+#   BENCH_chaos.json       Chaos recovery: per-fault recovery overhead and
+#                          goodput retention vs link-flap intensity
 # Also runs the gated microbenchmarks, whose exit statuses assert that
 # disabled tracing adds no measurable cost to Event::Raise, that indexed
 # dispatch at N=256 handlers is >=5x the linear scan, and that the timing
@@ -28,7 +30,7 @@ OUT_DIR="${OUT_DIR:-.}"
 cmake -B "$BUILD_DIR" -S .  # RelWithDebInfo by default (top-level CMakeLists)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   bench_fig5_udp_latency bench_tab1_tcp_throughput bench_micro_dispatch \
-  bench_micro_timer bench_scale_connections bench_overload_sweep
+  bench_micro_timer bench_scale_connections bench_overload_sweep bench_chaos
 
 "$BUILD_DIR/bench/bench_fig5_udp_latency" \
   --json "$OUT_DIR/BENCH_fig5.json" --trace "$OUT_DIR/BENCH_fig5_trace.json"
@@ -38,8 +40,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
 "$BUILD_DIR/bench/bench_micro_timer" --json "$OUT_DIR/BENCH_timer.json"
 "$BUILD_DIR/bench/bench_scale_connections" --json "$OUT_DIR/BENCH_scale.json"
 "$BUILD_DIR/bench/bench_overload_sweep" --json "$OUT_DIR/BENCH_overload.json"
+"$BUILD_DIR/bench/bench_chaos" --json "$OUT_DIR/BENCH_chaos.json"
 
 echo "bench artifacts: $OUT_DIR/BENCH_fig5.json $OUT_DIR/BENCH_tab1.json" \
      "$OUT_DIR/BENCH_fig5_trace.json $OUT_DIR/BENCH_micro.json" \
      "$OUT_DIR/BENCH_timer.json $OUT_DIR/BENCH_scale.json" \
-     "$OUT_DIR/BENCH_overload.json"
+     "$OUT_DIR/BENCH_overload.json" "$OUT_DIR/BENCH_chaos.json"

@@ -31,6 +31,12 @@ echo "=== third pass: starved mbuf pool (PLEXUS_MBUF_POOL=small) ==="
 # still under the sanitizers: exhaustion must degrade, never corrupt.
 PLEXUS_MBUF_POOL=small ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
 
+echo "=== fourth pass: mid-run link flap (PLEXUS_CHAOS_FLAP=1) ==="
+# Every medium briefly drops carrier at t=7.777ms: the whole tier-1 suite
+# must tolerate a link blip in the middle of its workload (retransmission,
+# ARP retry, and carrier-notification paths), still under the sanitizers.
+PLEXUS_CHAOS_FLAP=1 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
+
 echo "=== slow pass: soak / scale suites (label: slow) ==="
 # The connection-churn soak and other large-population suites run once,
 # in their own labelled pass, still under the sanitizers.
@@ -46,7 +52,7 @@ echo "=== perf smoke: demux index vs linear guard scan, timer wheel vs heap ==="
 PERF_BUILD_DIR="${PERF_BUILD_DIR:-build}"
 cmake -B "$PERF_BUILD_DIR" -S .
 cmake --build "$PERF_BUILD_DIR" -j "$(nproc)" --target bench_micro_dispatch \
-  bench_micro_timer bench_overload_sweep
+  bench_micro_timer bench_overload_sweep bench_chaos
 "$PERF_BUILD_DIR/bench/bench_micro_dispatch" --benchmark_filter=none
 "$PERF_BUILD_DIR/bench/bench_micro_timer"
 
@@ -55,3 +61,11 @@ echo "=== overload gate: graceful degradation at 10x offered load ==="
 # of its peak, interrupt->poll transitions occur and are traced, and the
 # mbuf pool drains to zero after every run.
 "$PERF_BUILD_DIR/bench/bench_overload_sweep"
+
+echo "=== chaos gate: recovery + goodput retention under faults ==="
+# Exits non-zero unless all faulted transfers complete byte-exactly,
+# goodput retention at the standard flap (period 2s, down fraction 0.1)
+# stays >= 60%, crash recovery stays under 10s of overhead, and every run
+# drains leak-free with zero quarantines. The 1000-seed invariant sweep
+# runs in the slow ctest pass above (chaos_property_test).
+"$PERF_BUILD_DIR/bench/bench_chaos"

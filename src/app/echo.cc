@@ -1,0 +1,29 @@
+#include "app/echo.h"
+
+#include <span>
+
+namespace app {
+
+EchoServer::EchoServer(core::PlexusHost& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  Rearm();
+}
+
+void EchoServer::Rearm() {
+  host_.tcp().Listen(port_, [this](std::shared_ptr<core::PlexusTcpEndpoint> ep) {
+    ++connections_;
+    // Raw pointer on purpose: the callbacks live inside the endpoint, and a
+    // captured shared_ptr would be a reference cycle that keeps the
+    // connection (and its timers) alive past manager teardown.
+    core::PlexusTcpEndpoint* raw = ep.get();
+    raw->SetOnData([this, raw](std::span<const std::byte> data) {
+      bytes_echoed_ += data.size();
+      raw->Write(data);
+    });
+    raw->SetOnClose([raw] {
+      if (raw->attached()) raw->CloseStream();
+    });
+  });
+}
+
+}  // namespace app

@@ -1,0 +1,34 @@
+// TCP echo over the Plexus stack: the minimal byte-exact workload for the
+// chaos harness. The server echoes whatever arrives; RetryingEchoClient
+// (retry.h) verifies its payload came back bit-for-bit.
+#ifndef PLEXUS_APP_ECHO_H_
+#define PLEXUS_APP_ECHO_H_
+
+#include <cstdint>
+
+#include "core/plexus.h"
+
+namespace app {
+
+class EchoServer {
+ public:
+  EchoServer(core::PlexusHost& host, std::uint16_t port);
+
+  // A host crash destroys the TCP manager and with it the listener; the
+  // harness calls this after Restart() to model the echo service coming
+  // back up with the machine.
+  void Rearm();
+
+  std::uint64_t connections() const { return connections_; }
+  std::uint64_t bytes_echoed() const { return bytes_echoed_; }
+
+ private:
+  core::PlexusHost& host_;
+  std::uint16_t port_;
+  std::uint64_t connections_ = 0;
+  std::uint64_t bytes_echoed_ = 0;
+};
+
+}  // namespace app
+
+#endif  // PLEXUS_APP_ECHO_H_

@@ -1,0 +1,182 @@
+#include "app/retry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace app {
+
+// --- RetryPolicy / Retrier ---------------------------------------------------
+
+sim::Duration RetryPolicy::BackoffFor(int retry, sim::Random& rng) const {
+  double base = static_cast<double>(initial_backoff.ns());
+  for (int i = 1; i < retry; ++i) {
+    base *= multiplier;
+    if (base >= static_cast<double>(max_backoff.ns())) break;
+  }
+  base = std::min(base, static_cast<double>(max_backoff.ns()));
+  // Jitter spreads retries from many clients so they do not re-dial a
+  // recovering server in lockstep; drawn from the seeded rng so the
+  // schedule is still reproducible.
+  const double factor = 1.0 + jitter * (2.0 * rng.UniformDouble() - 1.0);
+  return sim::Duration::Nanos(static_cast<std::int64_t>(base * factor));
+}
+
+void Retrier::Reset() {
+  attempts_ = 0;
+  host_.simulator().Cancel(pending_);
+  pending_ = sim::kInvalidEventId;
+}
+
+bool Retrier::ScheduleRetry(std::function<void()> fn) {
+  if (attempts_ >= policy_.max_attempts) return false;
+  const sim::Duration backoff = policy_.BackoffFor(attempts_, host_.rng());
+  pending_ = host_.simulator().Schedule(backoff, [this, fn = std::move(fn)] {
+    pending_ = sim::kInvalidEventId;
+    fn();
+  });
+  return true;
+}
+
+// --- RetryingHttpFetcher -----------------------------------------------------
+
+RetryingHttpFetcher::RetryingHttpFetcher(sim::Host& host, StreamDialer dialer,
+                                         std::string path, RetryPolicy policy,
+                                         DoneCallback done)
+    : host_(host),
+      dialer_(std::move(dialer)),
+      path_(std::move(path)),
+      retrier_(host, policy),
+      done_(std::move(done)) {}
+
+RetryingHttpFetcher::~RetryingHttpFetcher() { host_.simulator().Cancel(attempt_timer_); }
+
+void RetryingHttpFetcher::Start() { Attempt(); }
+
+void RetryingHttpFetcher::Attempt() {
+  // Runs outside any TCP callback (initial call or a retry timer), so the
+  // previous attempt's connection can be torn down here safely.
+  http_.reset();
+  stream_.reset();
+  attempt_live_ = true;
+  retrier_.NoteAttempt();
+  attempt_timer_ = host_.simulator().Schedule(retrier_.policy().attempt_timeout, [this] {
+    attempt_timer_ = sim::kInvalidEventId;
+    AttemptFailed();
+  });
+  host_.Submit(sim::Priority::kKernel, [this] {
+    if (finished_ || !attempt_live_) return;
+    stream_ = dialer_();
+    if (stream_ == nullptr) {
+      AttemptFailed();
+      return;
+    }
+    stream_->SetOnError([this](proto::StreamError) { AttemptFailed(); });
+    http_ = std::make_unique<proto::HttpClient>(
+        *stream_, [this](const proto::HttpClient::Response& r) {
+          if (finished_ || !attempt_live_) return;  // stale close after an error
+          if (r.status >= 200 && r.status < 300) {
+            Finish(true, r);
+          } else {
+            AttemptFailed();
+          }
+        });
+    http_->Get(path_);
+  });
+}
+
+void RetryingHttpFetcher::AttemptFailed() {
+  if (finished_ || !attempt_live_) return;
+  attempt_live_ = false;
+  host_.simulator().Cancel(attempt_timer_);
+  attempt_timer_ = sim::kInvalidEventId;
+  if (!retrier_.ScheduleRetry([this] { Attempt(); })) {
+    Finish(false, proto::HttpClient::Response{});
+  }
+}
+
+void RetryingHttpFetcher::Finish(bool success, const proto::HttpClient::Response& response) {
+  if (finished_) return;
+  finished_ = true;
+  attempt_live_ = false;
+  host_.simulator().Cancel(attempt_timer_);
+  attempt_timer_ = sim::kInvalidEventId;
+  Result result;
+  result.success = success;
+  result.attempts = retrier_.attempts();
+  result.response = response;
+  if (done_) done_(result);
+}
+
+// --- RetryingEchoClient ------------------------------------------------------
+
+RetryingEchoClient::RetryingEchoClient(sim::Host& host, StreamDialer dialer,
+                                       std::vector<std::byte> payload, RetryPolicy policy,
+                                       DoneCallback done)
+    : host_(host),
+      dialer_(std::move(dialer)),
+      payload_(std::move(payload)),
+      retrier_(host, policy),
+      done_(std::move(done)) {}
+
+RetryingEchoClient::~RetryingEchoClient() { host_.simulator().Cancel(attempt_timer_); }
+
+void RetryingEchoClient::Start() { Attempt(); }
+
+void RetryingEchoClient::Attempt() {
+  stream_.reset();
+  received_.clear();
+  attempt_live_ = true;
+  retrier_.NoteAttempt();
+  attempt_timer_ = host_.simulator().Schedule(retrier_.policy().attempt_timeout, [this] {
+    attempt_timer_ = sim::kInvalidEventId;
+    AttemptFailed();
+  });
+  host_.Submit(sim::Priority::kKernel, [this] {
+    if (finished_ || !attempt_live_) return;
+    stream_ = dialer_();
+    if (stream_ == nullptr) {
+      AttemptFailed();
+      return;
+    }
+    stream_->SetOnError([this](proto::StreamError) { AttemptFailed(); });
+    stream_->SetOnClose([this] {
+      // EOF before the echo came back in full: the server died mid-echo.
+      if (attempt_live_ && received_.size() < payload_.size()) AttemptFailed();
+    });
+    stream_->SetOnData([this](std::span<const std::byte> data) {
+      if (finished_ || !attempt_live_) return;
+      received_.insert(received_.end(), data.begin(), data.end());
+      if (received_.size() < payload_.size()) return;
+      if (received_ == payload_) {
+        stream_->CloseStream();
+        Finish(true);
+      } else {
+        AttemptFailed();  // byte-exactness violated; retry from scratch
+      }
+    });
+    stream_->Write(payload_);
+  });
+}
+
+void RetryingEchoClient::AttemptFailed() {
+  if (finished_ || !attempt_live_) return;
+  attempt_live_ = false;
+  host_.simulator().Cancel(attempt_timer_);
+  attempt_timer_ = sim::kInvalidEventId;
+  if (!retrier_.ScheduleRetry([this] { Attempt(); })) Finish(false);
+}
+
+void RetryingEchoClient::Finish(bool success) {
+  if (finished_) return;
+  finished_ = true;
+  attempt_live_ = false;
+  host_.simulator().Cancel(attempt_timer_);
+  attempt_timer_ = sim::kInvalidEventId;
+  Result result;
+  result.success = success;
+  result.attempts = retrier_.attempts();
+  result.bytes_verified = success ? received_.size() : 0;
+  if (done_) done_(result);
+}
+
+}  // namespace app

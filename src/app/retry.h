@@ -1,0 +1,150 @@
+// Application-level recovery: retry with deterministic jittered
+// exponential backoff.
+//
+// Transport hardening (RSTs from a reborn host, retransmission limits,
+// persist-probe abort) turns a crashed peer into a clean ECONNRESET /
+// ETIMEDOUT at the stream edge; what the application does next is its own
+// policy. These helpers supply the standard one — back off, retry, give up
+// after a budget — over any proto::ByteStream, so the same recovery code
+// drives Plexus endpoints and baseline sockets. All randomness draws from a
+// seeded sim::Random: a chaos run replays exactly from its seed.
+#ifndef PLEXUS_APP_RETRY_H_
+#define PLEXUS_APP_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/http.h"
+#include "sim/host.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace app {
+
+// Jittered exponential backoff with a cap and an attempt budget.
+struct RetryPolicy {
+  sim::Duration initial_backoff = sim::Duration::Millis(200);
+  double multiplier = 2.0;
+  sim::Duration max_backoff = sim::Duration::Seconds(5);
+  int max_attempts = 6;       // total tries (first attempt included)
+  double jitter = 0.2;        // backoff scaled by [1-jitter, 1+jitter)
+  // An attempt that makes no progress for this long is abandoned (belt and
+  // suspenders under TCP's own retransmission-limit timeout).
+  sim::Duration attempt_timeout = sim::Duration::Seconds(45);
+
+  // Backoff before retry number `retry` (1 = after the first failure).
+  // Deterministic given the rng state.
+  sim::Duration BackoffFor(int retry, sim::Random& rng) const;
+};
+
+// Counts attempts against a policy and schedules the retries.
+class Retrier {
+ public:
+  Retrier(sim::Host& host, RetryPolicy policy) : host_(host), policy_(policy) {}
+  ~Retrier() { host_.simulator().Cancel(pending_); }
+  Retrier(const Retrier&) = delete;
+  Retrier& operator=(const Retrier&) = delete;
+
+  // Starts (or re-starts) the attempt counter at zero.
+  void Reset();
+  // Called at the start of every attempt.
+  void NoteAttempt() { ++attempts_; }
+  // After a failure: schedules `fn` after the next backoff and returns
+  // true, or returns false with the budget exhausted.
+  bool ScheduleRetry(std::function<void()> fn);
+
+  int attempts() const { return attempts_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  sim::Host& host_;
+  RetryPolicy policy_;
+  int attempts_ = 0;
+  sim::EventId pending_ = sim::kInvalidEventId;
+};
+
+// Opens a fresh stream for each attempt. The dialer runs inside a kernel
+// task on the client host; returning nullptr fails the attempt immediately
+// (counted, backed off, retried).
+using StreamDialer = std::function<std::shared_ptr<proto::ByteStream>()>;
+
+// One HTTP GET, retried through a RetryPolicy. Each attempt dials a fresh
+// connection; a stream error (reset/timeout), a non-2xx status, or attempt
+// timeout triggers backoff + redial.
+class RetryingHttpFetcher {
+ public:
+  struct Result {
+    bool success = false;
+    int attempts = 0;
+    proto::HttpClient::Response response;
+  };
+  using DoneCallback = std::function<void(const Result&)>;
+
+  RetryingHttpFetcher(sim::Host& host, StreamDialer dialer, std::string path,
+                      RetryPolicy policy, DoneCallback done);
+  ~RetryingHttpFetcher();
+  RetryingHttpFetcher(const RetryingHttpFetcher&) = delete;
+  RetryingHttpFetcher& operator=(const RetryingHttpFetcher&) = delete;
+
+  void Start();
+
+ private:
+  void Attempt();
+  void AttemptFailed();
+  void Finish(bool success, const proto::HttpClient::Response& response);
+
+  sim::Host& host_;
+  StreamDialer dialer_;
+  std::string path_;
+  Retrier retrier_;
+  DoneCallback done_;
+  std::shared_ptr<proto::ByteStream> stream_;
+  std::unique_ptr<proto::HttpClient> http_;
+  sim::EventId attempt_timer_ = sim::kInvalidEventId;
+  bool attempt_live_ = false;
+  bool finished_ = false;
+};
+
+// Sends a payload and expects it echoed back byte-exactly, retrying failed
+// attempts from scratch (the echo protocol is idempotent).
+class RetryingEchoClient {
+ public:
+  struct Result {
+    bool success = false;
+    int attempts = 0;
+    std::size_t bytes_verified = 0;
+  };
+  using DoneCallback = std::function<void(const Result&)>;
+
+  RetryingEchoClient(sim::Host& host, StreamDialer dialer, std::vector<std::byte> payload,
+                     RetryPolicy policy, DoneCallback done);
+  ~RetryingEchoClient();
+  RetryingEchoClient(const RetryingEchoClient&) = delete;
+  RetryingEchoClient& operator=(const RetryingEchoClient&) = delete;
+
+  void Start();
+
+ private:
+  void Attempt();
+  void AttemptFailed();
+  void Finish(bool success);
+
+  sim::Host& host_;
+  StreamDialer dialer_;
+  std::vector<std::byte> payload_;
+  Retrier retrier_;
+  DoneCallback done_;
+  std::shared_ptr<proto::ByteStream> stream_;
+  std::vector<std::byte> received_;
+  sim::EventId attempt_timer_ = sim::kInvalidEventId;
+  bool attempt_live_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace app
+
+#endif  // PLEXUS_APP_RETRY_H_

@@ -270,8 +270,21 @@ PlexusTcpEndpoint::PlexusTcpEndpoint(PlexusHost& plexus, proto::TcpEndpoints ep)
   cbs.on_reset = [this](const std::string&) {
     // on_closed fires separately; nothing extra needed here.
   };
+  cbs.on_error = [this](proto::TcpError err) {
+    if (!on_error_) return;
+    on_error_(err == proto::TcpError::kTimedOut ? proto::StreamError::kTimedOut
+                                                : proto::StreamError::kReset);
+  };
   conn_ = std::make_unique<proto::TcpConnection>(plexus_.host(), plexus_.tcp().config(), ep,
                                                  std::move(cbs));
+}
+
+void PlexusTcpEndpoint::Detach() {
+  // The host under us lost power. No demux unregister (the demux is being
+  // destroyed), no callbacks (dead machines don't notify their apps) — the
+  // connection just vanishes, releasing its timers and buffers.
+  registered_ = false;
+  conn_->Vanish();
 }
 
 PlexusTcpEndpoint::~PlexusTcpEndpoint() {
@@ -439,9 +452,18 @@ bool TcpManager::UninstallSpecialImplementation(spin::HandlerId id) {
   return packet_recv_.Uninstall(id);
 }
 
-void TcpManager::WireConnection(PlexusTcpEndpoint& ep) {
-  demux_.Register(&ep.connection());
-  ep.registered_ = true;
+TcpManager::~TcpManager() {
+  for (auto& weak : wired_) {
+    if (auto ep = weak.lock()) {
+      if (ep->attached()) ep->Detach();
+    }
+  }
+}
+
+void TcpManager::WireConnection(const std::shared_ptr<PlexusTcpEndpoint>& ep) {
+  demux_.Register(&ep->connection());
+  ep->registered_ = true;
+  wired_.push_back(ep);
 }
 
 std::shared_ptr<PlexusTcpEndpoint> TcpManager::Connect(net::Ipv4Address remote_ip,
@@ -450,7 +472,7 @@ std::shared_ptr<PlexusTcpEndpoint> TcpManager::Connect(net::Ipv4Address remote_i
   if (local_port == 0) local_port = next_ephemeral_port_++;
   proto::TcpEndpoints ep{plexus_.ip_address(), local_port, remote_ip, remote_port};
   auto endpoint = std::shared_ptr<PlexusTcpEndpoint>(new PlexusTcpEndpoint(plexus_, ep));
-  WireConnection(*endpoint);
+  WireConnection(endpoint);
   endpoint->connection().Connect();
   return endpoint;
 }
@@ -466,7 +488,7 @@ bool TcpManager::Listen(std::uint16_t port, Acceptor acceptor) {
         if (auto ep_ptr = weak.lock()) it->second(ep_ptr);
       }
     });
-    WireConnection(*endpoint);
+    WireConnection(endpoint);
     endpoint->connection().Listen();
     return &endpoint->connection();
   });
@@ -484,6 +506,7 @@ PlexusHost::Iface PlexusHost::MakeIface(drivers::DeviceProfile profile, NetConfi
   iface.nic = std::make_unique<drivers::Nic>(host_, std::move(profile), cfg.mac);
   iface.eth = std::make_unique<proto::EthLayer>(host_, *iface.nic);
   iface.arp = std::make_unique<proto::ArpService>(host_, *iface.eth, cfg.ip);
+  iface.cfg = cfg;
   // ifaces_ may not contain this entry yet: the caller pushes it next.
   rcvif_to_if_index_[iface.nic->index()] = static_cast<int>(rcvif_to_if_index_.size());
   return iface;
@@ -498,8 +521,8 @@ int PlexusHost::AddNic(drivers::DeviceProfile profile, NetConfig cfg) {
   const std::size_t mtu = profile.mtu;
   ifaces_.push_back(MakeIface(std::move(profile), cfg));
   const int if_index = static_cast<int>(ifaces_.size()) - 1;
-  ip_layer_.AddInterface(if_index,
-                         proto::Ipv4Layer::Interface{cfg.ip, cfg.prefix_len, mtu});
+  ip_layer_->AddInterface(if_index,
+                          proto::Ipv4Layer::Interface{cfg.ip, cfg.prefix_len, mtu});
   // Frames from the new NIC feed the same Ethernet.PacketRecv event; the
   // receive interface travels in the packet header.
   ifaces_.back().eth->SetUpcall(
@@ -537,15 +560,16 @@ PlexusHost::PlexusHost(sim::Simulator& s, std::string name, sim::CostModel costs
       net_config_(net_config),
       mode_(mode),
       ifaces_(MakeInitialIfaces(profile, net_config)),
-      ip_layer_(host_,
-                proto::Ipv4Layer::Config{net_config.ip, net_config.prefix_len, profile.mtu}),
-      icmp_(host_, ip_layer_),
-      udp_layer_(host_, ip_layer_),
-      am_(host_, *ifaces_[0].eth) {
+      ip_layer_(std::make_unique<proto::Ipv4Layer>(
+          host_,
+          proto::Ipv4Layer::Config{net_config.ip, net_config.prefix_len, profile.mtu})),
+      icmp_(std::make_unique<proto::IcmpLayer>(host_, *ip_layer_)),
+      udp_layer_(std::make_unique<proto::UdpLayer>(host_, *ip_layer_)),
+      am_(std::make_unique<proto::ActiveMessageEndpoint>(host_, *ifaces_[0].eth)) {
   WireMbufPool();
   eth_mgr_ = std::make_unique<EthernetManager>(*this, *ifaces_[0].eth);
-  ip_mgr_ = std::make_unique<IpManager>(*this, ip_layer_, *ifaces_[0].arp);
-  udp_mgr_ = std::make_unique<UdpManager>(*this, udp_layer_);
+  ip_mgr_ = std::make_unique<IpManager>(*this, *ip_layer_, *ifaces_[0].arp);
+  udp_mgr_ = std::make_unique<UdpManager>(*this, *udp_layer_);
   tcp_mgr_ = std::make_unique<TcpManager>(*this, proto::TcpConfig{});
   WireGraph();
 
@@ -554,14 +578,20 @@ PlexusHost::PlexusHost(sim::Simulator& s, std::string name, sim::CostModel costs
   // register active-message handlers — they can neither reach the raw
   // Ethernet/IP output paths nor install unguarded receive handlers.
   kernel_domain_ = spin::Domain::Create(host_.name() + ".kernel");
+  app_domain_ = spin::Domain::Create(host_.name() + ".app");
+  ExportDomainSymbols();
+}
+
+// Export (or re-export after a restart: Domain::Export overwrites) the
+// kernel/app interfaces under their stable names.
+void PlexusHost::ExportDomainSymbols() {
   kernel_domain_->Export("EthernetManager", eth_mgr_.get());
   kernel_domain_->Export("IpManager", ip_mgr_.get());
   kernel_domain_->Export("UdpManager", udp_mgr_.get());
   kernel_domain_->Export("TcpManager", tcp_mgr_.get());
-  kernel_domain_->Export("ActiveMessages", &am_);
+  kernel_domain_->Export("ActiveMessages", am_.get());
   kernel_domain_->Export("Mbuf.Allocate", true);
 
-  app_domain_ = spin::Domain::Create(host_.name() + ".app");
   app_domain_->Export("UdpManager", udp_mgr_.get());
   app_domain_->Export("TcpManager", tcp_mgr_.get());
   app_domain_->Export("Mbuf.Allocate", true);
@@ -658,7 +688,7 @@ void PlexusHost::WireGraph() {
         [this](const net::Mbuf& frame, const net::EthernetHeader&) {
           auto packet = frame.ShareClone();
           packet->TrimFront(sizeof(net::EthernetHeader));
-          ip_layer_.Input(std::move(packet));
+          ip_layer_->Input(std::move(packet));
         },
         net::ethertype::kIpv4, nullptr, opts);
     assert(r.ok());
@@ -669,22 +699,22 @@ void PlexusHost::WireGraph() {
     opts.ephemeral = true;
     opts.name = "active-messages";
     auto r = eth_mgr_->packet_recv().InstallKeyed(
-        [this](const net::Mbuf& frame, const net::EthernetHeader&) { am_.Input(frame); },
+        [this](const net::Mbuf& frame, const net::EthernetHeader&) { am_->Input(frame); },
         net::ethertype::kActiveMessage, nullptr, opts);
     assert(r.ok());
     (void)r;
   }
 
   // --- IP glue ---------------------------------------------------------------
-  ip_layer_.SetTransmit([this](net::MbufPtr packet, net::Ipv4Address next_hop, int if_index) {
+  ip_layer_->SetTransmit([this](net::MbufPtr packet, net::Ipv4Address next_hop, int if_index) {
     TransmitIp(std::move(packet), next_hop, if_index);
   });
-  ip_layer_.SetDeliver([this](net::MbufPtr payload, const net::Ipv4Header& hdr) {
+  ip_layer_->SetDeliver([this](net::MbufPtr payload, const net::Ipv4Header& hdr) {
     PacketRef ref(payload.release());
     GraphHop([this, ref, hdr] { ip_mgr_->packet_recv().Raise(*ref, hdr); });
   });
-  ip_layer_.SetIcmpNotify([this](const net::Ipv4Header& hdr, std::uint8_t type,
-                                 std::uint8_t code) { icmp_.SendError(hdr, type, code); });
+  ip_layer_->SetIcmpNotify([this](const net::Ipv4Header& hdr, std::uint8_t type,
+                                  std::uint8_t code) { icmp_->SendError(hdr, type, code); });
 
   // --- IP level: ICMP, UDP, TCP ----------------------------------------------
   // Same scheme one layer up: each kernel transport claims its protocol
@@ -695,7 +725,7 @@ void PlexusHost::WireGraph() {
     opts.name = "icmp-input";
     auto r = ip_mgr_->packet_recv().InstallKeyed(
         [this](const net::Mbuf& payload, const net::Ipv4Header& hdr) {
-          icmp_.Input(payload.ShareClone(), hdr.src);
+          icmp_->Input(payload.ShareClone(), hdr.src);
         },
         net::ipproto::kIcmp, nullptr, opts);
     assert(r.ok());
@@ -707,7 +737,7 @@ void PlexusHost::WireGraph() {
     opts.name = "udp-input";
     auto r = ip_mgr_->packet_recv().InstallKeyed(
         [this](const net::Mbuf& payload, const net::Ipv4Header& hdr) {
-          udp_layer_.Input(payload.ShareClone(), hdr.src, hdr.dst);
+          udp_layer_->Input(payload.ShareClone(), hdr.src, hdr.dst);
         },
         net::ipproto::kUdp, nullptr, opts);
     assert(r.ok());
@@ -727,6 +757,105 @@ void PlexusHost::WireGraph() {
     (void)r;
   }
   (void)eph;
+}
+
+// --- crash / cold restart ------------------------------------------------------
+
+void PlexusHost::Crash() {
+  if (crashed_) return;
+  assert(!host_.in_task() && "Crash() models an external power cut, not a syscall");
+  crashed_ = true;
+  if (crashes_ == nullptr) crashes_ = &host_.metrics().counter("host.crashes");
+  crashes_->Inc();
+  host_.TraceInstant("host.crash", "chaos");
+
+  // Routing is configuration, not volatile protocol state: remember it so
+  // the reboot comes back with the same view of the topology.
+  saved_routes_ = ip_layer_->routes();
+  saved_forwarding_ = ip_layer_->config().forwarding_enabled;
+
+  // Teardown runs top-down in dependency order. The TCP manager first: its
+  // destructor detaches every endpoint (connections Vanish — all timers
+  // cancelled, no segments, no callbacks) while application-held
+  // shared_ptrs keep the endpoint objects alive harmlessly.
+  tcp_mgr_.reset();
+  udp_mgr_.reset();
+  ip_mgr_.reset();
+  eth_mgr_.reset();
+  am_.reset();
+  udp_layer_.reset();
+  icmp_.reset();
+  ip_layer_.reset();  // dtor cancels reassembly timers
+  for (Iface& iface : ifaces_) {
+    iface.arp.reset();  // dtor cancels request timers
+    iface.nic->SetReceiveCallback(nullptr);
+    iface.nic->Reset();  // ring buffers return to the pool
+    iface.nic->set_powered(false);
+    iface.eth.reset();
+  }
+  // Queued work dies with the machine: dropping pending CPU tasks releases
+  // any buffer references they captured, so the pool drains to zero — the
+  // leak invariant the chaos harness checks.
+  host_.cpu().Reset();
+  deferred_.Reset();
+}
+
+void PlexusHost::Restart(std::optional<net::MacAddress> new_mac) {
+  if (!crashed_) return;
+  assert(!host_.in_task() && "Restart() happens from outside the simulated machine");
+  crashed_ = false;
+  if (restarts_ == nullptr) restarts_ = &host_.metrics().counter("host.restarts");
+  restarts_->Inc();
+  host_.TraceInstant("host.restart", "chaos");
+
+  if (new_mac) {
+    // The machine came back with a swapped adapter: peers holding the old
+    // MAC in their ARP caches reach nobody until the entry expires.
+    ifaces_[0].cfg.mac = *new_mac;
+    net_config_.mac = *new_mac;
+  }
+
+  // Power the NICs on and rebuild framing + neighbor resolution. The
+  // EthLayer constructor re-hooks the NIC receive callback.
+  for (Iface& iface : ifaces_) {
+    iface.nic->set_mac(iface.cfg.mac);
+    iface.nic->set_powered(true);
+    iface.eth = std::make_unique<proto::EthLayer>(host_, *iface.nic);
+    iface.arp = std::make_unique<proto::ArpService>(host_, *iface.eth, iface.cfg.ip);
+  }
+
+  // Fresh protocol layers; the saved routing configuration is restored.
+  ip_layer_ = std::make_unique<proto::Ipv4Layer>(
+      host_, proto::Ipv4Layer::Config{ifaces_[0].cfg.ip, ifaces_[0].cfg.prefix_len,
+                                      ifaces_[0].nic->profile().mtu});
+  ip_layer_->routes() = saved_routes_;
+  ip_layer_->set_forwarding(saved_forwarding_);
+  for (std::size_t i = 1; i < ifaces_.size(); ++i) {
+    ip_layer_->AddInterface(
+        static_cast<int>(i),
+        proto::Ipv4Layer::Interface{ifaces_[i].cfg.ip, ifaces_[i].cfg.prefix_len,
+                                    ifaces_[i].nic->profile().mtu});
+  }
+  icmp_ = std::make_unique<proto::IcmpLayer>(host_, *ip_layer_);
+  udp_layer_ = std::make_unique<proto::UdpLayer>(host_, *ip_layer_);
+  am_ = std::make_unique<proto::ActiveMessageEndpoint>(host_, *ifaces_[0].eth);
+
+  // Fresh managers and a freshly wired graph. A reborn TcpManager has an
+  // empty demux: stale segments from old peers hit no connection and draw
+  // RSTs — exactly how they learn about the restart. The EthernetManager
+  // constructor claims the primary interface's upcall; secondary interfaces
+  // are pointed back at it.
+  eth_mgr_ = std::make_unique<EthernetManager>(*this, *ifaces_[0].eth);
+  for (std::size_t i = 1; i < ifaces_.size(); ++i) {
+    ifaces_[i].eth->SetUpcall([this](net::MbufPtr frame, const net::EthernetHeader& hdr) {
+      eth_mgr_->OnFrame(std::move(frame), hdr);
+    });
+  }
+  ip_mgr_ = std::make_unique<IpManager>(*this, *ip_layer_, *ifaces_[0].arp);
+  udp_mgr_ = std::make_unique<UdpManager>(*this, *udp_layer_);
+  tcp_mgr_ = std::make_unique<TcpManager>(*this, proto::TcpConfig{});
+  WireGraph();
+  ExportDomainSymbols();
 }
 
 }  // namespace core

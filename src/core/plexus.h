@@ -35,6 +35,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -268,21 +269,31 @@ class PlexusTcpEndpoint : public proto::ByteStream {
   std::size_t Write(std::span<const std::byte> data) override;
   void SetOnData(std::function<void(std::span<const std::byte>)> cb) override;
   void SetOnClose(std::function<void()> cb) override;
+  void SetOnError(std::function<void(proto::StreamError)> cb) override {
+    on_error_ = std::move(cb);
+  }
   void CloseStream() override;
 
   void SetOnEstablished(std::function<void()> cb) { on_established_ = std::move(cb); }
   proto::TcpConnection& connection() { return *conn_; }
+  // True until the host it lives on crashes out from under it.
+  bool attached() const { return registered_; }
 
  private:
   friend class TcpManager;
   PlexusTcpEndpoint(PlexusHost& plexus, proto::TcpEndpoints ep);
 
   void FlushPending();
+  // Host crash: sever from the (dying) manager without callbacks. The
+  // connection vanishes power-fail style; the endpoint object survives only
+  // because the application may still hold a shared_ptr.
+  void Detach();
 
   PlexusHost& plexus_;
   std::unique_ptr<proto::TcpConnection> conn_;
   std::function<void(std::span<const std::byte>)> on_data_;
   std::function<void()> on_close_;
+  std::function<void(proto::StreamError)> on_error_;
   std::function<void()> on_established_;
   std::vector<std::byte> pre_data_;  // data arriving before SetOnData
   std::deque<std::byte> pending_;    // writes awaiting TCP buffer space
@@ -296,6 +307,10 @@ class TcpManager {
   using Acceptor = std::function<void(std::shared_ptr<PlexusTcpEndpoint>)>;
 
   TcpManager(PlexusHost& plexus, proto::TcpConfig config);
+  // Detaches every endpoint it ever wired (power-fail semantics): their
+  // connections vanish without emitting a segment or a callback, and
+  // application-held shared_ptrs outlive the manager safely.
+  ~TcpManager();
 
   // Active open.
   std::shared_ptr<PlexusTcpEndpoint> Connect(net::Ipv4Address remote_ip,
@@ -328,7 +343,7 @@ class TcpManager {
   friend class PlexusHost;
   friend class PlexusTcpEndpoint;
 
-  void WireConnection(PlexusTcpEndpoint& ep);
+  void WireConnection(const std::shared_ptr<PlexusTcpEndpoint>& ep);
   bool IsSpecialPort(std::uint16_t port) const;
 
   PlexusHost& plexus_;
@@ -337,6 +352,7 @@ class TcpManager {
   TcpRecvEvent packet_recv_;
   std::map<std::uint16_t, Acceptor> acceptors_;
   std::vector<std::shared_ptr<PlexusTcpEndpoint>> accepted_;  // keep-alive
+  std::vector<std::weak_ptr<PlexusTcpEndpoint>> wired_;  // for crash teardown
   std::map<spin::HandlerId, std::shared_ptr<std::set<std::uint16_t>>> special_ports_;
   std::uint16_t next_ephemeral_port_ = 32768;
 };
@@ -385,9 +401,9 @@ class PlexusHost {
     return *ifaces_[static_cast<std::size_t>(if_index)].arp;
   }
   std::size_t interface_count() const { return ifaces_.size(); }
-  proto::Ipv4Layer& ip_layer() { return ip_layer_; }
-  proto::IcmpLayer& icmp() { return icmp_; }
-  proto::ActiveMessageEndpoint& active_messages() { return am_; }
+  proto::Ipv4Layer& ip_layer() { return *ip_layer_; }
+  proto::IcmpLayer& icmp() { return *icmp_; }
+  proto::ActiveMessageEndpoint& active_messages() { return *am_; }
 
   EthernetManager& ethernet() { return *eth_mgr_; }
   IpManager& ip() { return *ip_mgr_; }
@@ -428,16 +444,36 @@ class PlexusHost {
   // handlers installed on it (incremental-adaptation observability).
   std::string DescribeGraph() const;
 
+  // --- chaos: host power failure + cold restart ---
+  //
+  // Crash() models a power cut: ALL protocol state is lost — TCP
+  // connections/timers, ARP caches, IP reassembly, graph handlers, the
+  // deferred-thread backlog, queued CPU work. The NICs power off (frames
+  // arriving on the wire vanish). The sim::Host, its metrics, the
+  // dispatcher, linker, domains, and the mbuf pool survive — the pool is
+  // drained back to empty by the teardown, which is exactly the zero-leak
+  // invariant the chaos harness asserts.
+  void Crash();
+  // Reboots with a fresh protocol graph. Nothing of the old transport state
+  // remains: peers discover the restart the hard way (retransmit, time out,
+  // or get RSTs from the reborn demux). Routing config is restored; pass a
+  // MAC to model a swapped adapter (peers' stale ARP entries must expire).
+  void Restart(std::optional<net::MacAddress> new_mac = std::nullopt);
+  bool crashed() const { return crashed_; }
+
  private:
-  // One attachment point: NIC + framing + neighbor resolution.
+  // One attachment point: NIC + framing + neighbor resolution. The NIC
+  // survives a crash (it is hardware); eth/arp are protocol state and die.
   struct Iface {
     std::unique_ptr<drivers::Nic> nic;
     std::unique_ptr<proto::EthLayer> eth;
     std::unique_ptr<proto::ArpService> arp;
+    NetConfig cfg;  // remembered for cold restart
   };
 
   void WireGraph();
   void WireMbufPool();
+  void ExportDomainSymbols();
   Iface MakeIface(drivers::DeviceProfile profile, NetConfig cfg);
   std::vector<Iface> MakeInitialIfaces(const drivers::DeviceProfile& profile, NetConfig cfg);
   int IfIndexForRcvif(int rcvif) const;
@@ -451,10 +487,10 @@ class PlexusHost {
   HandlerMode mode_;
   std::map<int, int> rcvif_to_if_index_;   // NIC global index -> if_index
   std::vector<Iface> ifaces_;              // [0] is the primary interface
-  proto::Ipv4Layer ip_layer_;
-  proto::IcmpLayer icmp_;
-  proto::UdpLayer udp_layer_;
-  proto::ActiveMessageEndpoint am_;
+  std::unique_ptr<proto::Ipv4Layer> ip_layer_;
+  std::unique_ptr<proto::IcmpLayer> icmp_;
+  std::unique_ptr<proto::UdpLayer> udp_layer_;
+  std::unique_ptr<proto::ActiveMessageEndpoint> am_;
 
   std::unique_ptr<EthernetManager> eth_mgr_;
   std::unique_ptr<IpManager> ip_mgr_;
@@ -463,6 +499,14 @@ class PlexusHost {
 
   spin::DomainPtr kernel_domain_;
   spin::DomainPtr app_domain_;
+
+  bool crashed_ = false;
+  proto::RoutingTable saved_routes_;  // routing config survives a reboot
+  bool saved_forwarding_ = false;
+  // Lazily resolved: hosts that never crash add no instruments (keeps
+  // fault-free metrics snapshots byte-identical).
+  sim::Counter* crashes_ = nullptr;
+  sim::Counter* restarts_ = nullptr;
 };
 
 }  // namespace core

@@ -1,6 +1,14 @@
 // Transmission media connecting NICs: point-to-point links and a shared
 // Ethernet segment, with optional fault injection (loss, duplication,
-// corruption, jitter, reordering) for protocol robustness tests.
+// corruption, jitter, reordering, correlated burst loss) for protocol
+// robustness tests.
+//
+// Structural faults ride on top of the per-frame fault model: a medium has a
+// carrier (link up/down — frames sent into a dead link vanish for free, and
+// attached NICs are notified so they can export carrier metrics), and a
+// shared segment can be partitioned into two groups of taps that cannot
+// reach each other until the partition heals. Both are driven externally,
+// typically by a sim::ChaosSchedule.
 #ifndef PLEXUS_DRIVERS_MEDIUM_H_
 #define PLEXUS_DRIVERS_MEDIUM_H_
 
@@ -26,12 +34,24 @@ struct Faults {
   double truncate_probability = 0.0;  // deliver only a random prefix of the frame
   double reorder_probability = 0.0;  // hold the frame, deliver after the next one
   sim::Duration jitter_max = sim::Duration::Zero();  // extra uniform delay
+
+  // Gilbert–Elliott correlated (burst) loss: a two-state Markov chain
+  // advanced once per frame. In the Good state frames drop with
+  // ge_loss_good, in the Bad state with ge_loss_bad; the chain moves
+  // Good->Bad with ge_p_good_to_bad and Bad->Good with ge_p_bad_to_good.
+  // Marginal loss rate: pi_bad * ge_loss_bad + (1 - pi_bad) * ge_loss_good,
+  // where pi_bad = p_gb / (p_gb + p_bg). Composes with the i.i.d.
+  // drop_probability (either can kill a frame).
+  bool gilbert_elliott = false;
+  double ge_p_good_to_bad = 0.0;
+  double ge_p_bad_to_good = 0.0;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 1.0;
 };
 
 class Medium {
  public:
-  explicit Medium(sim::Simulator& s, std::uint64_t fault_seed = 0x5eed)
-      : sim_(s), rng_(fault_seed) {}
+  explicit Medium(sim::Simulator& s, std::uint64_t fault_seed = 0x5eed);
   virtual ~Medium() = default;
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
@@ -44,11 +64,32 @@ class Medium {
   void set_faults(const Faults& f) { faults_ = f; }
   const Faults& faults() const { return faults_; }
 
+  // Link carrier. While down, every frame handed to Transmit vanishes for
+  // free — no wire time, no receiver CPU. Attached NICs are notified on
+  // every edge so they can count and trace the transition.
+  void set_carrier(bool up);
+  bool carrier() const { return carrier_; }
+
+  // Partition: taps whose ordinal bit is set in `group_a_mask` can no
+  // longer exchange frames with taps whose bit is clear (ordinal = order of
+  // Attach). Frames between severed taps vanish for free; frames within a
+  // group still flow. Heal with ClearPartition().
+  void SetPartition(std::uint64_t group_a_mask) {
+    partitioned_ = true;
+    partition_mask_ = group_a_mask;
+  }
+  void ClearPartition() { partitioned_ = false; }
+  bool partitioned() const { return partitioned_; }
+
   std::uint64_t frames_dropped() const { return frames_dropped_; }
   std::uint64_t frames_carried() const { return frames_carried_; }
   std::uint64_t frames_corrupted() const { return frames_corrupted_; }
   std::uint64_t frames_truncated() const { return frames_truncated_; }
   std::uint64_t frames_reordered() const { return frames_reordered_; }
+  std::uint64_t frames_dropped_burst() const { return frames_dropped_burst_; }
+  std::uint64_t frames_dropped_carrier() const { return frames_dropped_carrier_; }
+  std::uint64_t frames_dropped_partition() const { return frames_dropped_partition_; }
+  bool ge_in_bad_state() const { return ge_bad_; }
 
  protected:
   // Applies the fault model; returns the number of copies to deliver
@@ -57,6 +98,25 @@ class Medium {
     if (faults_.drop_probability > 0.0 && rng_.Bernoulli(faults_.drop_probability)) {
       ++frames_dropped_;
       return 0;
+    }
+    if (faults_.gilbert_elliott) {
+      // Advance the chain once per frame, then roll against the state's
+      // loss rate.
+      if (ge_bad_) {
+        if (faults_.ge_p_bad_to_good > 0.0 && rng_.Bernoulli(faults_.ge_p_bad_to_good)) {
+          ge_bad_ = false;
+        }
+      } else {
+        if (faults_.ge_p_good_to_bad > 0.0 && rng_.Bernoulli(faults_.ge_p_good_to_bad)) {
+          ge_bad_ = true;
+        }
+      }
+      const double loss = ge_bad_ ? faults_.ge_loss_bad : faults_.ge_loss_good;
+      if (loss > 0.0 && rng_.Bernoulli(loss)) {
+        ++frames_dropped_;
+        ++frames_dropped_burst_;
+        return 0;
+      }
     }
     ++frames_carried_;
     if (faults_.duplicate_probability > 0.0 && rng_.Bernoulli(faults_.duplicate_probability)) {
@@ -68,6 +128,27 @@ class Medium {
   sim::Duration Jitter() {
     if (faults_.jitter_max.is_zero()) return sim::Duration::Zero();
     return rng_.UniformDuration(sim::Duration::Zero(), faults_.jitter_max);
+  }
+
+  // True when the frame dies before touching the wire: dead carrier. A free
+  // drop, counted but costing nothing.
+  bool CarrierDead() {
+    if (carrier_) return false;
+    ++frames_dropped_carrier_;
+    return true;
+  }
+
+  // True when a partition separates the two taps (frames between severed
+  // groups vanish). Unknown taps count as group B (bit clear).
+  bool Severed(Nic* a, Nic* b) const {
+    if (!partitioned_) return false;
+    return InGroupA(a) != InGroupA(b);
+  }
+  bool InGroupA(Nic* nic) const {
+    for (std::size_t i = 0; i < taps_.size() && i < 64; ++i) {
+      if (taps_[i] == nic) return (partition_mask_ >> i) & 1;
+    }
+    return false;
   }
 
   // Reordering: at most one frame is held at a time; a held frame skips
@@ -130,11 +211,18 @@ class Medium {
   sim::Random rng_;
   std::vector<Nic*> taps_;
   Faults faults_;
+  bool carrier_ = true;
+  bool partitioned_ = false;
+  std::uint64_t partition_mask_ = 0;
+  bool ge_bad_ = false;
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_carried_ = 0;
   std::uint64_t frames_corrupted_ = 0;
   std::uint64_t frames_truncated_ = 0;
   std::uint64_t frames_reordered_ = 0;
+  std::uint64_t frames_dropped_burst_ = 0;
+  std::uint64_t frames_dropped_carrier_ = 0;
+  std::uint64_t frames_dropped_partition_ = 0;
   Nic* held_from_ = nullptr;
   std::shared_ptr<net::Mbuf> held_frame_;
 };

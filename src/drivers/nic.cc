@@ -39,6 +39,50 @@ void Nic::ResetStats() {
   poll_exits_.Reset();
 }
 
+void Nic::OnCarrierChange(bool up) {
+  if (carrier_ == up) return;
+  carrier_ = up;
+  if (carrier_gauge_ == nullptr) {
+    carrier_downs_ = &host_.metrics().counter(metrics_prefix_ + "carrier_downs");
+    carrier_gauge_ = &host_.metrics().gauge(metrics_prefix_ + "carrier");
+  }
+  carrier_gauge_->Set(up ? 1 : 0);
+  if (!up) carrier_downs_->Inc();
+  host_.TraceInstant(up ? "nic.carrier.up" : "nic.carrier.down", "driver");
+}
+
+void Nic::SetStalled(bool stalled) {
+  if (stalled_ == stalled) return;
+  stalled_ = stalled;
+  if (stalls_ == nullptr) {
+    stalls_ = &host_.metrics().counter(metrics_prefix_ + "stalls");
+  }
+  host_.TraceInstant(stalled ? "nic.stall" : "nic.resume", "driver");
+  if (stalled) {
+    stalls_->Inc();
+    return;
+  }
+  // Resume: drain whatever accumulated. In polled mode the poll task owns
+  // the ring; re-kick it (the stalled one returned without rescheduling).
+  // In interrupt mode raise one latched interrupt per queued frame.
+  if (polling_) {
+    host_.Submit(sim::Priority::kThread, [this] { PollTask(); });
+  } else {
+    for (std::size_t i = rx_ring_.size(); i > 0; --i) {
+      host_.Submit(sim::Priority::kInterrupt, [this] { RxInterrupt(); });
+    }
+  }
+}
+
+void Nic::Reset() {
+  rx_ring_.clear();  // buffers return to the pool as their MbufPtrs die
+  rx_ring_gauge_.Set(0);
+  polling_ = false;
+  stalled_ = false;
+  window_start_ = sim::TimePoint();
+  window_work_ = sim::Duration::Zero();
+}
+
 void Nic::Transmit(net::MbufPtr frame) {
   assert(medium_ != nullptr && "NIC not attached to a medium");
   assert(host_.in_task() && "Transmit must run inside a CPU task");
@@ -60,6 +104,9 @@ void Nic::Transmit(net::MbufPtr frame) {
 }
 
 void Nic::DeliverFromWire(net::MbufPtr frame, bool check_address) {
+  // Powered off (host crashed): frames die at the wire, free. No counter —
+  // the host that would own the count is dead.
+  if (!powered_) return;
   if (check_address && !promiscuous_) {
     // Filter on the destination MAC in the Ethernet header.
     try {
@@ -105,16 +152,18 @@ void Nic::DeliverFromWire(net::MbufPtr frame, bool check_address) {
 
   // Raise the device interrupt: driver receive work runs at interrupt
   // priority; the callback is the bottom of the protocol graph. In polled
-  // mode rx interrupts are masked — the poll task owns the ring.
-  if (!polling_) {
+  // mode rx interrupts are masked — the poll task owns the ring. A stalled
+  // NIC raises nothing: the ring accumulates until resume (or overflows).
+  if (!polling_ && !stalled_) {
     host_.Submit(sim::Priority::kInterrupt, [this] { RxInterrupt(); });
   }
 }
 
 void Nic::RxInterrupt() {
-  // Masked (the poll loop took over after this interrupt was raised) or
-  // spurious (the poll loop already consumed the frame): a free no-op.
-  if (polling_ || rx_ring_.empty()) return;
+  // Masked (the poll loop took over after this interrupt was raised),
+  // stalled, or spurious (the poll loop already consumed the frame): a
+  // free no-op.
+  if (polling_ || stalled_ || rx_ring_.empty()) return;
   DeliverOne(/*polled=*/false);
   NoteRxWork(host_.charged_so_far());
 }
@@ -166,6 +215,7 @@ void Nic::EnterPollMode() {
 
 void Nic::PollTask() {
   if (!polling_) return;
+  if (stalled_) return;  // wedged: SetStalled(false) re-kicks the loop
   if (rx_ring_.empty()) {
     // Drained: unmask and fall back to interrupts.
     polling_ = false;

@@ -72,12 +72,37 @@ class Nic {
   sim::Host& host() { return host_; }
   const DeviceProfile& profile() const { return profile_; }
   net::MacAddress mac() const { return mac_; }
+  // A cold-restarted host may come back with a different adapter.
+  void set_mac(net::MacAddress mac) { mac_ = mac; }
   int index() const { return index_; }
   void set_promiscuous(bool v) { promiscuous_ = v; }
   bool polling() const { return polling_; }
   std::size_t rx_ring_size() const { return rx_ring_.size(); }
 
   void SetReceiveCallback(ReceiveCallback cb) { rx_callback_ = std::move(cb); }
+
+  // Medium notification on a carrier edge: counted, traced, and mirrored in
+  // a gauge so a metrics snapshot shows the link state. Counters are
+  // created lazily — a run that never flaps a link keeps its metrics
+  // snapshot unchanged.
+  void OnCarrierChange(bool up);
+  bool carrier() const { return carrier_; }
+
+  // Stall: rx interrupts wedge (frames still land in the ring until it
+  // overflows); Resume drains whatever accumulated. Models a wedged
+  // interrupt line / driver stall without losing the ring contents.
+  void SetStalled(bool stalled);
+  bool stalled() const { return stalled_; }
+
+  // Power: a crashed host's NIC is off — frames die at the wire for free,
+  // nothing is counted against the (dead) host's pool.
+  void set_powered(bool on) { powered_ = on; }
+  bool powered() const { return powered_; }
+
+  // Cold reset at restart: drops every frame still in the rx ring (their
+  // buffers return to the pool), clears poll/stall state. Cumulative
+  // counters survive — the device is the same silicon, only its queues die.
+  void Reset();
 
   // Sends a fully framed packet. Must be called from within a CPU task on
   // this NIC's host (protocol output or an echo path in a driver test).
@@ -131,8 +156,16 @@ class Nic {
   sim::Counter& poll_entries_;
   sim::Counter& poll_exits_;
   sim::Gauge& rx_ring_gauge_;
+  // Chaos-path instruments, resolved on first use so runs without
+  // structural faults keep a byte-identical metrics snapshot.
+  sim::Counter* carrier_downs_ = nullptr;
+  sim::Gauge* carrier_gauge_ = nullptr;
+  sim::Counter* stalls_ = nullptr;
   std::deque<net::MbufPtr> rx_ring_;
   bool polling_ = false;
+  bool carrier_ = true;
+  bool stalled_ = false;
+  bool powered_ = true;
   sim::TimePoint window_start_;
   sim::Duration window_work_;
   bool promiscuous_ = false;

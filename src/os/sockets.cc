@@ -77,6 +77,15 @@ TcpSocket::TcpSocket(SocketHost& os, proto::TcpEndpoints ep) : os_(os) {
       if (on_close_) on_close_();
     }
   };
+  cbs.on_error = [this](proto::TcpError err) {
+    // ECONNRESET / ETIMEDOUT surface through the same wakeup path as data,
+    // so an error cannot overtake bytes already copied into the kernel.
+    const auto stream_err = err == proto::TcpError::kTimedOut ? proto::StreamError::kTimedOut
+                                                              : proto::StreamError::kReset;
+    os_.DeliverToUser(0, [this, stream_err] {
+      if (on_error_) on_error_(stream_err);
+    });
+  };
   conn_ = std::make_unique<proto::TcpConnection>(os_.host(), os_.tcp_config(), ep,
                                                  std::move(cbs));
 }

@@ -61,6 +61,9 @@ class TcpSocket : public proto::ByteStream {
   std::size_t Write(std::span<const std::byte> data) override;
   void SetOnData(std::function<void(std::span<const std::byte>)> cb) override;
   void SetOnClose(std::function<void()> cb) override;
+  void SetOnError(std::function<void(proto::StreamError)> cb) override {
+    on_error_ = std::move(cb);
+  }
   void CloseStream() override;
 
   void SetOnEstablished(std::function<void()> cb) { on_established_ = std::move(cb); }
@@ -81,6 +84,7 @@ class TcpSocket : public proto::ByteStream {
   std::unique_ptr<proto::TcpConnection> conn_;
   std::function<void(std::span<const std::byte>)> on_data_;
   std::function<void()> on_close_;
+  std::function<void(proto::StreamError)> on_error_;
   std::function<void()> on_established_;
   std::deque<std::byte> pending_;  // user-side buffer awaiting kernel space
   std::vector<std::byte> pre_data_;  // data arriving before SetOnData

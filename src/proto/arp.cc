@@ -18,6 +18,15 @@ ArpService::ArpService(sim::Host& host, EthLayer& eth, net::Ipv4Address my_ip, C
       timeouts_(host.metrics().counter("arp.timeouts")),
       retries_(host.metrics().counter("arp.retries")) {}
 
+ArpService::~ArpService() {
+  // Raw cancels: destruction may happen outside any task (host crash).
+  // Waiters are dropped on the floor — their owning layers are being torn
+  // down with us.
+  for (auto& [ip, pending] : pending_) {
+    host_.simulator().Cancel(pending.timer);
+  }
+}
+
 void ArpService::AddStatic(net::Ipv4Address ip, net::MacAddress mac) {
   cache_[ip] = Entry{mac, sim::TimePoint::Max(), /*is_static=*/true};
 }
@@ -30,6 +39,17 @@ std::optional<net::MacAddress> ArpService::Lookup(net::Ipv4Address ip) const {
 }
 
 void ArpService::Resolve(net::Ipv4Address ip, ResolveCallback cb) {
+  // TTL eviction happens at resolve time: an expired entry is erased and
+  // re-resolved on the wire, so a peer whose MAC changed (cold restart
+  // with a new adapter) is eventually re-learned instead of being served
+  // stale forever.
+  if (auto it = cache_.find(ip);
+      it != cache_.end() && !it->second.is_static && it->second.expires < host_.Now()) {
+    cache_.erase(it);
+    ++stats_.expired;
+    if (expired_ == nullptr) expired_ = &host_.metrics().counter("arp.expired");
+    expired_->Inc();
+  }
   if (auto mac = Lookup(ip)) {
     cb(*mac);
     return;

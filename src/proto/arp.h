@@ -34,6 +34,11 @@ class ArpService {
   using ResolveCallback = std::function<void(std::optional<net::MacAddress>)>;
 
   ArpService(sim::Host& host, EthLayer& eth, net::Ipv4Address my_ip, Config config = ArpConfig());
+  // Cancels outstanding request timers: the service dies (host crash,
+  // graph teardown) with resolutions still in flight.
+  ~ArpService();
+  ArpService(const ArpService&) = delete;
+  ArpService& operator=(const ArpService&) = delete;
 
   // Resolves `ip`; the callback fires immediately on a cache hit, otherwise
   // after the reply arrives (or with nullopt after retries are exhausted).
@@ -53,6 +58,7 @@ class ArpService {
     std::uint64_t resolution_failures = 0;
     std::uint64_t timeouts = 0;  // request timer fired (retry or failure)
     std::uint64_t retries = 0;   // retransmitted requests
+    std::uint64_t expired = 0;   // TTL'd entries evicted at resolve time
   };
   const Stats& stats() const { return stats_; }
 
@@ -85,6 +91,9 @@ class ArpService {
   sim::Counter& resolution_failures_;
   sim::Counter& timeouts_;
   sim::Counter& retries_;
+  // Lazily resolved: only runs whose caches actually expire entries grow a
+  // new instrument (keeps fault-free metrics snapshots byte-identical).
+  sim::Counter* expired_ = nullptr;
 };
 
 }  // namespace proto

@@ -16,6 +16,13 @@
 
 namespace proto {
 
+// Abnormal stream termination, errno-style. kReset maps to ECONNRESET,
+// kTimedOut to ETIMEDOUT.
+enum class StreamError {
+  kReset,
+  kTimedOut,
+};
+
 // A bidirectional, connection-oriented byte stream.
 class ByteStream {
  public:
@@ -23,6 +30,9 @@ class ByteStream {
   virtual std::size_t Write(std::span<const std::byte> data) = 0;
   virtual void SetOnData(std::function<void(std::span<const std::byte>)> cb) = 0;
   virtual void SetOnClose(std::function<void()> cb) = 0;
+  // Abnormal termination (fires before the close callback). Streams that
+  // cannot fail (in-memory pipes) keep the default no-op.
+  virtual void SetOnError(std::function<void(StreamError)> cb) { (void)cb; }
   virtual void CloseStream() = 0;
 
   std::size_t WriteString(std::string_view s) {

@@ -97,6 +97,13 @@ class Ipv4Layer {
         forwarded_(host.metrics().counter("ip.forwarded")),
         ttl_exceeded_(host.metrics().counter("ip.ttl_exceeded")),
         no_route_(host.metrics().counter("ip.no_route")) {}
+  // Cancels outstanding reassembly timers: the layer can die (host crash)
+  // with fragments still buffered.
+  ~Ipv4Layer() {
+    for (auto& [key, buf] : reassembly_) host_.simulator().Cancel(buf.timer);
+  }
+  Ipv4Layer(const Ipv4Layer&) = delete;
+  Ipv4Layer& operator=(const Ipv4Layer&) = delete;
 
   const Config& config() const { return config_; }
   net::Ipv4Address address() const { return config_.address; }

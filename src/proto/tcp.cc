@@ -18,6 +18,15 @@ constexpr int kMaxRexmtBackoff = 12;
 
 }  // namespace
 
+const char* TcpErrorName(TcpError e) {
+  switch (e) {
+    case TcpError::kNone: return "OK";
+    case TcpError::kConnectionReset: return "ECONNRESET";
+    case TcpError::kTimedOut: return "ETIMEDOUT";
+  }
+  return "?";
+}
+
 const char* TcpConnection::StateName(State s) {
   switch (s) {
     case State::kClosed: return "CLOSED";
@@ -124,6 +133,24 @@ void TcpConnection::Abort() {
     SendRst(snd_nxt_, rcv_nxt_, /*with_ack=*/true);
   }
   EnterClosed("local abort", /*was_reset=*/false);
+}
+
+void TcpConnection::Vanish() {
+  // Power-fail: no RST, no callbacks — the peer must discover the death
+  // the hard way. Mark closed as already-reported so a later destructor
+  // or stray path never resurrects a callback into freed app state.
+  state_ = State::kClosed;
+  closed_reported_ = true;
+  // Raw cancels (CancelTimer would Charge, and there is no task context
+  // when a crash strikes from outside the machine).
+  sim_.Cancel(rexmt_timer_);
+  sim_.Cancel(delack_timer_);
+  sim_.Cancel(persist_timer_);
+  sim_.Cancel(time_wait_timer_);
+  rexmt_timer_ = sim::kInvalidEventId;
+  delack_timer_ = sim::kInvalidEventId;
+  persist_timer_ = sim::kInvalidEventId;
+  time_wait_timer_ = sim::kInvalidEventId;
 }
 
 void TcpConnection::Consume(std::size_t n) {
@@ -498,7 +525,11 @@ void TcpConnection::ProcessAck(const net::TcpHeader& hdr) {
   if (SeqLe(ack, snd_una_)) {
     // Window update even on duplicate/old acks.
     snd_wnd_ = hdr.window.value();
-    if (snd_wnd_ > 0) CancelTimer(persist_timer_);
+    if (snd_wnd_ > 0) {
+      CancelTimer(persist_timer_);
+      persist_backoff_ = 0;
+      persist_unanswered_ = 0;
+    }
     // Duplicate-ACK detection (RFC-style: no payload, ack == snd_una, data
     // outstanding).
     if (ack == snd_una_ && bytes_in_flight() > 0) {
@@ -541,6 +572,10 @@ void TcpConnection::ProcessAck(const net::TcpHeader& hdr) {
   send_buf_.erase(send_buf_.begin(), send_buf_.begin() + static_cast<std::ptrdiff_t>(remove));
   snd_una_ = ack;
   snd_wnd_ = hdr.window.value();
+  if (snd_wnd_ > 0) {
+    persist_backoff_ = 0;
+    persist_unanswered_ = 0;
+  }
 
   if (in_fast_recovery_) {
     cwnd_ = ssthresh_;  // deflate
@@ -728,7 +763,7 @@ void TcpConnection::OnRexmtTimeout() {
   timeouts_ctr_.Inc();
   rto_backoffs_ctr_.Inc();
   if (++rexmt_backoff_ > kMaxRexmtBackoff) {
-    EnterClosed("retransmission limit exceeded", /*was_reset=*/true);
+    EnterClosed("retransmission limit exceeded", /*was_reset=*/true, TcpError::kTimedOut);
     return;
   }
   rtt_timing_ = false;  // Karn
@@ -779,9 +814,18 @@ void TcpConnection::OnDelackTimeout() {
   if (delack_segments_ > 0) SendAckNow();
 }
 
+sim::Duration TcpConnection::current_persist_interval() const {
+  sim::Duration interval = config_.persist_interval;
+  for (int i = 0; i < persist_backoff_; ++i) {
+    interval = interval * 2;
+    if (interval >= config_.persist_max) return config_.persist_max;
+  }
+  return interval;
+}
+
 void TcpConnection::ArmPersist() {
   if (persist_timer_ != sim::kInvalidEventId && sim_.IsPending(persist_timer_)) return;
-  persist_timer_ = ScheduleTimer(config_.persist_interval, "tcp.timer.persist",
+  persist_timer_ = ScheduleTimer(current_persist_interval(), "tcp.timer.persist",
                                  &TcpConnection::OnPersistTimeout);
 }
 
@@ -791,12 +835,21 @@ void TcpConnection::OnPersistTimeout() {
     TrySend();
     return;
   }
-  // Zero-window probe: one byte beyond the window.
+  // A peer that answers no probes is gone; probing forever would hold the
+  // connection (and its timers) open for a dead host.
+  if (persist_unanswered_ >= config_.max_persist_probes) {
+    EnterClosed("persist timeout", /*was_reset=*/true, TcpError::kTimedOut);
+    return;
+  }
+  // Zero-window probe: one byte beyond the window, backing off
+  // exponentially (capped at persist_max) like the rexmt timer.
   const std::size_t data_sent = SeqDiff(snd_una_, snd_nxt_);
   if (data_sent < send_buf_.size()) {
     ++stats_.persist_probes;
+    ++persist_unanswered_;
     SendDataSegment(snd_nxt_, 1, /*rtt_candidate=*/false);
   }
+  ++persist_backoff_;
   ArmPersist();
 }
 
@@ -852,7 +905,8 @@ void TcpConnection::OpenCongestionWindow(std::uint32_t acked_bytes) {
   RecordCwndSample();
 }
 
-void TcpConnection::EnterClosed(const std::string& reason, bool was_reset) {
+void TcpConnection::EnterClosed(const std::string& reason, bool was_reset,
+                                TcpError error) {
   const bool was_open = state_ != State::kClosed;
   state_ = State::kClosed;
   CancelRexmt();
@@ -860,7 +914,11 @@ void TcpConnection::EnterClosed(const std::string& reason, bool was_reset) {
   CancelTimer(persist_timer_);
   CancelTimer(time_wait_timer_);
   if (!was_open) return;
+  // Every reset-family termination is ECONNRESET unless the call site
+  // classified it more precisely (timeouts pass kTimedOut explicitly).
+  if (error == TcpError::kNone && was_reset) error = TcpError::kConnectionReset;
   if (was_reset && cb_.on_reset) cb_.on_reset(reason);
+  if (error != TcpError::kNone && cb_.on_error) cb_.on_error(error);
   if (!closed_reported_) {
     closed_reported_ = true;
     if (cb_.on_closed) cb_.on_closed();

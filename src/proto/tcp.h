@@ -36,6 +36,17 @@
 
 namespace proto {
 
+// Why a connection died, in errno terms. Surfaced through
+// Callbacks::on_error so sockets can report ECONNRESET vs ETIMEDOUT
+// instead of a bare string.
+enum class TcpError {
+  kNone = 0,
+  kConnectionReset,  // ECONNRESET: RST from the peer (or local abort)
+  kTimedOut,         // ETIMEDOUT: retransmission / persist limit exceeded
+};
+
+const char* TcpErrorName(TcpError e);
+
 struct TcpConfig {
   std::size_t mss = 1460;               // our maximum segment size offer
   std::size_t send_buffer = 64 * 1024;  // bytes of unacknowledged + queued data
@@ -45,7 +56,13 @@ struct TcpConfig {
   sim::Duration rto_max = sim::Duration::Seconds(64);
   sim::Duration delayed_ack = sim::Duration::Millis(50);
   sim::Duration msl = sim::Duration::Seconds(15);
+  // Zero-window persist probing backs off exponentially from
+  // persist_interval up to persist_max; after max_persist_probes unanswered
+  // probes the connection aborts with kTimedOut (a vanished peer must not
+  // be probed forever).
   sim::Duration persist_interval = sim::Duration::Millis(500);
+  sim::Duration persist_max = sim::Duration::Seconds(60);
+  int max_persist_probes = 20;
   bool delayed_ack_enabled = true;
   std::uint32_t initial_cwnd_segments = 1;
 };
@@ -85,6 +102,9 @@ class TcpConnection {
     // Connection fully terminated (CLOSED reached from any path).
     std::function<void()> on_closed;
     std::function<void(const std::string& reason)> on_reset;
+    // Abnormal termination classified in errno terms (fires alongside
+    // on_reset, before on_closed). kNone terminations don't fire it.
+    std::function<void(TcpError)> on_error;
     // Send buffer drained below half — the app may write more.
     std::function<void()> on_send_ready;
   };
@@ -124,6 +144,10 @@ class TcpConnection {
   void Close();
   // Abortive close: RST now.
   void Abort();
+  // Power-fail teardown: the host this connection lived on crashed. All
+  // state drops on the floor — no segments, no callbacks, every timer
+  // canceled. Unlike every other method, callable outside a CPU task.
+  void Vanish();
 
   // Full TCP segment from IP (IP header stripped).
   void Input(net::MbufPtr segment, net::Ipv4Address src_ip, net::Ipv4Address dst_ip);
@@ -145,6 +169,11 @@ class TcpConnection {
   std::size_t bytes_in_flight() const { return SeqDiff(snd_una_, snd_nxt_); }
   std::size_t send_queue_bytes() const { return send_buf_.size(); }
   sim::Duration current_rto() const { return rto_; }
+  // The delay the next zero-window probe would use (exponential backoff
+  // from persist_interval, capped at persist_max).
+  sim::Duration current_persist_interval() const;
+  int rexmt_backoff() const { return rexmt_backoff_; }
+  int persist_backoff() const { return persist_backoff_; }
   std::size_t effective_mss() const { return effective_mss_; }
   std::size_t advertised_window() const;
 
@@ -196,7 +225,8 @@ class TcpConnection {
   void UpdateRttOnAck(Seq acked_through);
   void OpenCongestionWindow(std::uint32_t acked_bytes);
 
-  void EnterClosed(const std::string& reason, bool was_reset);
+  void EnterClosed(const std::string& reason, bool was_reset,
+                   TcpError error = TcpError::kNone);
 
   sim::Host& host_;
   sim::Simulator& sim_;
@@ -250,6 +280,8 @@ class TcpConnection {
   sim::EventId persist_timer_ = sim::kInvalidEventId;
   sim::EventId time_wait_timer_ = sim::kInvalidEventId;
   int rexmt_backoff_ = 0;
+  int persist_backoff_ = 0;      // exponent of the next persist interval
+  int persist_unanswered_ = 0;   // probes since the window last moved
   std::uint32_t delack_segments_ = 0;
 
   std::size_t effective_mss_;

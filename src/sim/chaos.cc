@@ -1,0 +1,161 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace sim {
+
+const char* ChaosKindName(ChaosKind k) {
+  switch (k) {
+    case ChaosKind::kLinkDown: return "link-down";
+    case ChaosKind::kLinkUp: return "link-up";
+    case ChaosKind::kNicStall: return "nic-stall";
+    case ChaosKind::kNicResume: return "nic-resume";
+    case ChaosKind::kPartition: return "partition";
+    case ChaosKind::kHeal: return "heal";
+    case ChaosKind::kCrash: return "crash";
+    case ChaosKind::kRestart: return "restart";
+  }
+  return "?";
+}
+
+namespace {
+
+// Open [begin, end) windows already claimed on one target, so a random
+// schedule never nests or overlaps faults on the same link/host.
+struct Claimed {
+  std::vector<std::pair<TimePoint, TimePoint>> windows;
+
+  bool Overlaps(TimePoint b, TimePoint e) const {
+    for (const auto& [wb, we] : windows) {
+      if (b < we && wb < e) return true;
+    }
+    return false;
+  }
+  void Claim(TimePoint b, TimePoint e) { windows.emplace_back(b, e); }
+};
+
+}  // namespace
+
+ChaosSchedule ChaosSchedule::Random(std::uint64_t seed, const ChaosConfig& config) {
+  ChaosSchedule out;
+  sim::Random rng(seed);  // qualified: `Random` alone names this function
+
+  struct Family {
+    ChaosKind down, up;
+    double weight;
+  };
+  std::vector<Family> families;
+  if (config.w_link_flap > 0.0 && config.links > 0) {
+    families.push_back({ChaosKind::kLinkDown, ChaosKind::kLinkUp, config.w_link_flap});
+  }
+  if (config.w_crash > 0.0 && config.hosts > 0) {
+    families.push_back({ChaosKind::kCrash, ChaosKind::kRestart, config.w_crash});
+  }
+  if (config.w_nic_stall > 0.0 && config.hosts > 0) {
+    families.push_back({ChaosKind::kNicStall, ChaosKind::kNicResume, config.w_nic_stall});
+  }
+  if (config.w_partition > 0.0 && config.hosts >= 3) {
+    families.push_back({ChaosKind::kPartition, ChaosKind::kHeal, config.w_partition});
+  }
+  if (families.empty()) return out;
+  double total_weight = 0.0;
+  for (const auto& f : families) total_weight += f.weight;
+
+  // Per-target claimed windows, keyed by (kind-group, ordinal). Partitions
+  // are global: they claim a single shared slot.
+  std::vector<Claimed> link_claims(static_cast<std::size_t>(std::max(config.links, 1)));
+  std::vector<Claimed> host_claims(static_cast<std::size_t>(std::max(config.hosts, 1)));
+  std::vector<Claimed> stall_claims(static_cast<std::size_t>(std::max(config.hosts, 1)));
+  Claimed partition_claims;
+
+  const int want = 1 + static_cast<int>(rng.UniformU64(
+                           static_cast<std::uint64_t>(std::max(config.max_faults, 1))));
+  const Duration span = config.horizon - config.start;
+  for (int drawn = 0, attempts = 0; drawn < want && attempts < want * 8; ++attempts) {
+    // Weighted family pick.
+    double roll = rng.UniformDouble() * total_weight;
+    const Family* fam = &families.back();
+    for (const auto& f : families) {
+      if (roll < f.weight) {
+        fam = &f;
+        break;
+      }
+      roll -= f.weight;
+    }
+
+    const Duration width = rng.UniformDuration(config.min_outage, config.max_outage);
+    if (span <= width) continue;
+    const TimePoint begin =
+        TimePoint() + config.start + rng.UniformDuration(Duration::Zero(), span - width);
+    const TimePoint end = begin + width;
+
+    Claimed* claims = nullptr;
+    int target = 0;
+    std::uint64_t aux = 0;
+    switch (fam->down) {
+      case ChaosKind::kLinkDown:
+        target = static_cast<int>(rng.UniformU64(static_cast<std::uint64_t>(config.links)));
+        claims = &link_claims[static_cast<std::size_t>(target)];
+        break;
+      case ChaosKind::kCrash: {
+        target = static_cast<int>(rng.UniformU64(static_cast<std::uint64_t>(config.hosts)));
+        claims = &host_claims[static_cast<std::size_t>(target)];
+        break;
+      }
+      case ChaosKind::kNicStall:
+        target = static_cast<int>(rng.UniformU64(static_cast<std::uint64_t>(config.hosts)));
+        claims = &stall_claims[static_cast<std::size_t>(target)];
+        break;
+      case ChaosKind::kPartition: {
+        // Split hosts into two non-empty groups via a random bitmask.
+        const std::uint64_t all = (1ull << config.hosts) - 1;
+        aux = rng.UniformU64(all - 1) + 1;  // in [1, all-1]: both sides non-empty
+        claims = &partition_claims;
+        break;
+      }
+      default:
+        continue;
+    }
+    if (claims->Overlaps(begin, end)) continue;
+    // A crash window also excludes stalling that host (and vice versa):
+    // stalling a dead NIC is meaningless and resuming a rebooted one is a
+    // double-apply hazard.
+    if (fam->down == ChaosKind::kCrash &&
+        stall_claims[static_cast<std::size_t>(target)].Overlaps(begin, end)) {
+      continue;
+    }
+    if (fam->down == ChaosKind::kNicStall &&
+        host_claims[static_cast<std::size_t>(target)].Overlaps(begin, end)) {
+      continue;
+    }
+    claims->Claim(begin, end);
+    out.Add(begin, fam->down, target, aux);
+    out.Add(end, fam->up, target, aux);
+    ++drawn;
+  }
+
+  std::stable_sort(out.events_.begin(), out.events_.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) { return a.at < b.at; });
+  return out;
+}
+
+void ChaosSchedule::Install(Simulator& sim, Handler handler) const {
+  for (const ChaosEvent& e : events_) {
+    sim.ScheduleAt(e.at, [handler, e] { handler(e); });
+  }
+}
+
+std::string ChaosSchedule::Describe() const {
+  std::ostringstream os;
+  for (const ChaosEvent& e : events_) {
+    os << "t=" << (e.at - TimePoint()).ns() << "ns " << ChaosKindName(e.kind) << " target="
+       << e.target;
+    if (e.aux != 0) os << " aux=0x" << std::hex << e.aux << std::dec;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sim

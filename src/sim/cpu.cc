@@ -19,6 +19,15 @@ std::size_t Cpu::queued() const {
   return n;
 }
 
+void Cpu::Reset() {
+  assert(!in_logic_ && "Cpu::Reset must not run inside task logic");
+  if (running_) {
+    sim_.Cancel(running_->end_event);
+    running_.reset();
+  }
+  for (auto& q : queues_) q.clear();
+}
+
 void Cpu::PreemptRunning() {
   assert(running_.has_value());
   ++preemptions_;

@@ -79,6 +79,14 @@ class Cpu {
     preemptions_ = 0;
   }
 
+  // Power-fail reset: discards every queued task and the running slice's
+  // remainder (its completion side effects never fire). Used by host crash
+  // injection — queued lambdas capture protocol objects about to be
+  // destroyed, so they must die first. Must not be called from inside task
+  // logic. Accounting survives: the silicon remembers nothing, the
+  // simulator's books do.
+  void Reset();
+
   // Utilization over a window, given busy_total snapshots taken by caller.
   static double Utilization(Duration busy, Duration window) {
     if (window.ns() <= 0) return 0.0;

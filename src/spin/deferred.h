@@ -70,6 +70,14 @@ class DeferredQueue {
   // Called at the top of the admitted handler thread, before any work.
   void OnStart() { depth_.Add(-1); }
 
+  // Host crash: the spawned-but-not-run threads died with the CPU queues;
+  // zero the depth so the reborn graph starts unshed. Peak and the
+  // cumulative counters survive (history, not state).
+  void Reset() {
+    depth_.Set(0);
+    shedding_ = false;
+  }
+
  private:
   sim::Host& host_;
   Config config_;

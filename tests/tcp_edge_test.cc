@@ -378,5 +378,101 @@ TEST(TcpEdge, ConnectTimesOutAgainstBlackHole) {
   (void)closed;
 }
 
+// --- backoff bounds (chaos hardening) ---------------------------------------
+
+// The SYN retransmission interval doubles but never exceeds rto_max, and the
+// spiral ends in a clean ETIMEDOUT.
+TEST(TcpBackoff, SynRetransmitIntervalCapsAtRtoMax) {
+  sim::Simulator sim;
+  sim::Host host(sim, "c", sim::CostModel::Default1996(), 1);
+  TcpConfig cfg;
+  cfg.rto_initial = sim::Duration::Millis(500);
+  cfg.rto_max = sim::Duration::Seconds(2);
+  TcpEndpoints ep{kClientIp, 1000, kServerIp, 80};
+  TcpConnection::Callbacks cbs;
+  std::vector<sim::TimePoint> syn_times;
+  cbs.send_segment = [&](net::MbufPtr, net::Ipv4Address, net::Ipv4Address) {
+    syn_times.push_back(sim.Now());  // every segment here is a SYN into the void
+  };
+  bool timed_out = false;
+  cbs.on_error = [&](TcpError e) { timed_out = (e == TcpError::kTimedOut); };
+  TcpConnection conn(host, cfg, ep, std::move(cbs));
+  host.Submit(sim::Priority::kKernel, [&] { conn.Connect(); });
+  sim.Run();
+
+  ASSERT_GE(syn_times.size(), 6u);
+  int at_cap = 0;
+  for (std::size_t i = 1; i < syn_times.size(); ++i) {
+    const sim::Duration gap = syn_times[i] - syn_times[i - 1];
+    EXPECT_LE(gap.ns(), cfg.rto_max.ns()) << "retransmit gap " << i << " exceeds rto_max";
+    if (gap.ns() == cfg.rto_max.ns()) ++at_cap;
+  }
+  EXPECT_GE(at_cap, 3) << "backoff never reached (and held) the cap";
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(conn.state(), State::kClosed);
+}
+
+// Zero-window persist probing backs off exponentially but the probe
+// interval saturates at persist_max.
+TEST(TcpBackoff, PersistIntervalCapsAtPersistMax) {
+  DirectPair p;
+  TcpConfig ca;
+  ca.persist_interval = sim::Duration::Millis(200);
+  ca.persist_max = sim::Duration::Seconds(1);
+  ca.max_persist_probes = 40;  // plenty of room to observe saturation
+  TcpConfig cb;
+  cb.recv_window = 2048;
+  p.Create(ca, cb);
+  p.Handshake();
+  p.hb.Submit(sim::Priority::kKernel, [&] { p.b->SetAutoConsume(false); });
+
+  std::vector<std::byte> data(16 * 1024, std::byte{0x42});
+  p.ha.Submit(sim::Priority::kKernel, [&] { p.a->Send(data); });
+  p.sim.RunFor(sim::Duration::Seconds(15));
+
+  EXPECT_GT(p.a->stats().persist_probes, 4u);
+  EXPECT_GT(p.a->persist_backoff(), 3);
+  // However many probes went unanswered-by-progress, the next interval is
+  // clamped to the configured ceiling.
+  EXPECT_EQ(p.a->current_persist_interval().ns(), ca.persist_max.ns());
+
+  // Reader wakes up: the window reopens and the transfer completes.
+  p.hb.Submit(sim::Priority::kKernel, [&] {
+    p.b->SetAutoConsume(true);
+    p.b->Consume(1 << 30);
+  });
+  p.sim.RunFor(sim::Duration::Seconds(30));
+  EXPECT_EQ(p.b->stats().bytes_received, data.size());
+  EXPECT_EQ(p.a->state(), State::kEstablished);
+}
+
+// A 10-second blackout is shorter than the retransmission abort threshold:
+// the flow stalls, backs off, and completes once the link returns — no
+// reset, no timeout surfaced to the application.
+TEST(TcpBackoff, FlowSurvivesTenSecondBlackout) {
+  DirectPair p;
+  TcpConfig cfg;
+  cfg.rto_initial = sim::Duration::Millis(500);
+  p.Create(cfg, cfg);
+  p.Handshake();
+
+  std::vector<std::byte> data(24 * 1024, std::byte{0x7e});
+  p.ha.Submit(sim::Priority::kKernel, [&] { p.a->Send(data); });
+  p.sim.RunFor(sim::Duration::Millis(50));  // transfer under way
+  ASSERT_GT(p.b->stats().bytes_received, 0u);
+  ASSERT_LT(p.b->stats().bytes_received, data.size());
+
+  p.drop_all = true;
+  p.sim.RunFor(sim::Duration::Seconds(10));
+  EXPECT_EQ(p.a->state(), State::kEstablished);  // still inside the abort budget
+  const auto timeouts_during = p.a->stats().timeouts;
+  EXPECT_GT(timeouts_during, 1u);  // it really was retransmitting
+
+  p.drop_all = false;
+  p.sim.RunFor(sim::Duration::Seconds(60));
+  EXPECT_EQ(p.b->stats().bytes_received, data.size());
+  EXPECT_EQ(p.a->state(), State::kEstablished);
+}
+
 }  // namespace
 }  // namespace proto
