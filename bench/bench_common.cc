@@ -1,11 +1,18 @@
 #include "bench/bench_common.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
 
 #include "app/forwarder.h"
 #include "app/video.h"
@@ -537,9 +544,39 @@ std::string FormatMeasured(double v) {
 
 }  // namespace
 
-std::string JsonReporter::ToJson() const {
+namespace {
+
+// Host provenance for the meta block. Not part of any comparison — purely
+// "where did these numbers come from" context on a checked-in baseline.
+std::string HostMetaJson() {
   std::ostringstream out;
-  out << "{\"schema\":\"plexus-bench-v1\",\"records\":[";
+  out << "{\"cpus\":" << std::thread::hardware_concurrency();
+#if defined(__unix__) || defined(__APPLE__)
+  utsname u{};
+  if (uname(&u) == 0) {
+    out << ",\"os\":" << JsonQuote(u.sysname)
+        << ",\"release\":" << JsonQuote(u.release)
+        << ",\"machine\":" << JsonQuote(u.machine);
+  }
+#endif
+  out << '}';
+  return out.str();
+}
+
+}  // namespace
+
+std::string JsonReporter::ToJson() const {
+  const double wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - wall_start_)
+          .count();
+  const char* sha = std::getenv("PLEXUS_GIT_SHA");
+  std::ostringstream out;
+  out << "{\"schema\":\"plexus-bench-v1\",\"meta\":{\"wall_seconds\":"
+      << FormatMeasured(wall_seconds)
+      << ",\"host\":" << HostMetaJson()
+      << ",\"git_sha\":" << JsonQuote(sha != nullptr ? sha : "unknown")
+      << "},\"records\":[";
   bool first_record = true;
   for (const BenchRecord& r : records_) {
     if (!first_record) out << ',';

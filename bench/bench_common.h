@@ -7,6 +7,7 @@
 #ifndef PLEXUS_BENCH_BENCH_COMMON_H_
 #define PLEXUS_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -101,17 +102,25 @@ struct BenchRecord {
   std::string charge_breakdown_json;   // raw JSON, "" = not captured
 };
 
-// Accumulates records and writes {"schema":"plexus-bench-v1","records":[...]}.
-// Output is deterministic: records in Add order, doubles printed with a
-// fixed format, captured JSON embedded verbatim.
+// Accumulates records and writes
+// {"schema":"plexus-bench-v1","meta":{...},"records":[...]}.
+// The meta block carries run provenance — wall-clock duration since the
+// reporter was constructed, host OS/arch/cpu info, and the git SHA from
+// PLEXUS_GIT_SHA (scripts/bench.sh exports it) — so a checked-in baseline
+// records where its numbers came from. Everything under "records" stays
+// deterministic: records in Add order, doubles printed with a fixed format,
+// captured JSON embedded verbatim. Comparators (scripts/bench_compare.py,
+// byte-identity tests) look only at "records".
 class JsonReporter {
  public:
+  JsonReporter() : wall_start_(std::chrono::steady_clock::now()) {}
   void Add(BenchRecord r) { records_.push_back(std::move(r)); }
   std::string ToJson() const;
   bool WriteTo(const std::string& path) const;
   std::size_t size() const { return records_.size(); }
 
  private:
+  std::chrono::steady_clock::time_point wall_start_;
   std::vector<BenchRecord> records_;
 };
 

@@ -27,6 +27,7 @@
 #include "drivers/medium.h"
 #include "proto/http.h"
 #include "sim/metrics.h"
+#include "sim/profiler.h"
 
 namespace {
 
@@ -40,6 +41,10 @@ struct ScaleResult {
   std::uint64_t timer_schedules = 0;
   std::uint64_t timer_cancels = 0;
   std::uint64_t timer_fires = 0;
+  // Wall-clock profiler coverage of the run loop (PLEXUS_PROFILE=1 only):
+  // profiled self-time must account for nearly all of the loop's wall time.
+  double run_loop_wall_ns = 0;
+  double profiled_self_ns = 0;
 };
 
 ScaleResult RunScale(sim::SchedulerImpl impl, int n) {
@@ -105,10 +110,19 @@ ScaleResult RunScale(sim::SchedulerImpl impl, int n) {
   }
 
   // Run until every connection resolved (or a generous cap under loss).
+  // The profiler is reset here so its self-time table covers exactly the
+  // run loop below (setup excluded) — the window run_loop_wall_ns measures.
+  sim::Profiler::Reset();
+  const auto loop_start = std::chrono::steady_clock::now();
   const sim::TimePoint cap = sim::TimePoint::FromNanos(0) + sim::Duration::Seconds(600);
   while (result.finished < n && sim.Now() < cap) {
     sim.RunFor(sim::Duration::Seconds(1));
   }
+  const auto loop_stop = std::chrono::steady_clock::now();
+  result.run_loop_wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(loop_stop - loop_start)
+          .count());
+  result.profiled_self_ns = static_cast<double>(sim::Profiler::TotalSelfNs());
 
   const auto wall_stop = std::chrono::steady_clock::now();
   const double wall_ns = static_cast<double>(
@@ -129,6 +143,8 @@ ScaleResult RunScale(sim::SchedulerImpl impl, int n) {
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::ArgAfter(argc, argv, "--json");
+  const std::string profile_path = bench::ArgAfter(argc, argv, "--profile-json");
+  const bool profiling = sim::Profiler::enabled();
   bench::JsonReporter reporter;
 
   std::printf("connection scale: N clients, connect/GET/close, 0.5%% frame loss\n");
@@ -154,6 +170,21 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "FAIL: only %d/%d connections completed (n=%d, %s)\n",
                      r.completed, n, n, wheel ? "wheel" : "heap");
         rc = 1;
+      }
+      // Profiler acceptance gate: at the top N, the ranked self-time table
+      // must account for at least 90% of the run loop's measured wall time.
+      if (profiling && n == 10000) {
+        const double coverage = r.profiled_self_ns / r.run_loop_wall_ns;
+        std::printf("         profile coverage: %.1f%% of %.1f ms run-loop wall (%s)\n",
+                    coverage * 100.0, r.run_loop_wall_ns / 1e6,
+                    wheel ? "wheel" : "heap");
+        if (coverage < 0.90) {
+          std::fprintf(stderr,
+                       "FAIL: profiled self-time covers only %.1f%% of the "
+                       "run loop at n=%d (%s); need >= 90%%\n",
+                       coverage * 100.0, n, wheel ? "wheel" : "heap");
+          rc = 1;
+        }
       }
       bench::BenchRecord rec;
       rec.experiment = "scale_connections";
@@ -188,6 +219,23 @@ int main(int argc, char** argv) {
   if (rc == 0) {
     std::printf("\n  scale check PASS: all connections completed; heap and wheel "
                 "agree on virtual time at every N\n");
+  }
+  if (profiling) {
+    // Where the host CPU went during the last (n=10000, wheel) run.
+    std::printf("\n%s", sim::Profiler::RankedTable().c_str());
+    if (!profile_path.empty()) {
+      std::FILE* f = std::fopen(profile_path.c_str(), "w");
+      if (f != nullptr) {
+        const std::string json = sim::Profiler::ToJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote profile: %s\n", profile_path.c_str());
+      } else {
+        std::fprintf(stderr, "FAIL: could not write %s\n", profile_path.c_str());
+        rc = 1;
+      }
+    }
   }
   if (!json_path.empty()) {
     if (reporter.WriteTo(json_path)) {

@@ -27,6 +27,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT_DIR="${OUT_DIR:-.}"
 
+# Run provenance for the plexus-bench-v1 meta block: every reporter stamps
+# the git SHA it was produced from (falls back to "unknown" outside a repo).
+PLEXUS_GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+export PLEXUS_GIT_SHA
+
 cmake -B "$BUILD_DIR" -S .  # RelWithDebInfo by default (top-level CMakeLists)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   bench_fig5_udp_latency bench_tab1_tcp_throughput bench_micro_dispatch \

@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Builds the suite under AddressSanitizer + UndefinedBehaviorSanitizer and
-# runs every tier-1 test three times: once plain, once with PLEXUS_TRACE=1
-# so every simulator runs with the tracer recording, and once with
-# PLEXUS_MBUF_POOL=small so every host runs on a starved 256-segment mbuf
-# pool. Catches the memory bugs the fault-containment, tracing, and
-# overload-control machinery must never introduce (use-after-free across
-# handler quarantine, fence lifetime mistakes during stack unwinding,
-# dangling span frames across ring eviction, pool accounting races on
-# drop paths, ...).
+# runs every tier-1 test five times: plain, with PLEXUS_TRACE=1 (tracer
+# recording), with PLEXUS_MBUF_POOL=small (starved 256-segment mbuf pool),
+# with PLEXUS_CHAOS_FLAP=1 (mid-run link flap), and with PLEXUS_PROFILE=1
+# (wall-clock engine profiler armed). Catches the memory bugs the
+# fault-containment, tracing, overload-control, and observability
+# machinery must never introduce (use-after-free across handler
+# quarantine, fence lifetime mistakes during stack unwinding, dangling
+# span frames across ring eviction, pool accounting races on drop
+# paths, ...).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,6 +38,11 @@ echo "=== fourth pass: mid-run link flap (PLEXUS_CHAOS_FLAP=1) ==="
 # ARP retry, and carrier-notification paths), still under the sanitizers.
 PLEXUS_CHAOS_FLAP=1 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
 
+echo "=== fifth pass: wall-clock profiler armed (PLEXUS_PROFILE=1) ==="
+# The engine self-profiler records host time on every hot path; it must not
+# perturb virtual time or memory-safety anywhere in the tier-1 suite.
+PLEXUS_PROFILE=1 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
+
 echo "=== slow pass: soak / scale suites (label: slow) ==="
 # The connection-churn soak and other large-population suites run once,
 # in their own labelled pass, still under the sanitizers.
@@ -52,7 +58,8 @@ echo "=== perf smoke: demux index vs linear guard scan, timer wheel vs heap ==="
 PERF_BUILD_DIR="${PERF_BUILD_DIR:-build}"
 cmake -B "$PERF_BUILD_DIR" -S .
 cmake --build "$PERF_BUILD_DIR" -j "$(nproc)" --target bench_micro_dispatch \
-  bench_micro_timer bench_overload_sweep bench_chaos
+  bench_micro_timer bench_overload_sweep bench_chaos \
+  bench_fig5_udp_latency bench_tab1_tcp_throughput
 "$PERF_BUILD_DIR/bench/bench_micro_dispatch" --benchmark_filter=none
 "$PERF_BUILD_DIR/bench/bench_micro_timer"
 
@@ -69,3 +76,15 @@ echo "=== chaos gate: recovery + goodput retention under faults ==="
 # drains leak-free with zero quarantines. The 1000-seed invariant sweep
 # runs in the slow ctest pass above (chaos_property_test).
 "$PERF_BUILD_DIR/bench/bench_chaos"
+
+echo "=== bench regression gate: fresh fig5/tab1 vs committed baselines ==="
+# Re-runs the two paper-figure benches and diffs their deterministic
+# (virtual-clock) metrics against bench/baselines/ with a ±5% band;
+# --self-test proves the comparator still rejects an injected regression.
+BENCH_TMP="$(mktemp -d)"
+trap 'rm -rf "$BENCH_TMP"' EXIT
+"$PERF_BUILD_DIR/bench/bench_fig5_udp_latency" --json "$BENCH_TMP/BENCH_fig5.json"
+"$PERF_BUILD_DIR/bench/bench_tab1_tcp_throughput" --json "$BENCH_TMP/BENCH_tab1.json"
+python3 scripts/bench_compare.py bench/baselines/BENCH_fig5.json "$BENCH_TMP/BENCH_fig5.json"
+python3 scripts/bench_compare.py bench/baselines/BENCH_tab1.json "$BENCH_TMP/BENCH_tab1.json"
+python3 scripts/bench_compare.py bench/baselines/BENCH_fig5.json --self-test

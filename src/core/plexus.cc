@@ -2,8 +2,12 @@
 
 #include <cassert>
 
+#include <utility>
+
 #include "net/view.h"
 #include "proto/transport_checksum.h"
+#include "sim/profiler.h"
+#include "sim/tracer.h"
 
 namespace core {
 
@@ -499,6 +503,16 @@ void TcpManager::StopListening(std::uint16_t port) {
   demux_.StopListening(port);
 }
 
+std::vector<std::shared_ptr<PlexusTcpEndpoint>> TcpManager::LiveEndpoints() const {
+  std::vector<std::shared_ptr<PlexusTcpEndpoint>> out;
+  for (const auto& weak : wired_) {
+    if (auto ep = weak.lock()) {
+      if (ep->attached()) out.push_back(std::move(ep));
+    }
+  }
+  return out;
+}
+
 // --- PlexusHost ----------------------------------------------------------------
 
 PlexusHost::Iface PlexusHost::MakeIface(drivers::DeviceProfile profile, NetConfig cfg) {
@@ -621,6 +635,143 @@ std::string PlexusHost::DescribeGraph() const {
   return out;
 }
 
+namespace {
+
+std::string FlightJsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // control chars never appear in our names; stay valid JSON
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PlexusHost::SnapshotTelemetry(std::size_t tracer_tail) {
+  sim::Simulator& sim = host_.simulator();
+  std::string out = "{\"schema\":\"plexus-flight-v1\"";
+  out += ",\"host\":\"" + FlightJsonEscape(host_.name()) + "\"";
+  out += ",\"now_ns\":" + std::to_string(host_.Now().ns());
+  out += std::string(",\"crashed\":") + (crashed_ ? "true" : "false");
+  out += std::string(",\"mode\":\"") +
+         (mode_ == HandlerMode::kInterrupt ? "interrupt" : "thread") + "\"";
+
+  // Both registries whole: everything the host's modules and the engine
+  // itself counted, percentiles included.
+  out += ",\"metrics\":" + host_.metrics().ToJson();
+  out += ",\"sim_metrics\":" + sim.metrics().ToJson();
+
+  out += ",\"mbuf_pool\":{\"capacity\":" + std::to_string(mbuf_pool_->capacity()) +
+         ",\"in_use\":" + std::to_string(mbuf_pool_->in_use()) +
+         ",\"peak\":" + std::to_string(mbuf_pool_->peak_in_use()) +
+         ",\"total_allocated\":" + std::to_string(mbuf_pool_->total_allocated()) +
+         ",\"exhaustions\":" + std::to_string(mbuf_pool_->exhaustions()) + "}";
+
+  out += ",\"nics\":[";
+  for (std::size_t i = 0; i < ifaces_.size(); ++i) {
+    const drivers::Nic& n = *ifaces_[i].nic;
+    const drivers::Nic::Stats s = n.stats();
+    out += i == 0 ? "{" : ",{";
+    out += "\"prefix\":\"" + FlightJsonEscape(n.metrics_prefix()) + "\"";
+    out += ",\"rx_ring_depth\":" + std::to_string(n.profile().rx_ring_depth);
+    out += ",\"rx_ring_occupancy\":" + std::to_string(n.rx_ring_size());
+    out += std::string(",\"polling\":") + (n.polling() ? "true" : "false");
+    out += std::string(",\"carrier\":") + (n.carrier() ? "true" : "false");
+    out += std::string(",\"powered\":") + (n.powered() ? "true" : "false");
+    out += ",\"rx_frames\":" + std::to_string(s.rx_frames);
+    out += ",\"rx_dropped\":" + std::to_string(s.rx_dropped);
+    out += ",\"tx_frames\":" + std::to_string(s.tx_frames);
+    out += "}";
+  }
+  out += "]";
+
+  out += ",\"deferred\":{\"depth\":" + std::to_string(deferred_.depth()) +
+         ",\"peak\":" + std::to_string(deferred_.peak_depth()) +
+         std::string(",\"shedding\":") + (deferred_.shedding() ? "true" : "false") + "}";
+
+  const spin::Dispatcher::Stats d = dispatcher_.stats();
+  out += ",\"dispatcher\":{\"raises\":" + std::to_string(d.raises) +
+         ",\"handler_invocations\":" + std::to_string(d.handler_invocations) +
+         ",\"guard_evals\":" + std::to_string(d.guard_evals) +
+         ",\"guard_rejections\":" + std::to_string(d.guard_rejections) +
+         ",\"demux_lookups\":" + std::to_string(d.demux_lookups) +
+         ",\"terminations\":" + std::to_string(d.terminations) +
+         ",\"faults\":" + std::to_string(d.faults) +
+         ",\"quarantines\":" + std::to_string(d.quarantines) + "}";
+
+  // Quarantined tombstones across the graph's four dispatch points.
+  out += ",\"quarantined\":[";
+  {
+    bool first = true;
+    const std::pair<const char*, std::vector<spin::HandlerInfo>> events[] = {
+        {"Ethernet.PacketRecv", eth_mgr_->packet_recv_.Describe()},
+        {"Ip.PacketRecv", ip_mgr_->packet_recv_.Describe()},
+        {"Udp.PacketRecv", udp_mgr_->packet_recv_.Describe()},
+        {"Tcp.PacketRecv", tcp_mgr_->packet_recv_.Describe()},
+    };
+    for (const auto& [event, infos] : events) {
+      for (const spin::HandlerInfo& h : infos) {
+        if (!h.stats.quarantined) continue;
+        out += first ? "{" : ",{";
+        out += std::string("\"event\":\"") + event + "\"";
+        out += ",\"handler\":\"" + FlightJsonEscape(h.name) + "\"";
+        out += ",\"terminations\":" + std::to_string(h.stats.terminations);
+        out += ",\"faults\":" + std::to_string(h.stats.faults) + "}";
+        first = false;
+      }
+    }
+  }
+  out += "]";
+
+  // Per-flow TCP_INFO table (crashed hosts have no live flows).
+  out += ",\"flows\":[";
+  if (tcp_mgr_ != nullptr) {
+    bool first = true;
+    for (const auto& ep : tcp_mgr_->LiveEndpoints()) {
+      const proto::TcpConnection& c = ep->connection();
+      const proto::TcpEndpoints& e = c.endpoints();
+      out += first ? "{" : ",{";
+      out += "\"local\":\"" + e.local_ip.ToString() + ":" +
+             std::to_string(e.local_port) + "\"";
+      out += ",\"remote\":\"" + e.remote_ip.ToString() + ":" +
+             std::to_string(e.remote_port) + "\"";
+      out += ",\"info\":" + c.info().ToJson();
+      out += ",\"telemetry\":" + c.SamplesJson() + "}";
+      first = false;
+    }
+  }
+  out += "]";
+
+  // Tracer tail: the last `tracer_tail` completed records, plus how many
+  // fell off the ring before them.
+  const sim::Tracer& tr = sim.tracer();
+  out += std::string(",\"tracer\":{\"enabled\":") + (tr.enabled() ? "true" : "false");
+  out += ",\"recorded\":" + std::to_string(tr.size());
+  out += ",\"dropped\":" + std::to_string(tr.dropped());
+  out += ",\"tail\":[";
+  {
+    const std::vector<sim::Tracer::Record> recs = tr.Records();
+    const std::size_t start = recs.size() > tracer_tail ? recs.size() - tracer_tail : 0;
+    for (std::size_t i = start; i < recs.size(); ++i) {
+      const sim::Tracer::Record& r = recs[i];
+      out += i == start ? "{" : ",{";
+      out += "\"t_ns\":" + std::to_string(r.task_start.ns() + r.begin_offset.ns());
+      out += ",\"track\":\"" + FlightJsonEscape(tr.track_name(r.track)) + "\"";
+      out += ",\"name\":\"" + FlightJsonEscape(r.name) + "\"";
+      out += ",\"category\":\"" + FlightJsonEscape(r.category) + "\"";
+      out += ",\"self_ns\":" + std::to_string(r.self.ns()) + "}";
+    }
+  }
+  out += "]}}";
+  return out;
+}
+
 void PlexusHost::GraphHop(std::function<void()> raise, bool sheddable) {
   if (mode_ == HandlerMode::kInterrupt) {
     raise();
@@ -632,6 +783,7 @@ void PlexusHost::GraphHop(std::function<void()> raise, bool sheddable) {
   if (!deferred_.Admit(sheddable)) return;
   host_.Charge(host_.costs().thread_spawn);
   host_.Submit(sim::Priority::kThread, [this, raise = std::move(raise)] {
+    PLEXUS_PROFILE_SCOPE(kDeferredHop);
     deferred_.OnStart();
     host_.Charge(host_.costs().thread_handoff);
     raise();

@@ -276,6 +276,13 @@ class PlexusTcpEndpoint : public proto::ByteStream {
 
   void SetOnEstablished(std::function<void()> cb) { on_established_ = std::move(cb); }
   proto::TcpConnection& connection() { return *conn_; }
+  // getsockopt(TCP_INFO) equivalent: one coherent snapshot of the
+  // connection's congestion/RTT/loss state.
+  proto::TcpInfo Info() const { return conn_->info(); }
+  // Arms the per-flow cwnd/srtt/in-flight ring sampler on the connection.
+  void EnableTelemetry(sim::Duration min_interval, std::size_t capacity) {
+    conn_->EnableSampling(min_interval, capacity);
+  }
   // True until the host it lives on crashes out from under it.
   bool attached() const { return registered_; }
 
@@ -338,6 +345,10 @@ class TcpManager {
   proto::TcpDemux& demux() { return demux_; }
   const proto::TcpConfig& config() const { return config_; }
   void set_config(const proto::TcpConfig& c) { config_ = c; }
+
+  // Every wired endpoint still attached (not crashed away, not expired):
+  // the per-flow table the flight recorder snapshots.
+  std::vector<std::shared_ptr<PlexusTcpEndpoint>> LiveEndpoints() const;
 
  private:
   friend class PlexusHost;
@@ -443,6 +454,13 @@ class PlexusHost {
   // A human-readable snapshot of the protocol graph: each event and the
   // handlers installed on it (incremental-adaptation observability).
   std::string DescribeGraph() const;
+
+  // Flight recorder: one deterministic JSON document (schema
+  // "plexus-flight-v1") merging host + sim metrics, pool/ring/deferred
+  // occupancy, dispatcher totals, quarantined handlers, a per-flow TCP_INFO
+  // table with any armed samplers, and the tracer tail. Cheap enough to
+  // dump from a failing test's teardown.
+  std::string SnapshotTelemetry(std::size_t tracer_tail = 32);
 
   // --- chaos: host power failure + cold restart ---
   //

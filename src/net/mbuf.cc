@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+// Header-only hot path: net stays link-free of sim (see profiler.h).
+#include "sim/profiler.h"
+
 namespace net {
 
 MbufPtr Mbuf::NewSegment(std::size_t capacity, std::size_t offset, std::size_t length) {
@@ -11,6 +14,8 @@ MbufPtr Mbuf::NewSegment(std::size_t capacity, std::size_t offset, std::size_t l
 }
 
 MbufPtr Mbuf::Allocate(std::size_t len, std::size_t headroom) {
+  PLEXUS_PROFILE_SCOPE(kMbufAlloc);
+  PLEXUS_PROFILE_BYTES(kMbufAllocBytes, len);
   const std::size_t first_payload = std::min(len, kClusterSize);
   MbufPtr head = NewSegment(headroom + std::max<std::size_t>(first_payload, 1), headroom,
                             first_payload);
@@ -219,6 +224,8 @@ void Mbuf::CopyIn(std::size_t offset, std::span<const std::byte> in) {
 }
 
 MbufPtr Mbuf::DeepCopy() const {
+  PLEXUS_PROFILE_SCOPE(kMbufClone);
+  PLEXUS_PROFILE_BYTES(kMbufCloneBytes, PacketLength());
   MbufPtr head;
   Mbuf* tail = nullptr;
   for (const Mbuf* m = this; m != nullptr; m = m->next_.get()) {
@@ -238,6 +245,7 @@ MbufPtr Mbuf::DeepCopy() const {
 }
 
 MbufPtr Mbuf::ShareClone() const {
+  PLEXUS_PROFILE_SCOPE(kMbufClone);
   MbufPtr head;
   Mbuf* tail = nullptr;
   for (const Mbuf* m = this; m != nullptr; m = m->next_.get()) {

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <string>
 
+// Header-only hot path: net stays link-free of sim (see profiler.h).
+#include "sim/profiler.h"
+
 namespace net {
 
 struct MbufPool::Control {
@@ -64,6 +67,7 @@ MbufPtr MbufPool::MakeSegment(std::size_t capacity, std::size_t offset, std::siz
   auto ctl = ctl_;
   std::shared_ptr<Mbuf::Storage> storage(new Mbuf::Storage(capacity),
                                          [ctl](Mbuf::Storage* p) {
+                                           PLEXUS_PROFILE_SCOPE(kMbufFree);
                                            delete p;
                                            --ctl->in_use;
                                            ctl->NotifyOccupancy();
@@ -72,6 +76,8 @@ MbufPtr MbufPool::MakeSegment(std::size_t capacity, std::size_t offset, std::siz
 }
 
 MbufPtr MbufPool::TryAllocate(std::size_t len, std::size_t headroom) {
+  PLEXUS_PROFILE_SCOPE(kMbufAlloc);
+  PLEXUS_PROFILE_BYTES(kMbufAllocBytes, len);
   if (!Reserve(SegmentsFor(len))) return nullptr;
   const std::size_t first_payload = std::min(len, Mbuf::kClusterSize);
   MbufPtr head = MakeSegment(headroom + std::max<std::size_t>(first_payload, 1), headroom,

@@ -68,6 +68,13 @@ class TcpSocket : public proto::ByteStream {
 
   void SetOnEstablished(std::function<void()> cb) { on_established_ = std::move(cb); }
   proto::TcpConnection& connection() { return *conn_; }
+  // getsockopt(TCP_INFO) equivalent: one coherent snapshot of the
+  // connection's congestion/RTT/loss state.
+  proto::TcpInfo Info() const { return conn_->info(); }
+  // Arms the per-flow cwnd/srtt/in-flight ring sampler on the connection.
+  void EnableTelemetry(sim::Duration min_interval, std::size_t capacity) {
+    conn_->EnableSampling(min_interval, capacity);
+  }
 
   // Active open. The returned socket is owned by the caller.
   static std::shared_ptr<TcpSocket> Connect(SocketHost& os, net::Ipv4Address remote_ip,

@@ -75,6 +75,121 @@ std::size_t TcpConnection::advertised_window() const {
   return std::min<std::size_t>(wnd, 65535);
 }
 
+// --- telemetry ----------------------------------------------------------------
+
+TcpInfo TcpConnection::info() const {
+  TcpInfo i;
+  i.state = state_;
+  i.cwnd = cwnd_;
+  i.ssthresh = ssthresh_;
+  i.mss = effective_mss_;
+  i.in_fast_recovery = in_fast_recovery_;
+  i.srtt_valid = srtt_valid_;
+  i.srtt_ns = srtt_.ns();
+  i.rttvar_ns = rttvar_.ns();
+  i.rto_ns = rto_.ns();
+  i.rexmt_backoff = rexmt_backoff_;
+  i.retransmits = stats_.retransmissions;
+  i.fast_retransmits = stats_.fast_retransmits;
+  i.timeouts = stats_.timeouts;
+  i.dup_acks = stats_.dup_acks_received;
+  i.out_of_order_segments = stats_.out_of_order_segments;
+  i.persist_probes = stats_.persist_probes;
+  i.in_flight = bytes_in_flight();
+  i.send_queue = send_buf_.size();
+  i.snd_wnd = snd_wnd_;
+  i.advertised_window = advertised_window();
+  i.bytes_sent = stats_.bytes_sent;
+  i.bytes_delivered = stats_.bytes_received;
+  i.segments_sent = stats_.segments_sent;
+  i.segments_received = stats_.segments_received;
+  return i;
+}
+
+std::string TcpInfo::ToJson() const {
+  std::string out = "{";
+  out += "\"state\":\"" + std::string(TcpConnection::StateName(state)) + "\"";
+  out += ",\"cwnd\":" + std::to_string(cwnd);
+  out += ",\"ssthresh\":" + std::to_string(ssthresh);
+  out += ",\"mss\":" + std::to_string(mss);
+  out += std::string(",\"in_fast_recovery\":") + (in_fast_recovery ? "true" : "false");
+  out += std::string(",\"srtt_valid\":") + (srtt_valid ? "true" : "false");
+  out += ",\"srtt_ns\":" + std::to_string(srtt_ns);
+  out += ",\"rttvar_ns\":" + std::to_string(rttvar_ns);
+  out += ",\"rto_ns\":" + std::to_string(rto_ns);
+  out += ",\"rexmt_backoff\":" + std::to_string(rexmt_backoff);
+  out += ",\"retransmits\":" + std::to_string(retransmits);
+  out += ",\"fast_retransmits\":" + std::to_string(fast_retransmits);
+  out += ",\"timeouts\":" + std::to_string(timeouts);
+  out += ",\"dup_acks\":" + std::to_string(dup_acks);
+  out += ",\"out_of_order_segments\":" + std::to_string(out_of_order_segments);
+  out += ",\"persist_probes\":" + std::to_string(persist_probes);
+  out += ",\"in_flight\":" + std::to_string(in_flight);
+  out += ",\"send_queue\":" + std::to_string(send_queue);
+  out += ",\"snd_wnd\":" + std::to_string(snd_wnd);
+  out += ",\"advertised_window\":" + std::to_string(advertised_window);
+  out += ",\"bytes_sent\":" + std::to_string(bytes_sent);
+  out += ",\"bytes_delivered\":" + std::to_string(bytes_delivered);
+  out += ",\"segments_sent\":" + std::to_string(segments_sent);
+  out += ",\"segments_received\":" + std::to_string(segments_received);
+  out += "}";
+  return out;
+}
+
+void TcpConnection::EnableSampling(sim::Duration min_interval, std::size_t capacity) {
+  sample_interval_ = min_interval;
+  sample_capacity_ = capacity;
+  sample_ring_.clear();
+  sample_ring_.reserve(capacity);
+  sample_head_ = 0;
+  samples_dropped_ = 0;
+  has_sampled_ = false;
+}
+
+void TcpConnection::MaybeSample(bool force) {
+  if (sample_capacity_ == 0) return;
+  const sim::TimePoint now = sim_.Now();
+  if (!force && has_sampled_ && now - last_sample_at_ < sample_interval_) return;
+  has_sampled_ = true;
+  last_sample_at_ = now;
+  TcpSample s;
+  s.at = now;
+  s.cwnd = cwnd_;
+  s.ssthresh = ssthresh_;
+  s.srtt_ns = srtt_valid_ ? srtt_.ns() : -1;
+  s.in_flight = static_cast<std::uint32_t>(bytes_in_flight());
+  if (sample_ring_.size() < sample_capacity_) {
+    sample_ring_.push_back(s);
+  } else {
+    sample_ring_[sample_head_] = s;
+    sample_head_ = (sample_head_ + 1) % sample_capacity_;
+    ++samples_dropped_;
+  }
+}
+
+std::vector<TcpSample> TcpConnection::Samples() const {
+  std::vector<TcpSample> out;
+  out.reserve(sample_ring_.size());
+  for (std::size_t i = 0; i < sample_ring_.size(); ++i) {
+    out.push_back(sample_ring_[(sample_head_ + i) % sample_ring_.size()]);
+  }
+  return out;
+}
+
+std::string TcpConnection::SamplesJson() const {
+  std::string out = "{\"samples\":[";
+  bool first = true;
+  for (const TcpSample& s : Samples()) {
+    out += first ? "[" : ",[";
+    out += std::to_string(s.at.ns()) + "," + std::to_string(s.cwnd) + "," +
+           std::to_string(s.ssthresh) + "," + std::to_string(s.srtt_ns) + "," +
+           std::to_string(s.in_flight) + "]";
+    first = false;
+  }
+  out += "],\"dropped\":" + std::to_string(samples_dropped_) + "}";
+  return out;
+}
+
 // --- open/close/app API -------------------------------------------------------
 
 void TcpConnection::Connect() {
@@ -549,6 +664,7 @@ void TcpConnection::ProcessAck(const net::TcpHeader& hdr) {
         }
         cwnd_ = ssthresh_ + 3 * static_cast<std::uint32_t>(effective_mss_);
         RecordCwndSample();
+        MaybeSample(/*force=*/true);  // loss event: always lands in the series
         in_fast_recovery_ = true;
       } else if (dupacks_ > 3 && in_fast_recovery_) {
         cwnd_ += static_cast<std::uint32_t>(effective_mss_);
@@ -586,6 +702,7 @@ void TcpConnection::ProcessAck(const net::TcpHeader& hdr) {
   }
   dupacks_ = 0;
   rexmt_backoff_ = 0;
+  MaybeSample();  // ACK clock, interval-gated
 
   if (bytes_in_flight() == 0) {
     CancelRexmt();
@@ -784,6 +901,7 @@ void TcpConnection::OnRexmtTimeout() {
                                           2 * static_cast<std::uint32_t>(effective_mss_));
       cwnd_ = static_cast<std::uint32_t>(effective_mss_);
       RecordCwndSample();
+      MaybeSample(/*force=*/true);  // timeout collapse: always lands
       in_fast_recovery_ = false;
       dupacks_ = 0;
       if (!send_buf_.empty()) {

@@ -74,6 +74,18 @@ struct TcpEndpoints {
   std::uint16_t remote_port = 0;
 };
 
+struct TcpInfo;  // defined below the class (needs TcpConnection::State)
+
+// One point of a per-flow time series: congestion state at a sampling
+// instant on the virtual clock. Stored in a bounded ring per connection.
+struct TcpSample {
+  sim::TimePoint at;
+  std::uint32_t cwnd = 0;
+  std::uint32_t ssthresh = 0;
+  std::int64_t srtt_ns = -1;  // -1 until the first RTT measurement lands
+  std::uint32_t in_flight = 0;
+};
+
 class TcpConnection {
  public:
   enum class State {
@@ -177,6 +189,21 @@ class TcpConnection {
   std::size_t effective_mss() const { return effective_mss_; }
   std::size_t advertised_window() const;
 
+  // Kernel-style TCP_INFO snapshot of the whole control block; every field
+  // a diagnosing application would poll, in one consistent read.
+  TcpInfo info() const;
+
+  // Bounded-ring cwnd/srtt/in-flight time series, sampled on the ACK clock
+  // with at least `min_interval` of virtual time between samples — plus on
+  // every loss-driven cwnd collapse, which must never be smoothed away.
+  // Sampling schedules no events of its own, so enabling it perturbs no
+  // virtual-time result. Capacity 0 disables (the default).
+  void EnableSampling(sim::Duration min_interval, std::size_t capacity);
+  std::vector<TcpSample> Samples() const;  // oldest first
+  std::uint64_t samples_dropped() const { return samples_dropped_; }
+  // {"samples":[[t_ns,cwnd,ssthresh,srtt_ns,in_flight],...],"dropped":N}
+  std::string SamplesJson() const;
+
   static const char* StateName(State s);
 
  private:
@@ -227,6 +254,10 @@ class TcpConnection {
 
   void EnterClosed(const std::string& reason, bool was_reset,
                    TcpError error = TcpError::kNone);
+
+  // --- telemetry sampler ---
+  // `force` bypasses the interval gate (loss events must always land).
+  void MaybeSample(bool force = false);
 
   sim::Host& host_;
   sim::Simulator& sim_;
@@ -287,6 +318,15 @@ class TcpConnection {
   std::size_t effective_mss_;
   bool closed_reported_ = false;
 
+  // Telemetry sampler state (inactive until EnableSampling).
+  sim::Duration sample_interval_;
+  std::size_t sample_capacity_ = 0;
+  std::vector<TcpSample> sample_ring_;  // circular once full
+  std::size_t sample_head_ = 0;         // oldest element when ring is full
+  std::uint64_t samples_dropped_ = 0;
+  bool has_sampled_ = false;
+  sim::TimePoint last_sample_at_;
+
   // Host-level aggregates ("tcp.*" in host.metrics(), shared by every
   // connection on the host); stats_ stays the per-connection view.
   sim::Counter& retransmissions_ctr_;
@@ -301,6 +341,40 @@ class TcpConnection {
   void RecordCwndSample() {
     cwnd_hist_.Observe(static_cast<std::int64_t>(cwnd_));
   }
+};
+
+// The TCP_INFO shape: everything the kernel knows about one connection's
+// congestion/RTT/loss state, flattened into plain fields. No SACK fields —
+// this stack is pre-SACK Reno, so `in_flight` is the [snd_una, snd_nxt)
+// byte span. Times are virtual nanoseconds.
+struct TcpInfo {
+  TcpConnection::State state = TcpConnection::State::kClosed;
+  std::uint32_t cwnd = 0;
+  std::uint32_t ssthresh = 0;
+  std::size_t mss = 0;
+  bool in_fast_recovery = false;
+  bool srtt_valid = false;  // false until the first RTT measurement
+  std::int64_t srtt_ns = 0;
+  std::int64_t rttvar_ns = 0;
+  std::int64_t rto_ns = 0;
+  int rexmt_backoff = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t dup_acks = 0;
+  std::uint64_t out_of_order_segments = 0;
+  std::uint64_t persist_probes = 0;
+  std::size_t in_flight = 0;       // bytes sent, not yet acknowledged
+  std::size_t send_queue = 0;      // bytes queued behind snd_una
+  std::uint32_t snd_wnd = 0;       // peer's last advertised window
+  std::size_t advertised_window = 0;  // what we are advertising
+  std::uint64_t bytes_sent = 0;       // payload, retransmits included
+  std::uint64_t bytes_delivered = 0;  // in-order payload handed to the app
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_received = 0;
+
+  // One deterministic JSON object, fields in declaration order.
+  std::string ToJson() const;
 };
 
 }  // namespace proto

@@ -74,6 +74,24 @@ class Histogram {
   std::uint64_t bucket(int idx) const { return buckets_[idx]; }
   std::uint64_t count() const { return count_; }
   std::int64_t sum() const { return sum_; }
+
+  // Quantile estimate from the log2 buckets: the upper bound of the bucket
+  // where the cumulative count first reaches ceil(q * count). Coarse — a
+  // factor of two by construction — but deterministic and allocation-free,
+  // which is what a byte-stable export needs. Empty histogram -> 0.
+  std::int64_t Quantile(double q) const {
+    if (count_ == 0) return 0;
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (rank == 0) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) return BucketUpperBound(i);
+    }
+    return BucketUpperBound(kBuckets - 1);
+  }
   void Reset() {
     for (auto& b : buckets_) b = 0;
     count_ = 0;
@@ -107,8 +125,9 @@ class MetricsRegistry {
     return histograms_;
   }
 
-  // One JSON object; keys sorted by instrument name. Histograms export only
-  // occupied buckets as [upper_bound_ns, count] pairs.
+  // One JSON object; keys sorted by instrument name. Histograms export
+  // p50/p90/p99 (bucket-resolution) summaries plus the occupied buckets as
+  // [upper_bound_ns, count] pairs.
   std::string ToJson() const {
     std::ostringstream out;
     out << "{\"counters\":{";
@@ -127,7 +146,9 @@ class MetricsRegistry {
     first = true;
     for (const auto& [name, h] : histograms_) {
       out << (first ? "" : ",") << '"' << name << "\":{\"count\":" << h.count()
-          << ",\"sum\":" << h.sum() << ",\"buckets\":[";
+          << ",\"sum\":" << h.sum() << ",\"p50\":" << h.Quantile(0.50)
+          << ",\"p90\":" << h.Quantile(0.90) << ",\"p99\":" << h.Quantile(0.99)
+          << ",\"buckets\":[";
       bool bfirst = true;
       for (int i = 0; i < Histogram::kBuckets; ++i) {
         if (h.bucket(i) == 0) continue;

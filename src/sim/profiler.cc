@@ -1,0 +1,102 @@
+#include "sim/profiler.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+namespace sim {
+
+const char* Profiler::SiteName(int site) {
+  switch (site) {
+    case kEventRaise: return "event.raise";
+    case kDemuxLookup: return "event.demux_lookup";
+    case kHandlerGuard: return "event.guard";
+    case kTimerSchedule: return "timer.schedule";
+    case kTimerCancel: return "timer.cancel";
+    case kTimerFire: return "timer.fire";
+    case kSchedulerPop: return "scheduler.pop";
+    case kSchedulerCascade: return "scheduler.cascade";
+    case kMbufAlloc: return "mbuf.alloc";
+    case kMbufFree: return "mbuf.free";
+    case kMbufClone: return "mbuf.clone";
+    case kDeferredHop: return "deferred.hop";
+  }
+  return "?";
+}
+
+const char* Profiler::ByteCounterName(int c) {
+  switch (c) {
+    case kMbufAllocBytes: return "mbuf.alloc_bytes";
+    case kMbufCloneBytes: return "mbuf.clone_bytes";
+  }
+  return "?";
+}
+
+std::string Profiler::ToJson() {
+  std::ostringstream out;
+  out << "{\"schema\":\"plexus-profile-v1\",\"enabled\":"
+      << (enabled() ? "true" : "false") << ",\"total_self_ns\":" << TotalSelfNs()
+      << ",\"sites\":{";
+  for (int i = 0; i < kSiteCount; ++i) {
+    const SiteStats& s = stats_[i];
+    out << (i == 0 ? "" : ",") << '"' << SiteName(i) << "\":{\"calls\":" << s.calls
+        << ",\"total_ns\":" << s.total_ns << ",\"self_ns\":" << s.self_ns
+        << ",\"buckets\":[";
+    bool first = true;
+    for (int b = 0; b < 64; ++b) {
+      if (s.buckets[b] == 0) continue;
+      // Upper bound of bucket b (inclusive): 0 for b==0, else 2^b - 1,
+      // saturating at the top like sim::Histogram.
+      const std::uint64_t ub =
+          b == 0 ? 0
+                 : (b >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1);
+      out << (first ? "" : ",") << '[' << ub << ',' << s.buckets[b] << ']';
+      first = false;
+    }
+    out << "]}";
+  }
+  out << "},\"bytes\":{";
+  for (int c = 0; c < kByteCounterCount; ++c) {
+    out << (c == 0 ? "" : ",") << '"' << ByteCounterName(c) << "\":" << bytes_[c];
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string Profiler::RankedTable() {
+  std::array<int, kSiteCount> order;
+  for (int i = 0; i < kSiteCount; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [](int a, int b) {
+    if (stats_[a].self_ns != stats_[b].self_ns)
+      return stats_[a].self_ns > stats_[b].self_ns;
+    return a < b;
+  });
+  const std::uint64_t total_self = TotalSelfNs();
+  std::ostringstream out;
+  out << "engine self-time profile (wall clock)\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-22s %12s %14s %14s %8s %10s\n", "site",
+                "calls", "self_ms", "total_ms", "self%", "ns/call");
+  out << line;
+  for (int i : order) {
+    const SiteStats& s = stats_[i];
+    if (s.calls == 0) continue;
+    const double self_pct =
+        total_self > 0 ? 100.0 * static_cast<double>(s.self_ns) /
+                             static_cast<double>(total_self)
+                       : 0.0;
+    std::snprintf(line, sizeof(line), "  %-22s %12llu %14.3f %14.3f %7.1f%% %10.1f\n",
+                  SiteName(i), static_cast<unsigned long long>(s.calls),
+                  static_cast<double>(s.self_ns) / 1e6,
+                  static_cast<double>(s.total_ns) / 1e6, self_pct,
+                  static_cast<double>(s.total_ns) / static_cast<double>(s.calls));
+    out << line;
+  }
+  std::snprintf(line, sizeof(line), "  %-22s %12s %14.3f\n", "(total self)", "",
+                static_cast<double>(total_self) / 1e6);
+  out << line;
+  return out.str();
+}
+
+}  // namespace sim

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/metrics.h"
+#include "sim/profiler.h"
 #include "sim/tracer.h"
 
 namespace sim {
@@ -177,11 +178,15 @@ Simulator::Simulator(SchedulerImpl impl)
   } else {
     queue_ = std::make_unique<WheelQueue>(*metrics_);
   }
+  // Ring overflow surfaces as sim.tracer_dropped; resolution is lazy (first
+  // drop) so drop-free runs keep byte-identical metrics snapshots.
+  tracer_->SetDropRegistry(metrics_.get());
 }
 
 Simulator::~Simulator() = default;
 
 EventId Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  PLEXUS_PROFILE_SCOPE(kTimerSchedule);
   assert(fn && "scheduling an empty callback");
   if (when < now_) when = now_;  // never schedule into the past
   const EventId id = queue_->Push(when, next_seq_++, std::move(fn));
@@ -194,6 +199,7 @@ EventId Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
 
 void Simulator::Cancel(EventId id) {
   if (id == kInvalidEventId) return;
+  PLEXUS_PROFILE_SCOPE(kTimerCancel);
   if (queue_->Cancel(id)) {
     cancels_ctr_->Inc();
     pending_gauge_->Set(--live_);
@@ -216,9 +222,18 @@ std::size_t Simulator::Run() {
   std::size_t fired = 0;
   TimePoint when;
   std::function<void()> fn;
-  while (!stopped_ && queue_->PopDueBefore(TimePoint::Max(), &when, &fn)) {
+  while (!stopped_) {
+    bool popped;
+    {
+      PLEXUS_PROFILE_SCOPE(kSchedulerPop);
+      popped = queue_->PopDueBefore(TimePoint::Max(), &when, &fn);
+    }
+    if (!popped) break;
     NoteFired(when);
-    fn();
+    {
+      PLEXUS_PROFILE_SCOPE(kTimerFire);
+      fn();
+    }
     ++fired;
   }
   return fired;
@@ -229,9 +244,18 @@ std::size_t Simulator::RunUntil(TimePoint t) {
   std::size_t fired = 0;
   TimePoint when;
   std::function<void()> fn;
-  while (!stopped_ && queue_->PopDueBefore(t, &when, &fn)) {
+  while (!stopped_) {
+    bool popped;
+    {
+      PLEXUS_PROFILE_SCOPE(kSchedulerPop);
+      popped = queue_->PopDueBefore(t, &when, &fn);
+    }
+    if (!popped) break;
     NoteFired(when);
-    fn();
+    {
+      PLEXUS_PROFILE_SCOPE(kTimerFire);
+      fn();
+    }
     ++fired;
   }
   if (now_ < t) now_ = t;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/profiler.h"
+
 namespace sim {
 
 int TimerWheel::FirstSlot(int level) const {
@@ -16,6 +18,7 @@ int TimerWheel::FirstSlot(int level) const {
 }
 
 void TimerWheel::CascadeSlot(int level, int slot) {
+  PLEXUS_PROFILE_SCOPE(kSchedulerCascade);
   std::vector<std::uint32_t>& vec = slots_[level][slot];
   scratch_.clear();
   scratch_.swap(vec);

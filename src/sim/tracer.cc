@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "sim/metrics.h"
+
 namespace sim {
 namespace {
 
@@ -116,9 +118,22 @@ void Tracer::Push(Record r) {
     ring_.push_back(std::move(r));
     return;
   }
+  // Ring full: the oldest record is overwritten — an accounted drop, not a
+  // silent one. The counter is resolved on the first drop so wrap-free runs
+  // never register it.
   ring_[head_] = std::move(r);
   head_ = (head_ + 1) % capacity_;
   ++dropped_;
+  if (dropped_ctr_ == nullptr && drop_registry_ != nullptr) {
+    dropped_ctr_ = &drop_registry_->counter("sim.tracer_dropped");
+  }
+  if (dropped_ctr_ != nullptr) dropped_ctr_->Inc();
+}
+
+void Tracer::SetCapacity(std::size_t capacity) {
+  capacity_ = capacity > 0 ? capacity : 1;
+  ring_.clear();
+  head_ = 0;
 }
 
 std::vector<Tracer::Record> Tracer::Records() const {

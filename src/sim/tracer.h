@@ -34,6 +34,9 @@
 
 namespace sim {
 
+class Counter;
+class MetricsRegistry;
+
 class Tracer {
  public:
   struct Record {
@@ -91,6 +94,16 @@ class Tracer {
 
   std::size_t size() const { return ring_.size(); }
   std::uint64_t dropped() const { return dropped_; }
+  std::size_t capacity() const { return capacity_; }
+
+  // Resizes the ring (clearing recorded spans, not the charge ledger). Used
+  // by tests that need to force overflow without emitting 64k spans.
+  void SetCapacity(std::size_t capacity);
+
+  // Registry that receives the sim.tracer_dropped counter. The counter is
+  // resolved lazily on the first dropped record, so simulations whose rings
+  // never wrap keep byte-identical metrics snapshots.
+  void SetDropRegistry(MetricsRegistry* registry) { drop_registry_ = registry; }
   // Completed records, oldest first. Children complete before parents, so
   // this is completion order, not begin order; exporters re-sort.
   std::vector<Record> Records() const;
@@ -130,6 +143,8 @@ class Tracer {
   std::vector<Record> ring_;  // circular once full
   std::size_t head_ = 0;      // oldest element when ring_ is full
   std::uint64_t dropped_ = 0;
+  MetricsRegistry* drop_registry_ = nullptr;
+  Counter* dropped_ctr_ = nullptr;  // resolved on first drop
   std::vector<Track> tracks_;
   std::uint64_t next_trace_id_ = 1;
   std::map<std::string, Duration> charge_by_category_;

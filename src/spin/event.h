@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/profiler.h"
 #include "sim/time.h"
 #include "spin/dispatcher.h"
 #include "spin/ephemeral.h"
@@ -294,6 +295,7 @@ class Event {
   // dead and skipped. std::deque keeps references stable across push_back,
   // so a handler may install new handlers while we hold Entry&.
   std::size_t Raise(Args... args) {
+    PLEXUS_PROFILE_SCOPE(kEventRaise);
     if (dispatcher_ != nullptr) dispatcher_->CountRaise();
     sim::Host* host = dispatcher_ != nullptr ? dispatcher_->host() : nullptr;
     // One load + branch when tracing is off; span names are prebuilt at
@@ -306,6 +308,7 @@ class Event {
     if (extractor_ != nullptr) {
       const std::vector<HandlerId>* bucket = nullptr;
       if (index_.has_keyed()) {
+        PLEXUS_PROFILE_SCOPE(kDemuxLookup);
         sim::TraceSpan demux_span;
         if (tracing) demux_span.Begin(*host, demux_span_name_, "demux");
         if (dispatcher_ != nullptr) dispatcher_->ChargeDemuxLookup();
@@ -458,6 +461,7 @@ class Event {
   // the handler ran to completion.
   std::size_t DispatchTo(Entry& e, sim::Host* host, bool tracing, Args... args) {
     if (e.guard) {
+      PLEXUS_PROFILE_SCOPE(kHandlerGuard);
       sim::TraceSpan guard_span;
       if (tracing) guard_span.Begin(*host, e.guard_span_name, "guard");
       if (dispatcher_ != nullptr) dispatcher_->ChargeGuard();

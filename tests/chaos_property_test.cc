@@ -13,8 +13,13 @@
 //
 // Default 1000 seeds (ISSUE acceptance); PLEXUS_CHAOS_SEEDS overrides for
 // quick local runs. Failures print the schedule for exact reproduction.
+// On the first failing seed the harness dumps every host's flight recorder
+// (PlexusHost::SnapshotTelemetry) to $PLEXUS_FLIGHT_DIR (default ".") so
+// the post-mortem starts from the full engine state, not just the schedule.
+// PLEXUS_CHAOS_FORCE_FAIL=1 forces a failure to exercise the dump path.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <optional>
@@ -40,6 +45,27 @@ int SeedCount() {
     if (n > 0) return n;
   }
   return 1000;
+}
+
+// Writes one flight-recorder JSON per host. Returns how many dumps landed.
+int DumpFlightRecorders(std::uint64_t seed,
+                        std::vector<std::unique_ptr<PlexusHost>>& hosts) {
+  const char* env = std::getenv("PLEXUS_FLIGHT_DIR");
+  const std::string dir = (env != nullptr && env[0] != '\0') ? env : ".";
+  int dumped = 0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const std::string path = dir + "/flight_seed" + std::to_string(seed) +
+                             "_h" + std::to_string(i) + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) continue;
+    const std::string snap = hosts[i]->SnapshotTelemetry(/*tracer_tail=*/64);
+    std::fwrite(snap.data(), 1, snap.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "flight recorder dumped: %s\n", path.c_str());
+    ++dumped;
+  }
+  return dumped;
 }
 
 struct RunOutcome {
@@ -148,6 +174,11 @@ void RunSeed(std::uint64_t seed, RunOutcome* out) {
   sim.Run();
 
   // --- invariants ---
+  const bool failed_before_invariants = ::testing::Test::HasFailure();
+  if (std::getenv("PLEXUS_CHAOS_FORCE_FAIL") != nullptr) {
+    ADD_FAILURE() << "forced failure (PLEXUS_CHAOS_FORCE_FAIL) to exercise "
+                     "the flight-recorder dump";
+  }
   EXPECT_EQ(sim.pending_events(), 0u) << "stuck timers after drain";
   for (int i = 0; i < kHosts; ++i) {
     EXPECT_EQ(hosts[static_cast<std::size_t>(i)]->host().mbuf_pool()->in_use(), 0u)
@@ -155,10 +186,16 @@ void RunSeed(std::uint64_t seed, RunOutcome* out) {
     EXPECT_EQ(hosts[static_cast<std::size_t>(i)]->dispatcher().stats().quarantines, 0u)
         << "handler quarantined on h" << i;
   }
-  ASSERT_TRUE(result.has_value()) << "client never finished (cleanly or otherwise)";
-  if (result->success) {
+  if (result.has_value() && result->success) {
     EXPECT_EQ(result->bytes_verified, payload.size()) << "success without byte-exact echo";
   }
+  // First failing seed: capture the engine state before moving on (or, for
+  // the missing-result ASSERT below, before bailing out of the test).
+  if (!failed_before_invariants && ::testing::Test::HasFailure()) {
+    EXPECT_GT(DumpFlightRecorders(seed, hosts), 0)
+        << "invariant failed but no flight recorder could be written";
+  }
+  ASSERT_TRUE(result.has_value()) << "client never finished (cleanly or otherwise)";
   out->finished = true;
   out->success = result->success;
   out->bytes_verified = result->bytes_verified;

@@ -70,6 +70,19 @@ TEST(Histogram, BucketBoundaries) {
   EXPECT_EQ(h.bucket(2), 0u);
 }
 
+TEST(Histogram, QuantilesComeFromBucketUpperBounds) {
+  sim::Histogram h;
+  EXPECT_EQ(h.Quantile(0.50), 0);  // empty histogram
+  // 90 observations of ~100ns (bucket [64,127]) and 10 of ~1000ns
+  // (bucket [512,1023]): p50/p90 land in the fast bucket, p99 in the slow.
+  for (int i = 0; i < 90; ++i) h.Observe(std::int64_t{100});
+  for (int i = 0; i < 10; ++i) h.Observe(std::int64_t{1000});
+  EXPECT_EQ(h.Quantile(0.50), 127);
+  EXPECT_EQ(h.Quantile(0.90), 127);
+  EXPECT_EQ(h.Quantile(0.99), 1023);
+  EXPECT_EQ(h.Quantile(1.0), 1023);
+}
+
 TEST(MetricsRegistry, JsonSnapshotAndUniqueNames) {
   sim::MetricsRegistry reg;
   reg.counter("b.count").Inc(3);
@@ -81,7 +94,8 @@ TEST(MetricsRegistry, JsonSnapshotAndUniqueNames) {
   // registration order.
   EXPECT_NE(json.find("\"a.count\":1,\"b.count\":3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"depth\":-2"), std::string::npos) << json;
-  EXPECT_NE(json.find("\"lat\":{\"count\":1,\"sum\":3,\"buckets\":[[3,1]]}"),
+  EXPECT_NE(json.find("\"lat\":{\"count\":1,\"sum\":3,\"p50\":3,\"p90\":3,"
+                      "\"p99\":3,\"buckets\":[[3,1]]}"),
             std::string::npos)
       << json;
 
@@ -175,6 +189,65 @@ TEST(Tracer, RingEvictsOldestAndNeverDanglesOpenSpans) {
   ASSERT_EQ(recs.size(), 4u);
   EXPECT_EQ(recs.front().name, "span6");  // oldest surviving
   EXPECT_EQ(recs.back().name, "span9");
+}
+
+TEST(Tracer, RingWrapIsCountedInSimMetrics) {
+  // Evictions are accounted, not silent: the simulator wires its registry
+  // into the tracer, and the lazily-resolved sim.tracer_dropped counter
+  // tracks Tracer::dropped() exactly once the ring wraps.
+  sim::Simulator sim;
+  sim.tracer().SetEnabled(true);
+  sim.tracer().SetCapacity(4);
+  sim::Host host(sim, "h", sim::CostModel::Default1996());
+  host.Submit(sim::Priority::kKernel, [&] {
+    for (int i = 0; i < 10; ++i) {
+      sim::TraceSpan span(host, "work" + std::to_string(i), "test");
+      host.Charge(sim::Duration::Micros(1));
+    }
+  });
+  sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(sim.tracer().size(), 4u);
+  EXPECT_EQ(sim.tracer().dropped(), 6u);
+  EXPECT_EQ(sim.metrics().counters().at("sim.tracer_dropped").value(), 6u);
+}
+
+TEST(Tracer, NoWrapMeansNoDroppedCounterInExports) {
+  // A simulation whose ring never wraps must export byte-identical metrics
+  // with or without the drop accounting: the counter does not exist until
+  // the first eviction.
+  sim::Simulator sim;
+  sim.tracer().SetEnabled(true);
+  sim::Host host(sim, "h", sim::CostModel::Default1996());
+  host.Submit(sim::Priority::kKernel, [&] {
+    sim::TraceSpan span(host, "work", "test");
+    host.Charge(sim::Duration::Micros(1));
+  });
+  sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(sim.tracer().dropped(), 0u);
+  EXPECT_EQ(sim.metrics().counters().count("sim.tracer_dropped"), 0u);
+}
+
+TEST(Tracer, ChargeLedgerSurvivesRingWrap) {
+  // Evicting span records must never lose charge attribution: the ledger
+  // and total still sum to exactly the CPU's busy time after the wrap.
+  sim::Simulator sim;
+  sim.tracer().SetEnabled(true);
+  sim.tracer().SetCapacity(2);
+  sim::Host host(sim, "h", sim::CostModel::Default1996());
+  host.Submit(sim::Priority::kKernel, [&] {
+    for (int i = 0; i < 8; ++i) {
+      sim::TraceSpan span(host, "work", i % 2 == 0 ? "alpha" : "beta");
+      host.Charge(sim::Duration::Micros(3));
+    }
+  });
+  sim.RunFor(sim::Duration::Seconds(1));
+  EXPECT_GT(sim.tracer().dropped(), 0u);
+  const auto& ledger = sim.tracer().charge_by_category();
+  sim::Duration sum = sim::Duration::Zero();
+  for (const auto& [cat, d] : ledger) sum += d;
+  EXPECT_EQ(sum, sim.tracer().total_charged());
+  EXPECT_EQ(sim.tracer().total_charged(), host.cpu().busy_total());
+  EXPECT_EQ(host.cpu().busy_total(), sim::Duration::Micros(24));
 }
 
 TEST(Tracer, DisabledTracingRecordsNothingAndChargesNothing) {

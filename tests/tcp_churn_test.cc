@@ -14,6 +14,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <string>
@@ -40,6 +42,27 @@ std::vector<std::byte> PayloadFor(int i) {
     p[4 + j] = static_cast<std::byte>((i * 31 + static_cast<int>(j) * 7) & 0xff);
   }
   return p;
+}
+
+// Scale-soak post-mortem: when any expectation above failed, dump both
+// hosts' flight recorders to $PLEXUS_FLIGHT_DIR (default ".") so the
+// failure ships with the full engine state, not just the assertion text.
+void DumpFlightIfFailed(const char* tag, core::PlexusHost& server,
+                        core::PlexusHost& client) {
+  if (!::testing::Test::HasFailure()) return;
+  const char* env = std::getenv("PLEXUS_FLIGHT_DIR");
+  const std::string dir = (env != nullptr && env[0] != '\0') ? env : ".";
+  for (core::PlexusHost* h : {&server, &client}) {
+    const std::string path =
+        dir + "/flight_" + tag + "_" + h->host().name() + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) continue;
+    const std::string snap = h->SnapshotTelemetry(/*tracer_tail=*/64);
+    std::fwrite(snap.data(), 1, snap.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "flight recorder dumped: %s\n", path.c_str());
+  }
 }
 
 TEST(TcpChurn, ThousandsOfConnectionsUnderFaultsDeliverExactly) {
@@ -181,6 +204,8 @@ TEST(TcpChurn, ThousandsOfConnectionsUnderFaultsDeliverExactly) {
   // (TIME_WAIT alone parks one 2MSL timer per cleanly closed connection).
   EXPECT_GE(sim.metrics().gauge("sim.timer_pending_peak").value(), 1500);
   EXPECT_GT(sim.metrics().counter("sim.timer_fires").value(), 0u);
+
+  DumpFlightIfFailed("churn", server, client);
 }
 
 TEST(TcpChurn, ConvergesWithConstrainedMbufPools) {
@@ -271,6 +296,8 @@ TEST(TcpChurn, ConvergesWithConstrainedMbufPools) {
   EXPECT_EQ(server.mbuf_pool().in_use(), 0u);
   EXPECT_EQ(server.dispatcher().stats().quarantines, 0u);
   EXPECT_EQ(client.dispatcher().stats().quarantines, 0u);
+
+  DumpFlightIfFailed("churn_small_pool", server, client);
 }
 
 }  // namespace

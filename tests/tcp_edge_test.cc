@@ -3,8 +3,11 @@
 // and listener refusal.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/view.h"
@@ -472,6 +475,136 @@ TEST(TcpBackoff, FlowSurvivesTenSecondBlackout) {
   p.sim.RunFor(sim::Duration::Seconds(60));
   EXPECT_EQ(p.b->stats().bytes_received, data.size());
   EXPECT_EQ(p.a->state(), State::kEstablished);
+}
+
+// --- per-flow telemetry ----------------------------------------------------------
+
+// TcpInfo is a faithful snapshot of loss recovery: a blackout mid-transfer
+// must show up as timeouts, retransmits, live backoff, and a collapsed
+// cwnd; reconnecting the link must drain the backoff again.
+TEST(TcpTelemetry, InfoReflectsLossRecovery) {
+  DirectPair p;
+  TcpConfig cfg;
+  cfg.rto_initial = sim::Duration::Millis(500);
+  p.Create(cfg, cfg);
+  p.Handshake();
+
+  TcpInfo info = p.a->info();
+  EXPECT_EQ(info.state, State::kEstablished);
+  EXPECT_EQ(info.timeouts, 0u);
+  EXPECT_EQ(info.retransmits, 0u);
+  EXPECT_EQ(info.rexmt_backoff, 0);
+  EXPECT_GE(info.cwnd, info.mss);  // slow start opened at >= 1 MSS
+
+  std::vector<std::byte> data(24 * 1024, std::byte{0x7e});
+  p.ha.Submit(sim::Priority::kKernel, [&] { p.a->Send(data); });
+  p.sim.RunFor(sim::Duration::Millis(50));
+  info = p.a->info();
+  EXPECT_GT(info.bytes_sent, 0u);   // transfer under way
+  EXPECT_GT(info.in_flight, 0u);    // data outstanding, rexmt armed
+  EXPECT_GT(info.rto_ns, 0);
+
+  // Blackout before the first ACK returns: every RTO fires into the void.
+  p.drop_all = true;
+  p.sim.RunFor(sim::Duration::Seconds(10));
+  info = p.a->info();
+  EXPECT_EQ(info.state, State::kEstablished);
+  EXPECT_GT(info.timeouts, 1u);       // RTOs really fired
+  EXPECT_GT(info.retransmits, 1u);    // and retransmitted into the void
+  EXPECT_GT(info.rexmt_backoff, 1);   // exponential backoff is live
+  EXPECT_EQ(info.cwnd, info.mss);     // RTO collapsed the window
+  EXPECT_GT(info.in_flight, 0u);      // unacknowledged bytes outstanding
+  EXPECT_FALSE(info.srtt_valid);      // no ACK ever timed the path (Karn)
+
+  p.drop_all = false;
+  p.sim.RunFor(sim::Duration::Seconds(60));
+  info = p.a->info();
+  EXPECT_EQ(info.rexmt_backoff, 0);  // recovery cleared the backoff
+  EXPECT_EQ(info.in_flight, 0u);
+  EXPECT_TRUE(info.srtt_valid);      // post-recovery ACKs timed the path
+  EXPECT_GT(info.srtt_ns, 0);
+  EXPECT_GT(info.rto_ns, info.srtt_ns);
+  EXPECT_EQ(info.bytes_delivered, 0u);  // a sent; nothing flowed back
+  EXPECT_EQ(p.b->info().bytes_delivered, data.size());
+
+  // The JSON snapshot mirrors the struct, fields in declaration order.
+  const std::string json = info.ToJson();
+  EXPECT_NE(json.find("\"state\":\"ESTABLISHED\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"timeouts\":" + std::to_string(info.timeouts)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cwnd\":" + std::to_string(info.cwnd)),
+            std::string::npos)
+      << json;
+}
+
+// The sampler's ring holds the story of a collapse: ACK-clocked samples
+// while the transfer runs, a forced sample at the RTO collapse (so the
+// cwnd floor is never smoothed away), all on the virtual clock, bounded.
+TEST(TcpTelemetry, SamplerRecordsCwndCollapseInBoundedRing) {
+  DirectPair p;
+  TcpConfig cfg;
+  cfg.rto_initial = sim::Duration::Millis(500);
+  p.Create(cfg, cfg);
+  p.Handshake();
+  // Pure state mutation on the connection — no Submit, no scheduled event.
+  p.a->EnableSampling(sim::Duration::Millis(10), /*capacity=*/64);
+
+  std::vector<std::byte> data(24 * 1024, std::byte{0x7e});
+  p.ha.Submit(sim::Priority::kKernel, [&] { p.a->Send(data); });
+  p.sim.RunFor(sim::Duration::Millis(50));
+  p.drop_all = true;
+  p.sim.RunFor(sim::Duration::Seconds(10));
+  p.drop_all = false;
+  p.sim.RunFor(sim::Duration::Seconds(60));
+
+  const auto samples = p.a->Samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_LE(samples.size(), 64u);  // the ring is bounded
+  // Oldest-first and strictly ordered on the virtual clock.
+  std::uint32_t min_cwnd = samples.front().cwnd;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(samples[i].at, samples[i - 1].at);
+    }
+    min_cwnd = std::min(min_cwnd, samples[i].cwnd);
+  }
+  // The forced samples at the RTO collapses captured the 1-MSS floor.
+  EXPECT_EQ(min_cwnd, p.a->info().mss);
+
+  const std::string json = p.a->SamplesJson();
+  EXPECT_EQ(json.rfind("{\"samples\":[[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos) << json;
+
+  // Shrink to a 2-deep ring with no interval gate: a short follow-on
+  // transfer overflows it, and the evictions are accounted, not silent.
+  p.a->EnableSampling(sim::Duration::Zero(), /*capacity=*/2);
+  std::vector<std::byte> more(8 * 1024, std::byte{0x55});
+  p.ha.Submit(sim::Priority::kKernel, [&] { p.a->Send(more); });
+  p.sim.RunFor(sim::Duration::Seconds(10));
+  EXPECT_EQ(p.a->Samples().size(), 2u);
+  EXPECT_GT(p.a->samples_dropped(), 0u);
+  EXPECT_NE(p.a->SamplesJson().find(
+                "\"dropped\":" + std::to_string(p.a->samples_dropped())),
+            std::string::npos)
+      << p.a->SamplesJson();
+}
+
+// Sampling is pure observation on the ACK clock: it schedules nothing, so
+// the simulator's timer metrics are byte-identical with it on or off.
+TEST(TcpTelemetry, SamplerDoesNotPerturbVirtualTime) {
+  auto run = [](bool sample) {
+    DirectPair p;
+    p.Create();
+    p.Handshake();
+    if (sample) p.a->EnableSampling(sim::Duration::Millis(5), 64);
+    std::vector<std::byte> data(16 * 1024, std::byte{0x42});
+    p.ha.Submit(sim::Priority::kKernel, [&] { p.a->Send(data); });
+    p.sim.RunFor(sim::Duration::Seconds(30));
+    EXPECT_EQ(p.b->stats().bytes_received, data.size());
+    return p.sim.metrics().ToJson();
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 }  // namespace
