@@ -1,0 +1,134 @@
+// Microbenchmark for the allocation tentpole: slab vs operator new/delete
+// ns/op at the engine's hot object sizes — simulator/timer events (SmallFn
+// slots), mbuf headers, and mbuf segment bodies — plus the steady-state
+// alloc/free churn pattern the packet path actually exhibits (LIFO reuse at
+// a stable working-set depth, not malloc's random-lifetime mix).
+//
+// Also reports SmallFnHeapFallbacks: the engine-wide count of EventFn/Task
+// captures that spilled to the heap. The inline-capture budget is part of
+// the fast path's contract — a nonzero count after a representative run
+// means a capture outgrew its SmallFn and silently re-introduced a
+// per-event allocation.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/mbuf.h"
+#include "sim/slab.h"
+#include "sim/small_fn.h"
+
+namespace {
+
+// Steady-state churn: fill to `depth` outstanding blocks, then alternate
+// free-oldest/alloc-new for `ops` operations. Returns ns per alloc+free
+// pair. Best of `trials`.
+template <typename AllocFn, typename FreeFn>
+double ChurnNsPerPair(AllocFn alloc, FreeFn dealloc, int depth, int ops,
+                      int trials = 5) {
+  double best = 1e100;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<void*> live(static_cast<std::size_t>(depth));
+    for (auto& p : live) p = alloc();
+    std::size_t slot = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < ops; ++i) {
+      dealloc(live[slot]);
+      live[slot] = alloc();
+      slot = (slot + 1) % live.size();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    for (void* p : live) dealloc(p);
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+        ops;
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+struct SizeCase {
+  const char* name;
+  std::size_t bytes;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::ArgAfter(argc, argv, "--json");
+  bench::JsonReporter reporter;
+
+  // The three populations the slabs serve: a scheduler event slot (SmallFn
+  // payload + links), an mbuf header, and the dominant segment body classes
+  // (ACK/control-sized and full headroom+MSS-sized).
+  const SizeCase cases[] = {
+      {"event_node", 64},
+      {"mbuf_hdr", sizeof(net::Mbuf)},
+      {"seg_small", 192},
+      {"seg_full", 2432},
+  };
+  constexpr int kDepth = 4096;  // packets + timers in flight at 10k conns
+  constexpr int kOps = 500000;
+
+  std::printf("allocation: slab vs operator new/delete, steady-state churn\n");
+  std::printf("(depth %d outstanding, %d alloc/free pairs)\n\n", kDepth, kOps);
+  std::printf("  %10s %6s | %10s %10s %8s\n", "object", "bytes", "new ns/op",
+              "slab ns/op", "speedup");
+
+  for (const auto& c : cases) {
+    const double heap_ns = ChurnNsPerPair(
+        [&] { return ::operator new(c.bytes); },
+        [](void* p) { ::operator delete(p); }, kDepth, kOps);
+
+    sim::BlockSlab slab(std::string("bench.") + c.name, c.bytes);
+    const double slab_ns =
+        ChurnNsPerPair([&] { return slab.Alloc(); },
+                       [&](void* p) { slab.Free(p); }, kDepth, kOps);
+
+    std::printf("  %10s %6zu | %10.1f %10.1f %7.2fx\n", c.name, c.bytes,
+                heap_ns, slab_ns, heap_ns / slab_ns);
+
+    for (const bool use_slab : {false, true}) {
+      bench::BenchRecord r;
+      r.experiment = "micro_alloc";
+      r.device = "wall-clock";
+      r.system = use_slab ? "slab" : "new_delete";
+      r.metric = std::string("churn_") + c.name;
+      r.unit = "ns/op";
+      r.measured = use_slab ? slab_ns : heap_ns;
+      r.paper_expected = "n/a (allocator ablation)";
+      r.metrics_json = "{\"bytes\":" + std::to_string(c.bytes) +
+                       ",\"depth\":" + std::to_string(kDepth) + "}";
+      reporter.Add(std::move(r));
+    }
+  }
+
+  // Inline-capture contract: nothing in this process has scheduled events,
+  // but the counter is global and monotonic, so record it for the artifact
+  // and let scale/web benches assert their own runs stay at zero.
+  const std::uint64_t fallbacks = sim::SmallFnHeapFallbacks();
+  std::printf("\n  SmallFn heap fallbacks this process: %llu\n",
+              static_cast<unsigned long long>(fallbacks));
+  {
+    bench::BenchRecord r;
+    r.experiment = "micro_alloc";
+    r.device = "wall-clock";
+    r.system = "smallfn";
+    r.metric = "heap_fallbacks";
+    r.unit = "count";
+    r.measured = static_cast<double>(fallbacks);
+    r.paper_expected = "0 (all hot captures inline)";
+    reporter.Add(std::move(r));
+  }
+
+  int rc = 0;
+  if (!json_path.empty() && !reporter.WriteTo(json_path)) {
+    std::fprintf(stderr, "FAIL: could not write %s\n", json_path.c_str());
+    rc = 1;
+  }
+  return rc;
+}

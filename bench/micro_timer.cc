@@ -8,8 +8,13 @@
 // re-arms the retransmit timer. The heap pays O(log n) per op plus the
 // lazy-cancellation dead entries; the wheel pays O(1) with eager removal.
 //
-// Exit status is the perf gate: the wheel must deliver >= 5x the heap's
-// schedule+cancel throughput at 64k pending timers.
+// Exit status is the perf gate: the wheel must deliver >= 1.5x the heap's
+// schedule+cancel throughput at 64k pending timers. The gate was >= 5x
+// when the heap baseline malloc'd a node per schedule; now both queues
+// draw nodes from the same slab pool, so the remaining edge is purely
+// algorithmic (O(1) eager cancel vs O(log n) sift + lazy-cancel debris)
+// and measures ~2.4x — the gate asserts that algorithmic edge with
+// headroom for machine noise, not the old allocation gap.
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
@@ -145,14 +150,14 @@ int main(int argc, char** argv) {
     rc = 1;
   }
   const double speedup = heap_64k / wheel_64k;
-  if (speedup < 5.0) {
+  if (speedup < 1.5) {
     std::fprintf(stderr,
                  "FAIL: wheel schedule+cancel at 64k pending is only %.1fx the "
-                 "heap (gate: >=5x) — eager O(1) cancellation is not paying off\n",
+                 "heap (gate: >=1.5x) — eager O(1) cancellation is not paying off\n",
                  speedup);
     rc = 1;
   } else {
-    std::printf("\n  timer gate PASS: wheel is %.1fx heap at 64k pending (>=5x required)\n",
+    std::printf("\n  timer gate PASS: wheel is %.1fx heap at 64k pending (>=1.5x required)\n",
                 speedup);
   }
   return rc;

@@ -89,8 +89,15 @@ ScaleResult RunScale(sim::SchedulerImpl impl, int n) {
 
   // Stagger the connects so the segment is not one giant collision, while
   // keeping lifetimes (handshake + GET + loss recovery + 2MSL) far longer
-  // than the spacing: the population is genuinely concurrent.
-  const sim::Duration gap = sim::Duration::Micros(100);
+  // than the spacing: the population is genuinely concurrent. Beyond 10k
+  // the 10 Mb/s segment itself is the bottleneck (~1.7 ms of link time per
+  // connection), so the gap widens to keep the offered connect rate inside
+  // the link's service rate — at 100 µs the tail of a 100k ladder queues
+  // ~150 s behind the link and dies of SYN-retry exhaustion. The committed
+  // rungs (100..10k) keep their original spacing so their virtual-time
+  // numbers stay bit-identical across history.
+  const sim::Duration gap =
+      n > 10000 ? sim::Duration::Millis(2) : sim::Duration::Micros(100);
   for (int i = 0; i < n; ++i) {
     sim.Schedule(gap * i, [&, i] {
       client.Run([&, i] {
@@ -147,6 +154,27 @@ int main(int argc, char** argv) {
   const bool profiling = sim::Profiler::enabled();
   bench::JsonReporter reporter;
 
+  // --sizes 100,1000,10000[,100000]: the population ladder to run. The
+  // default matches the committed baseline; the 100k rung is opt-in (it is
+  // the "first 100k-connection run" artifact, ~10x the 10k rung's wall).
+  std::vector<int> sizes = {100, 1000, 10000};
+  if (const std::string arg = bench::ArgAfter(argc, argv, "--sizes"); !arg.empty()) {
+    sizes.clear();
+    std::size_t pos = 0;
+    while (pos < arg.size()) {
+      const std::size_t comma = arg.find(',', pos);
+      const std::string tok = arg.substr(pos, comma == std::string::npos ? arg.size() - pos
+                                                                         : comma - pos);
+      if (!tok.empty()) sizes.push_back(std::stoi(tok));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (sizes.empty()) {
+      std::fprintf(stderr, "FAIL: --sizes parsed to an empty list\n");
+      return 1;
+    }
+  }
+
   std::printf("connection scale: N clients, connect/GET/close, 0.5%% frame loss\n");
   std::printf("(in-kernel web server; pending timers grow with N — RTO, delack, 2MSL)\n\n");
   std::printf("  %6s %6s | %9s %13s %13s %11s | %10s %10s %10s\n", "N", "sched",
@@ -154,7 +182,7 @@ int main(int argc, char** argv) {
               "schedules", "fires");
 
   int rc = 0;
-  for (const int n : {100, 1000, 10000}) {
+  for (const int n : sizes) {
     ScaleResult by_impl[2];
     for (const sim::SchedulerImpl impl :
          {sim::SchedulerImpl::kHeap, sim::SchedulerImpl::kWheel}) {
@@ -203,6 +231,20 @@ int main(int argc, char** argv) {
           ",\"timer_cancels\":" + std::to_string(r.timer_cancels) +
           ",\"timer_fires\":" + std::to_string(r.timer_fires) + "}";
       reporter.Add(std::move(rec));
+      // Companion wall-clock row. The "wall" metric/unit makes
+      // bench_compare.py treat it as report-only (machine-dependent), while
+      // the sim_ns row above stays a hard determinism gate. Distinct metric
+      // name: compare keys are (experiment, device, system, metric).
+      bench::BenchRecord wall;
+      wall.experiment = "scale_connections";
+      wall.device = "ethernet-10";
+      wall.system = wheel ? "plexus-wheel" : "plexus-heap";
+      wall.metric = "wall_n" + std::to_string(n);
+      wall.unit = "wall_ns/conn";
+      wall.measured = r.wall_ns_per_conn;
+      wall.paper_expected = "n/a (host wall clock, report-only)";
+      wall.metrics_json = "{\"n\":" + std::to_string(n) + "}";
+      reporter.Add(std::move(wall));
     }
     // Determinism across queue implementations: same (deadline, FIFO) order
     // must mean the same virtual completion time to the nanosecond.

@@ -57,8 +57,14 @@ def relative_delta(baseline, fresh):
     return (fresh - baseline) / abs(baseline)
 
 
-def compare(baseline, fresh, tolerance):
-    """Returns (failures, lines): failure count and the full report."""
+def compare(baseline, fresh, tolerance, exact_unit=None):
+    """Returns (failures, lines): failure count and the full report.
+
+    exact_unit: when set, any deterministic record whose unit contains this
+    substring must match the baseline bit-for-bit (tolerance zero). Used to
+    hard-gate virtual-time identity: scale records in sim_ns must not move
+    at all, because the simulation is deterministic to the nanosecond.
+    """
     failures = 0
     lines = []
     for key in sorted(baseline):
@@ -72,8 +78,18 @@ def compare(baseline, fresh, tolerance):
         f = fresh[key]
         delta = relative_delta(b.get("measured", 0.0), f.get("measured", 0.0))
         pct = f"{delta * 100.0:+.2f}%"
+        exact = (exact_unit is not None and not is_wall_clock(b)
+                 and exact_unit in b.get("unit", ""))
         if is_wall_clock(b):
             lines.append(f"  ok {label}: {pct} (wall-clock, report-only)")
+        elif exact:
+            if b.get("measured") == f.get("measured"):
+                lines.append(f"  ok {label}: identical (exact gate)")
+            else:
+                failures += 1
+                lines.append(f"FAIL {label}: {b.get('measured')} -> "
+                             f"{f.get('measured')} (exact gate: virtual time "
+                             f"must be bit-identical)")
         elif abs(delta) <= tolerance:
             lines.append(f"  ok {label}: {pct} (within ±{tolerance:.0%})")
         else:
@@ -118,6 +134,10 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="both-sided relative band for deterministic "
                              "metrics (default 0.05 = 5%%)")
+    parser.add_argument("--exact-unit", default=None,
+                        help="deterministic records whose unit contains this "
+                             "substring must match the baseline exactly "
+                             "(e.g. sim_ns for virtual-time identity)")
     parser.add_argument("--self-test", action="store_true",
                         help="inject a +25%% regression into the baseline and "
                              "require the comparison to reject it")
@@ -130,7 +150,7 @@ def main():
         parser.error("fresh JSON required unless --self-test")
 
     fresh = load_records(args.fresh)
-    failures, lines = compare(baseline, fresh, args.tolerance)
+    failures, lines = compare(baseline, fresh, args.tolerance, args.exact_unit)
     print(f"bench_compare: {args.fresh} vs baseline {args.baseline} "
           f"(±{args.tolerance:.0%} on deterministic metrics)")
     for line in lines:

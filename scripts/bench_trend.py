@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Per-PR wall-clock trend for the connection-scale bench.
+
+Walks the git history of BENCH_scale.json (every commit that touched it),
+extracts wall ns/conn for a chosen (n, scheduler) cell from each revision,
+and prints the trajectory with per-step and cumulative speedups — the
+"how much faster did each PR make the engine" view that individual bench
+runs can't give.
+
+Wall numbers are machine-dependent, so the trend is only meaningful across
+commits benched on comparable hosts; the table exists to show direction
+and rough magnitude, not to be a gate (check.sh gates sim-time identity
+instead). Records are read from both the current schema (a wall_n<N>
+record with unit wall_ns/conn) and the older one (wall_ns_per_conn nested
+in the sim record's metrics block).
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def git(*args):
+    return subprocess.run(["git", *args], capture_output=True, text=True,
+                          check=False)
+
+
+def wall_ns_per_conn(doc, n, system):
+    """Extract wall ns/conn for (n, system) from a plexus-bench-v1 doc."""
+    metric_wall = f"wall_n{n}"
+    metric_sim = f"conn_n{n}"
+    for rec in doc.get("records", []):
+        if rec.get("system") != system:
+            continue
+        if rec.get("metric") == metric_wall:
+            return float(rec.get("measured", 0.0))
+    for rec in doc.get("records", []):
+        if rec.get("system") != system or rec.get("metric") != metric_sim:
+            continue
+        metrics = rec.get("metrics", {})
+        if "wall_ns_per_conn" in metrics:
+            return float(metrics["wall_ns_per_conn"])
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--file", default="BENCH_scale.json",
+                        help="tracked bench artifact (default BENCH_scale.json)")
+    parser.add_argument("--n", type=int, default=10000,
+                        help="connection count to trend (default 10000)")
+    parser.add_argument("--system", default="plexus-wheel",
+                        help="scheduler system name (default plexus-wheel)")
+    args = parser.parse_args()
+
+    log = git("log", "--reverse", "--format=%H %h %s", "--", args.file)
+    if log.returncode != 0:
+        print(f"bench_trend: not a git repository? {log.stderr.strip()}",
+              file=sys.stderr)
+        return 1
+    commits = [line.split(" ", 2) for line in log.stdout.splitlines() if line]
+    if not commits:
+        print(f"bench_trend: no commits touch {args.file}", file=sys.stderr)
+        return 1
+
+    rows = []
+    for sha, short, subject in commits:
+        show = git("show", f"{sha}:{args.file}")
+        if show.returncode != 0:
+            continue  # deleted at this revision
+        try:
+            doc = json.loads(show.stdout)
+        except json.JSONDecodeError:
+            continue
+        wall = wall_ns_per_conn(doc, args.n, args.system)
+        if wall is not None and wall > 0:
+            rows.append((short, subject, wall))
+
+    if not rows:
+        print(f"bench_trend: no revision of {args.file} has a wall number "
+              f"for n={args.n} system={args.system}", file=sys.stderr)
+        return 1
+
+    first = rows[0][2]
+    print(f"wall ns/conn trend: {args.file}, n={args.n}, {args.system}")
+    print(f"(machine-dependent; speedups meaningful only across comparable "
+          f"hosts)\n")
+    print(f"  {'commit':8} {'wall ns/conn':>13} {'vs prev':>8} {'vs first':>9}"
+          f"  subject")
+    prev = None
+    for short, subject, wall in rows:
+        step = f"{prev / wall:7.2f}x" if prev else f"{'-':>8}"
+        cume = f"{first / wall:8.2f}x"
+        subject = subject if len(subject) <= 60 else subject[:57] + "..."
+        print(f"  {short:8} {wall:13.0f} {step} {cume}  {subject}")
+        prev = wall
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Builds the suite under AddressSanitizer + UndefinedBehaviorSanitizer and
-# runs every tier-1 test five times: plain, with PLEXUS_TRACE=1 (tracer
+# runs every tier-1 test six times: plain, with PLEXUS_TRACE=1 (tracer
 # recording), with PLEXUS_MBUF_POOL=small (starved 256-segment mbuf pool),
-# with PLEXUS_CHAOS_FLAP=1 (mid-run link flap), and with PLEXUS_PROFILE=1
-# (wall-clock engine profiler armed). Catches the memory bugs the
-# fault-containment, tracing, overload-control, and observability
-# machinery must never introduce (use-after-free across handler
-# quarantine, fence lifetime mistakes during stack unwinding, dangling
-# span frames across ring eviction, pool accounting races on drop
-# paths, ...).
+# with PLEXUS_CHAOS_FLAP=1 (mid-run link flap), with PLEXUS_PROFILE=1
+# (wall-clock engine profiler armed), and with PLEXUS_SLAB=off (slab
+# allocators degraded to plain operator new/delete). Catches the memory
+# bugs the fault-containment, tracing, overload-control, observability,
+# and allocation machinery must never introduce (use-after-free across
+# handler quarantine, fence lifetime mistakes during stack unwinding,
+# dangling span frames across ring eviction, pool accounting races on
+# drop paths, slab-gate behaviour divergence, ...).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,6 +44,12 @@ echo "=== fifth pass: wall-clock profiler armed (PLEXUS_PROFILE=1) ==="
 # perturb virtual time or memory-safety anywhere in the tier-1 suite.
 PLEXUS_PROFILE=1 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
 
+echo "=== sixth pass: slab allocators disabled (PLEXUS_SLAB=off) ==="
+# Every pooled allocation degrades to plain operator new/delete (accounting
+# intact): behaviour and virtual time must be identical with and without
+# the slabs, and the heap path gets full sanitizer coverage.
+PLEXUS_SLAB=off ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
+
 echo "=== slow pass: soak / scale suites (label: slow) ==="
 # The connection-churn soak and other large-population suites run once,
 # in their own labelled pass, still under the sanitizers.
@@ -54,12 +61,13 @@ echo "=== perf smoke: demux index vs linear guard scan, timer wheel vs heap ==="
 # is not at least 5x faster than the linear path it replaces (and if
 # disabled tracing taxes the raise path); bench_micro_timer exits non-zero
 # if the timing wheel's schedule+cancel throughput at 64k pending timers is
-# not at least 5x the binary heap's.
+# not at least 1.5x the binary heap's (both queues now slab-pooled, so the
+# gate measures the wheel's algorithmic edge).
 PERF_BUILD_DIR="${PERF_BUILD_DIR:-build}"
 cmake -B "$PERF_BUILD_DIR" -S .
 cmake --build "$PERF_BUILD_DIR" -j "$(nproc)" --target bench_micro_dispatch \
   bench_micro_timer bench_overload_sweep bench_chaos \
-  bench_fig5_udp_latency bench_tab1_tcp_throughput
+  bench_fig5_udp_latency bench_tab1_tcp_throughput bench_scale_connections
 "$PERF_BUILD_DIR/bench/bench_micro_dispatch" --benchmark_filter=none
 "$PERF_BUILD_DIR/bench/bench_micro_timer"
 
@@ -88,3 +96,13 @@ trap 'rm -rf "$BENCH_TMP"' EXIT
 python3 scripts/bench_compare.py bench/baselines/BENCH_fig5.json "$BENCH_TMP/BENCH_fig5.json"
 python3 scripts/bench_compare.py bench/baselines/BENCH_tab1.json "$BENCH_TMP/BENCH_tab1.json"
 python3 scripts/bench_compare.py bench/baselines/BENCH_fig5.json --self-test
+
+echo "=== scale gate: virtual-time identity at 100..100k connections ==="
+# Re-runs the full connection ladder (including the 100k rung) and diffs it
+# against the committed baseline. The sim_ns rows are an EXACT gate — the
+# simulation is deterministic, so any drift in virtual time means engine
+# behaviour changed; the wall rows are report-only (machine-dependent).
+"$PERF_BUILD_DIR/bench/bench_scale_connections" --sizes 100,1000,10000,100000 \
+  --json "$BENCH_TMP/BENCH_scale.json"
+python3 scripts/bench_compare.py bench/baselines/BENCH_scale.json \
+  "$BENCH_TMP/BENCH_scale.json" --exact-unit sim_ns

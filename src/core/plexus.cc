@@ -43,9 +43,11 @@ EthernetManager::EthernetManager(PlexusHost& plexus, proto::EthLayer& eth)
 // The driver-edge hop: the only sheddable raise in the graph (nothing has
 // been invested in the frame yet beyond driver receive work).
 void EthernetManager::OnFrame(net::MbufPtr frame, const net::EthernetHeader& hdr) {
-  PacketRef ref(frame.release());
-  plexus_.GraphHop([this, ref, hdr] { packet_recv_.Raise(*ref, hdr); },
-                   /*sheddable=*/true);
+  // The hop's GraphFn is move-only, so the buffer rides in the capture as a
+  // plain MbufPtr — no shared_ptr control-block allocation per frame.
+  plexus_.GraphHop(
+      [this, ref = std::move(frame), hdr] { packet_recv_.Raise(*ref, hdr); },
+      /*sheddable=*/true);
 }
 
 spin::Result<spin::HandlerId> EthernetManager::InstallTypeHandler(
@@ -211,8 +213,7 @@ UdpManager::UdpManager(PlexusHost& plexus, proto::UdpLayer& udp)
                              return std::optional<std::uint64_t>(info.dst_port);
                            });
   udp_.SetDefaultReceiver([this](net::MbufPtr payload, const proto::UdpDatagram& info) {
-    PacketRef ref(payload.release());
-    plexus_.GraphHop([this, ref, info] {
+    plexus_.GraphHop([this, ref = std::move(payload), info] {
       if (packet_recv_.Raise(*ref, info) == 0 && !info.dst_ip.IsBroadcast() &&
           !info.dst_ip.IsMulticast()) {
         // Nobody claimed the datagram: answer with ICMP port unreachable.
@@ -549,11 +550,15 @@ int PlexusHost::AddNic(drivers::DeviceProfile profile, NetConfig cfg) {
 void PlexusHost::TransmitIp(net::MbufPtr packet, net::Ipv4Address next_hop, int if_index) {
   if (if_index < 0 || if_index >= static_cast<int>(ifaces_.size())) return;
   Iface& iface = ifaces_[static_cast<std::size_t>(if_index)];
-  auto shared = std::shared_ptr<net::Mbuf>(packet.release());
-  iface.arp->Resolve(next_hop, [&iface, shared](std::optional<net::MacAddress> mac) {
-    if (!mac) return;  // unresolvable; drop
-    iface.eth->Output(net::MbufPtr(shared->ShareClone()), *mac, net::ethertype::kIpv4);
-  });
+  // The move-only callback parks the packet itself while resolution is
+  // pending; on the (dominant) cache-hit path it is invoked synchronously
+  // and the buffer flows straight to the wire — no shared_ptr, no clone.
+  iface.arp->Resolve(
+      next_hop,
+      [&iface, pkt = std::move(packet)](std::optional<net::MacAddress> mac) mutable {
+        if (!mac) return;  // unresolvable; drop
+        iface.eth->Output(std::move(pkt), *mac, net::ethertype::kIpv4);
+      });
 }
 
 std::vector<PlexusHost::Iface> PlexusHost::MakeInitialIfaces(
@@ -772,7 +777,7 @@ std::string PlexusHost::SnapshotTelemetry(std::size_t tracer_tail) {
   return out;
 }
 
-void PlexusHost::GraphHop(std::function<void()> raise, bool sheddable) {
+void PlexusHost::GraphHop(GraphFn raise, bool sheddable) {
   if (mode_ == HandlerMode::kInterrupt) {
     raise();
     return;
@@ -795,10 +800,7 @@ void PlexusHost::WireMbufPool() {
   auto& in_use = host_.metrics().gauge("mbuf.pool_in_use");
   auto& peak = host_.metrics().gauge("mbuf.pool_peak");
   auto& exhausted = host_.metrics().counter("mbuf.pool_exhausted");
-  mbuf_pool_->SetOccupancyHook([&in_use, &peak](std::size_t cur, std::size_t pk) {
-    in_use.Set(static_cast<std::int64_t>(cur));
-    peak.Set(static_cast<std::int64_t>(pk));
-  });
+  mbuf_pool_->SetOccupancyGauges(in_use.slot(), peak.slot());
   mbuf_pool_->SetExhaustionHook([&exhausted] { exhausted.Inc(); });
 }
 
@@ -862,8 +864,9 @@ void PlexusHost::WireGraph() {
     TransmitIp(std::move(packet), next_hop, if_index);
   });
   ip_layer_->SetDeliver([this](net::MbufPtr payload, const net::Ipv4Header& hdr) {
-    PacketRef ref(payload.release());
-    GraphHop([this, ref, hdr] { ip_mgr_->packet_recv().Raise(*ref, hdr); });
+    GraphHop([this, ref = std::move(payload), hdr] {
+      ip_mgr_->packet_recv().Raise(*ref, hdr);
+    });
   });
   ip_layer_->SetIcmpNotify([this](const net::Ipv4Header& hdr, std::uint8_t type,
                                   std::uint8_t code) { icmp_->SendError(hdr, type, code); });
@@ -901,8 +904,9 @@ void PlexusHost::WireGraph() {
     opts.name = "tcp-input";
     auto r = ip_mgr_->packet_recv().InstallKeyed(
         [this](const net::Mbuf& payload, const net::Ipv4Header& hdr) {
-          PacketRef ref(payload.ShareClone().release());
-          GraphHop([this, ref, hdr] { tcp_mgr_->packet_recv().Raise(*ref, hdr); });
+          GraphHop([this, ref = payload.ShareClone(), hdr] {
+            tcp_mgr_->packet_recv().Raise(*ref, hdr);
+          });
         },
         net::ipproto::kTcp, nullptr, opts);
     assert(r.ok());

@@ -70,10 +70,6 @@ enum class HandlerMode {
   kThread,     // each event raise spawns a handler thread
 };
 
-// A packet travelling up the graph. shared_ptr keeps the buffer alive across
-// thread-mode hops; handlers receive const access only (READONLY buffers).
-using PacketRef = std::shared_ptr<const net::Mbuf>;
-
 // Graph events. Handlers see the packet read-only plus parsed metadata.
 using EthernetRecvEvent = spin::Event<const net::Mbuf&, const net::EthernetHeader&>;
 using IpRecvEvent = spin::Event<const net::Mbuf&, const net::Ipv4Header&>;
@@ -431,14 +427,17 @@ class PlexusHost {
   net::MacAddress mac() const { return net_config_.mac; }
 
   // Runs `fn` as application/kernel work on this host's CPU.
-  void Run(std::function<void()> fn) { host_.Submit(sim::Priority::kKernel, std::move(fn)); }
+  void Run(sim::Host::TaskFn fn) { host_.Submit(sim::Priority::kKernel, std::move(fn)); }
 
   // One hop up the protocol graph: inline in interrupt mode, a fresh
   // handler thread in thread mode. `sheddable` marks the driver-edge hop:
   // thread-mode overload may refuse it (see spin::DeferredQueue) instead of
   // growing the spawned-thread backlog without bound. Interior hops —
   // packets the graph already invested work in — are never shed.
-  void GraphHop(std::function<void()> raise, bool sheddable = false);
+  // GraphFn is move-only with inline capture: the raise closure carries the
+  // packet as a plain MbufPtr, so a hop costs no allocation at all.
+  using GraphFn = sim::SmallFn<void(), 48>;
+  void GraphHop(GraphFn raise, bool sheddable = false);
 
   // The bounded buffer pool every pooled allocation on this host draws
   // from. Replacing the capacity swaps in a fresh pool; buffers still

@@ -1,21 +1,40 @@
 #include "net/checksum.h"
 
+#include <bit>
+#include <cstring>
+
 namespace net {
 
 void InternetChecksum::Add(std::span<const std::byte> bytes) {
-  std::size_t i = 0;
-  if (odd_ && !bytes.empty()) {
+  const std::uint8_t* p = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  std::size_t n = bytes.size();
+  if (odd_ && n > 0) {
     // Complete the pending high-order byte from a previous odd-length run.
-    sum_ += static_cast<std::uint8_t>(bytes[0]);
+    sum_ += *p++;
+    --n;
     odd_ = false;
-    i = 1;
   }
-  for (; i + 1 < bytes.size(); i += 2) {
-    sum_ += (static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[i])) << 8) |
-            static_cast<std::uint8_t>(bytes[i + 1]);
+  // Eight bytes per iteration: four big-endian 16-bit words folded into the
+  // 64-bit accumulator. Addition order is irrelevant to the final fold, so
+  // the sum is bit-identical to the byte-pair loop this replaces — the
+  // accumulator has 48 bits of headroom before any packet could overflow it.
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, sizeof(w));
+    if constexpr (std::endian::native == std::endian::little) {
+      w = __builtin_bswap64(w);
+    }
+    sum_ += (w >> 48) + ((w >> 32) & 0xffff) + ((w >> 16) & 0xffff) + (w & 0xffff);
+    p += 8;
+    n -= 8;
   }
-  if (i < bytes.size()) {
-    sum_ += static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[i])) << 8;
+  while (n >= 2) {
+    sum_ += (static_cast<std::uint64_t>(p[0]) << 8) | p[1];
+    p += 2;
+    n -= 2;
+  }
+  if (n > 0) {
+    sum_ += static_cast<std::uint64_t>(p[0]) << 8;
     odd_ = true;
   }
 }

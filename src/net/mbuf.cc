@@ -1,16 +1,76 @@
 #include "net/mbuf.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
-// Header-only hot path: net stays link-free of sim (see profiler.h).
+// Header-only hot paths: net stays link-free of sim (see profiler.h/slab.h).
 #include "sim/profiler.h"
+#include "sim/slab.h"
 
 namespace net {
 
+namespace {
+
+// Process-wide slabs for the packet path. Function-local statics so tests
+// can interrogate them through the registry ("mbuf.hdr", "mbuf.seg.*") and
+// assert zero outstanding blocks at teardown.
+sim::BlockSlab& HeaderSlab() {
+  static sim::BlockSlab slab("mbuf.hdr", sizeof(Mbuf));
+  return slab;
+}
+
+sim::SizeClassArena& SegmentArena() {
+  static sim::SizeClassArena arena("mbuf.seg");
+  return arena;
+}
+
+}  // namespace
+
+void* Mbuf::operator new(std::size_t size) {
+  assert(size == sizeof(Mbuf));
+  (void)size;
+  return HeaderSlab().Alloc();
+}
+
+void Mbuf::operator delete(void* p) {
+  if (p != nullptr) HeaderSlab().Free(p);
+}
+
+Mbuf::Storage* Mbuf::NewStorage(std::size_t capacity, std::size_t zero_upto,
+                                MbufPoolControl* pool) {
+  Storage* s = static_cast<Storage*>(
+      SegmentArena().Alloc(sizeof(Storage) + capacity));
+  s->refs = 1;
+  s->capacity = static_cast<std::uint32_t>(capacity);
+  s->pool = pool;
+  if (pool != nullptr) pool->Ref();
+  if (zero_upto > 0) std::memset(s->data(), 0, zero_upto);
+  return s;
+}
+
+void Mbuf::ReleaseStorage(Storage* s) {
+  if (s->pool != nullptr) {
+    // Credit the pool when the LAST reference to this storage dies — clones
+    // and splits share storage, so they never double-charge.
+    PLEXUS_PROFILE_SCOPE(kMbufFree);
+    --s->pool->in_use;
+    s->pool->NotifyOccupancy();
+    s->pool->Unref();
+  }
+  SegmentArena().Free(s, sizeof(Storage) + s->capacity);
+}
+
+Mbuf::~Mbuf() { UnrefStorage(storage_); }
+
+MbufPtr Mbuf::CloneSegment(const Mbuf& other) {
+  ++other.storage_->refs;
+  return MbufPtr(new Mbuf(other.storage_, other.offset_, other.length_));
+}
+
 MbufPtr Mbuf::NewSegment(std::size_t capacity, std::size_t offset, std::size_t length) {
-  auto storage = std::make_shared<Storage>(capacity);
-  return MbufPtr(new Mbuf(std::move(storage), offset, length));
+  return MbufPtr(
+      new Mbuf(NewStorage(capacity, offset + length, nullptr), offset, length));
 }
 
 MbufPtr Mbuf::Allocate(std::size_t len, std::size_t headroom) {
@@ -46,16 +106,14 @@ std::span<std::byte> Mbuf::mutable_data() {
 }
 
 void Mbuf::EnsureUnique() {
-  if (storage_.use_count() <= 1) return;
-  auto fresh = std::make_shared<Storage>(storage_->size());
+  if (storage_->refs <= 1) return;
+  // COW copies live on the unpooled heap arena: the pooled original is
+  // credited back when its last reference dies. Zero the headroom only; the
+  // live bytes are copied and tailroom is written before it becomes live.
+  Storage* fresh = NewStorage(storage_->capacity, offset_, nullptr);
   std::memcpy(fresh->data() + offset_, storage_->data() + offset_, length_);
-  storage_ = std::move(fresh);
-}
-
-std::size_t Mbuf::PacketLength() const {
-  std::size_t n = 0;
-  for (const Mbuf* m = this; m != nullptr; m = m->next_.get()) n += m->length_;
-  return n;
+  UnrefStorage(storage_);
+  storage_ = fresh;
 }
 
 std::size_t Mbuf::SegmentCount() const {
@@ -71,11 +129,9 @@ std::span<std::byte> Mbuf::Prepend(std::size_t n) {
     length_ += n;
   } else if (offset_ + tailroom() >= n && length_ + n <= storage_->size()) {
     // Not enough headroom: shift existing data toward the tail.
-    const std::size_t new_offset = n > offset_ ? n - offset_ : 0;
     std::memmove(storage_->data() + n, storage_->data() + offset_, length_);
     offset_ = 0;
     length_ += n;
-    (void)new_offset;
   } else {
     throw MbufError("Prepend: insufficient head segment space");
   }
@@ -97,7 +153,9 @@ void Mbuf::TrimFront(std::size_t n) {
   // itself must survive because the caller owns it by pointer).
   while (next_ && length_ == 0) {
     MbufPtr rest = std::move(next_);
-    storage_ = std::move(rest->storage_);
+    UnrefStorage(storage_);
+    storage_ = rest->storage_;
+    ++storage_->refs;  // rest's destructor drops its own reference
     offset_ = rest->offset_;
     length_ = rest->length_;
     next_ = std::move(rest->next_);
@@ -128,9 +186,11 @@ void Mbuf::Pullup(std::size_t n) {
   if (offset_ + n > storage_->size()) {
     // Re-home this segment's bytes into a larger buffer with the same
     // headroom policy.
-    auto fresh = std::make_shared<Storage>(kDefaultHeadroom + std::max(n, length_));
+    Storage* fresh =
+        NewStorage(kDefaultHeadroom + std::max(n, length_), kDefaultHeadroom, nullptr);
     std::memcpy(fresh->data() + kDefaultHeadroom, storage_->data() + offset_, length_);
-    storage_ = std::move(fresh);
+    UnrefStorage(storage_);
+    storage_ = fresh;
     offset_ = kDefaultHeadroom;
   }
   while (length_ < n) {
@@ -166,13 +226,11 @@ MbufPtr Mbuf::Split(std::size_t offset) {
   const std::size_t within = offset - pos;
 
   MbufPtr tail;
-  if (within == 0 && m != this) {
-    // Clean cut between segments is handled by the previous loop iteration;
-    // find the owner of m and detach. Simpler: fall through to byte split.
-  }
   if (within < m->length_) {
     // Share storage for the tail part of this segment.
-    MbufPtr tail_head(new Mbuf(m->storage_, m->offset_ + within, m->length_ - within));
+    ++m->storage_->refs;
+    MbufPtr tail_head(
+        new Mbuf(m->storage_, m->offset_ + within, m->length_ - within));
     tail_head->next_ = std::move(m->next_);
     m->length_ = within;
     tail = std::move(tail_head);
@@ -229,9 +287,10 @@ MbufPtr Mbuf::DeepCopy() const {
   MbufPtr head;
   Mbuf* tail = nullptr;
   for (const Mbuf* m = this; m != nullptr; m = m->next_.get()) {
-    auto storage = std::make_shared<Storage>(m->storage_->size());
-    std::memcpy(storage->data() + m->offset_, m->storage_->data() + m->offset_, m->length_);
-    MbufPtr seg(new Mbuf(std::move(storage), m->offset_, m->length_));
+    Storage* storage = NewStorage(m->storage_->capacity, m->offset_, nullptr);
+    std::memcpy(storage->data() + m->offset_, m->storage_->data() + m->offset_,
+                m->length_);
+    MbufPtr seg(new Mbuf(storage, m->offset_, m->length_));
     if (tail == nullptr) {
       head = std::move(seg);
       tail = head.get();
@@ -246,17 +305,11 @@ MbufPtr Mbuf::DeepCopy() const {
 
 MbufPtr Mbuf::ShareClone() const {
   PLEXUS_PROFILE_SCOPE(kMbufClone);
-  MbufPtr head;
-  Mbuf* tail = nullptr;
-  for (const Mbuf* m = this; m != nullptr; m = m->next_.get()) {
-    MbufPtr seg(new Mbuf(m->storage_, m->offset_, m->length_));
-    if (tail == nullptr) {
-      head = std::move(seg);
-      tail = head.get();
-    } else {
-      tail->next_ = std::move(seg);
-      tail = tail->next_.get();
-    }
+  MbufPtr head = CloneSegment(*this);
+  Mbuf* tail = head.get();
+  for (const Mbuf* m = next_.get(); m != nullptr; m = m->next_.get()) {
+    tail->next_ = CloneSegment(*m);
+    tail = tail->next_.get();
   }
   head->pkthdr_ = pkthdr_;
   return head;
@@ -275,7 +328,7 @@ std::string Mbuf::ToString() const {
 
 bool Mbuf::CheckInvariants() const {
   for (const Mbuf* m = this; m != nullptr; m = m->next_.get()) {
-    if (!m->storage_) return false;
+    if (m->storage_ == nullptr) return false;
     if (m->offset_ + m->length_ > m->storage_->size()) return false;
   }
   return true;

@@ -9,11 +9,23 @@
 // (the paper's READONLY buffers), and any mutating operation on shared
 // storage performs an explicit copy first (the paper's "explicit
 // copy-on-write": extensions cannot modify a shared packet in place).
+//
+// Layout (the PR 8 fast path): the common packet is flat — one 48-byte Mbuf
+// header (slab-allocated, "mbuf.hdr") plus one contiguous storage block
+// (refcount + capacity + bytes in a single size-classed slab allocation,
+// "mbuf.seg.*"); a chain only appears for payloads beyond kClusterSize.
+// Storage refcounts are plain integers — the simulator is single-threaded —
+// so ShareClone per protocol hop is a slab pointer-pop and an increment,
+// where it used to be an operator new plus two atomic RMWs. Only
+// headroom+payload bytes are zeroed on allocation (tailroom is written
+// before it ever becomes live), and pool accounting rides an intrusively
+// refcounted MbufPoolControl instead of a shared_ptr'd deleter closure.
 #ifndef PLEXUS_NET_MBUF_H_
 #define PLEXUS_NET_MBUF_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -28,6 +40,40 @@ using MbufPtr = std::unique_ptr<Mbuf>;
 class MbufError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+// Bookkeeping shared between an MbufPool and every storage block it issued
+// (see mbuf_pool.h for the pool semantics). Intrusively refcounted: the pool
+// holds one reference, each outstanding pooled storage block holds one, so
+// the books stay consistent whichever dies first. Internal to net; hosts
+// observe it through the pool's hooks.
+struct MbufPoolControl {
+  std::size_t in_use = 0;
+  std::size_t peak = 0;
+  std::uint64_t total_allocated = 0;
+  std::uint64_t exhaustions = 0;
+  std::uint32_t refs = 1;
+  // Fast path: when the host wires gauge storage directly, every occupancy
+  // change is two plain stores instead of a std::function call (~1M hook
+  // fires per 10k-connection run). The hook remains for observers that need
+  // arbitrary code.
+  std::int64_t* gauge_in_use = nullptr;
+  std::int64_t* gauge_peak = nullptr;
+  std::function<void(std::size_t in_use, std::size_t peak)> on_occupancy;
+  std::function<void()> on_exhausted;
+
+  void NotifyOccupancy() {
+    if (gauge_in_use != nullptr) {
+      *gauge_in_use = static_cast<std::int64_t>(in_use);
+      *gauge_peak = static_cast<std::int64_t>(peak);
+      return;
+    }
+    if (on_occupancy) on_occupancy(in_use, peak);
+  }
+  void Ref() { ++refs; }
+  void Unref() {
+    if (--refs == 0) delete this;
+  }
 };
 
 class Mbuf {
@@ -49,6 +95,12 @@ class Mbuf {
 
   Mbuf(const Mbuf&) = delete;
   Mbuf& operator=(const Mbuf&) = delete;
+  ~Mbuf();
+
+  // Headers come from the "mbuf.hdr" slab (sim/slab.h): alloc and free are
+  // free-list pointer ops, observable in the slab registry.
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p);
 
   // --- Per-segment access ---------------------------------------------------
 
@@ -62,13 +114,20 @@ class Mbuf {
   Mbuf* next() { return next_.get(); }
 
   std::size_t headroom() const { return offset_; }
-  std::size_t tailroom() const { return storage_->size() - offset_ - length_; }
-  bool storage_shared() const { return storage_.use_count() > 1; }
+  std::size_t tailroom() const { return storage_->capacity - offset_ - length_; }
+  bool storage_shared() const { return storage_->refs > 1; }
 
   // --- Whole-chain operations (call on the head segment) --------------------
 
-  // Total payload bytes across the chain.
-  std::size_t PacketLength() const;
+  // Total payload bytes across the chain. Inline: the dominant flat packet
+  // resolves to a load (next_ == nullptr).
+  std::size_t PacketLength() const {
+    std::size_t n = length_;
+    for (const Mbuf* m = next_.get(); m != nullptr; m = m->next_.get()) {
+      n += m->length_;
+    }
+    return n;
+  }
 
   // Number of segments.
   std::size_t SegmentCount() const;
@@ -138,21 +197,50 @@ class Mbuf {
 
  private:
   // MbufPool builds segments over refcount-tracked storage (bounded
-  // allocation with pool-credit-on-release deleters); it needs the private
+  // allocation with pool-credit-on-release accounting); it needs the private
   // constructor and chain link but nothing else.
   friend class MbufPool;
 
-  using Storage = std::vector<std::byte>;
+  // One contiguous block: this header followed immediately by `capacity`
+  // payload bytes, allocated together from the "mbuf.seg" size-class arena
+  // (heap for oversize). Refcounted by plain increment — single-threaded.
+  struct Storage {
+    std::uint32_t refs;
+    std::uint32_t capacity;
+    MbufPoolControl* pool;  // non-null: credit one segment on last release
 
-  Mbuf(std::shared_ptr<Storage> storage, std::size_t offset, std::size_t length)
-      : storage_(std::move(storage)), offset_(offset), length_(length) {}
+    std::byte* data() { return reinterpret_cast<std::byte*>(this + 1); }
+    const std::byte* data() const {
+      return reinterpret_cast<const std::byte*>(this + 1);
+    }
+    std::size_t size() const { return capacity; }
+  };
+
+  // Allocates a block with `capacity` payload bytes, zeroing [0, zero_upto)
+  // (headroom + payload on the allocation paths; tailroom stays raw — every
+  // operation that grows the live range writes the bytes first). `pool` !=
+  // nullptr ties the block to pool accounting (one Ref; one in_use credit
+  // released with the block).
+  static Storage* NewStorage(std::size_t capacity, std::size_t zero_upto,
+                             MbufPoolControl* pool);
+  static void UnrefStorage(Storage* s) {
+    if (--s->refs == 0) ReleaseStorage(s);
+  }
+  static void ReleaseStorage(Storage* s);
+
+  // Takes ownership of one storage reference.
+  Mbuf(Storage* storage, std::size_t offset, std::size_t length)
+      : storage_(storage), offset_(offset), length_(length) {}
+
+  // Shares the storage of `other` (bumps the refcount).
+  static MbufPtr CloneSegment(const Mbuf& other);
 
   static MbufPtr NewSegment(std::size_t capacity, std::size_t offset, std::size_t length);
 
   // Replaces shared storage with a private copy of the live bytes.
   void EnsureUnique();
 
-  std::shared_ptr<Storage> storage_;
+  Storage* storage_;
   std::size_t offset_;  // start of live data within storage
   std::size_t length_;  // live bytes in this segment
   MbufPtr next_;

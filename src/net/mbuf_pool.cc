@@ -9,27 +9,17 @@
 
 namespace net {
 
-struct MbufPool::Control {
-  std::size_t in_use = 0;
-  std::size_t peak = 0;
-  std::uint64_t total_allocated = 0;
-  std::uint64_t exhaustions = 0;
-  OccupancyHook on_occupancy;
-  ExhaustionHook on_exhausted;
-
-  void NotifyOccupancy() {
-    if (on_occupancy) on_occupancy(in_use, peak);
-  }
-};
-
 MbufPool::MbufPool(std::size_t capacity_segments)
-    : ctl_(std::make_shared<Control>()), capacity_(capacity_segments) {}
+    : ctl_(new MbufPoolControl), capacity_(capacity_segments) {}
 
 MbufPool::~MbufPool() {
   // Outstanding segments may be released long after the pool (and the host
   // whose instruments the hooks reference) is gone.
   ctl_->on_occupancy = nullptr;
   ctl_->on_exhausted = nullptr;
+  ctl_->gauge_in_use = nullptr;
+  ctl_->gauge_peak = nullptr;
+  ctl_->Unref();
 }
 
 std::size_t MbufPool::in_use() const { return ctl_->in_use; }
@@ -38,6 +28,11 @@ std::uint64_t MbufPool::total_allocated() const { return ctl_->total_allocated; 
 std::uint64_t MbufPool::exhaustions() const { return ctl_->exhaustions; }
 
 void MbufPool::SetOccupancyHook(OccupancyHook h) { ctl_->on_occupancy = std::move(h); }
+
+void MbufPool::SetOccupancyGauges(std::int64_t* in_use_slot, std::int64_t* peak_slot) {
+  ctl_->gauge_in_use = in_use_slot;
+  ctl_->gauge_peak = peak_slot;
+}
 void MbufPool::SetExhaustionHook(ExhaustionHook h) { ctl_->on_exhausted = std::move(h); }
 
 std::size_t MbufPool::SegmentsFor(std::size_t len) {
@@ -62,17 +57,11 @@ bool MbufPool::Reserve(std::size_t segments) {
 }
 
 MbufPtr MbufPool::MakeSegment(std::size_t capacity, std::size_t offset, std::size_t length) {
-  // The deleter credits the pool when the LAST reference to this storage
-  // dies — clones and splits share storage, so they never double-charge.
-  auto ctl = ctl_;
-  std::shared_ptr<Mbuf::Storage> storage(new Mbuf::Storage(capacity),
-                                         [ctl](Mbuf::Storage* p) {
-                                           PLEXUS_PROFILE_SCOPE(kMbufFree);
-                                           delete p;
-                                           --ctl->in_use;
-                                           ctl->NotifyOccupancy();
-                                         });
-  return MbufPtr(new Mbuf(std::move(storage), offset, length));
+  // The storage block keeps a reference to ctl_ and credits the pool when
+  // the LAST reference to it dies (Mbuf::ReleaseStorage) — clones and
+  // splits share storage, so they never double-charge.
+  return MbufPtr(
+      new Mbuf(Mbuf::NewStorage(capacity, offset + length, ctl_), offset, length));
 }
 
 MbufPtr MbufPool::TryAllocate(std::size_t len, std::size_t headroom) {

@@ -8,14 +8,15 @@
 // host under overload degrades by dropping packets rather than by eating
 // unbounded memory.
 //
-// Accounting rides the storage refcount: each pooled segment's backing
-// vector carries a custom deleter that credits the pool when the last
+// Accounting rides the storage refcount: each pooled segment's storage
+// block points at the pool's control block and credits it when the last
 // ShareClone of that storage dies. That makes the books exact across
 // clone/split (which share storage: no extra charge) and across
-// copy-on-write (EnsureUnique re-homes bytes to a private heap buffer and
-// the pooled original is credited back when released). The pool therefore
-// bounds the wire/driver-facing buffers — the paper's READONLY packets —
-// while explicit copies an extension makes are its own domain's problem.
+// copy-on-write (EnsureUnique re-homes bytes to a private unpooled buffer
+// and the pooled original is credited back when released). The pool
+// therefore bounds the wire/driver-facing buffers — the paper's READONLY
+// packets — while explicit copies an extension makes are its own domain's
+// problem.
 //
 // Layering: net has no sim dependency, so observability is exposed through
 // plain std::function hooks; sim-level code (PlexusHost/SocketHost) wires
@@ -65,6 +66,9 @@ class MbufPool {
 
   void SetOccupancyHook(OccupancyHook h);
   void SetExhaustionHook(ExhaustionHook h);
+  // Direct-store alternative to the occupancy hook: both slots (or neither)
+  // must be non-null and outlive every buffer issued by this pool.
+  void SetOccupancyGauges(std::int64_t* in_use_slot, std::int64_t* peak_slot);
 
   // Capacity from the PLEXUS_MBUF_POOL environment variable: unset/empty ->
   // a generous 65536 segments (effectively unbounded for every workload in
@@ -73,15 +77,13 @@ class MbufPool {
   static std::size_t DefaultCapacity();
 
  private:
-  // Shared between the pool and every outstanding segment's deleter, so the
-  // books stay consistent whichever dies first.
-  struct Control;
-
   bool Reserve(std::size_t segments);
   MbufPtr MakeSegment(std::size_t capacity, std::size_t offset, std::size_t length);
   static std::size_t SegmentsFor(std::size_t len);
 
-  std::shared_ptr<Control> ctl_;
+  // Shared (intrusively refcounted) between the pool and every outstanding
+  // segment's storage, so the books stay consistent whichever dies first.
+  MbufPoolControl* ctl_;
   std::size_t capacity_;
 };
 

@@ -31,7 +31,9 @@ class ArpService {
  public:
   using Config = ArpConfig;
 
-  using ResolveCallback = std::function<void(std::optional<net::MacAddress>)>;
+  // Move-only with inline capture: the IP transmit path parks the outgoing
+  // packet (an MbufPtr) in the callback while resolution is pending.
+  using ResolveCallback = sim::SmallFn<void(std::optional<net::MacAddress>), 48>;
 
   ArpService(sim::Host& host, EthLayer& eth, net::Ipv4Address my_ip, Config config = ArpConfig());
   // Cancels outstanding request timers: the service dies (host crash,

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "net/headers.h"
@@ -81,12 +81,33 @@ class TcpDemux {
   }
 
  private:
-  using Key = std::tuple<std::uint32_t, std::uint16_t, std::uint32_t, std::uint16_t>;
+  // Packed 96-bit flow key. The table is a hash map, not an ordered map:
+  // Find runs once per delivered segment, and at 100k connections a
+  // red-black tree walk is ~17 dependent cache misses against the hash
+  // map's O(1). Nothing iterates the table, so ordering is unobservable.
+  struct Key {
+    std::uint64_t ips;
+    std::uint32_t ports;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // splitmix64 finalizer over the packed tuple.
+      std::uint64_t x = k.ips ^ (static_cast<std::uint64_t>(k.ports) * 0x9e3779b97f4a7c15ull);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebull;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x);
+    }
+  };
   static Key KeyOf(const TcpEndpoints& ep) {
-    return {ep.local_ip.value(), ep.local_port, ep.remote_ip.value(), ep.remote_port};
+    return {(static_cast<std::uint64_t>(ep.local_ip.value()) << 32) | ep.remote_ip.value(),
+            (static_cast<std::uint32_t>(ep.local_port) << 16) | ep.remote_port};
   }
 
-  std::map<Key, TcpConnection*> table_;
+  std::unordered_map<Key, TcpConnection*, KeyHash> table_;
   std::map<std::uint16_t, ConnectionFactory> listeners_;
   RstSender rst_sender_;
 };

@@ -20,6 +20,7 @@
 #define PLEXUS_SIM_CHAOS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 

@@ -54,7 +54,7 @@ void Cpu::MaybeStartNext() {
 
 void Cpu::StartPending(int prio, Pending p) {
   Duration busy;
-  std::vector<std::function<void()>> after;
+  std::vector<AfterFn> after;
   if (p.work) {
     // Fresh task: run its logic now; it occupies the CPU for what it
     // charged. Nested Submits during the logic only enqueue; priorities are

@@ -18,14 +18,19 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace sim {
+
+// Completion side effect registered with CpuContext::After. Inline capacity
+// covers every engine capture (driver completions carry a couple of
+// pointers); oversized captures heap-box like std::function did.
+using AfterFn = SmallFn<void(), 48>;
 
 enum class Priority : int {
   kInterrupt = 0,  // device interrupt handlers
@@ -40,7 +45,7 @@ class CpuContext {
   void Charge(Duration d) { charged_ += d; }
 
   // Registers a callback to run (off-CPU) at the task's completion instant.
-  void After(std::function<void()> fn) { after_.push_back(std::move(fn)); }
+  void After(AfterFn fn) { after_.push_back(std::move(fn)); }
 
   Duration charged() const { return charged_; }
   TimePoint start_time() const { return start_; }
@@ -50,7 +55,7 @@ class CpuContext {
   explicit CpuContext(TimePoint start) : start_(start) {}
   TimePoint start_;
   Duration charged_;
-  std::vector<std::function<void()>> after_;
+  std::vector<AfterFn> after_;
 };
 
 class Cpu {
@@ -59,7 +64,10 @@ class Cpu {
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
 
-  using Task = std::function<void(CpuContext&)>;
+  // Inline capacity sized for Host::Submit's wrapper (host pointer + the
+  // submitted 64-byte Host::TaskFn): a queued task is one deque slot, no
+  // heap boxing on the packet path.
+  using Task = SmallFn<void(CpuContext&), 80>;
 
   // Enqueues work; it starts when the CPU is free of equal-or-higher
   // priority work, preempting lower-priority work.
@@ -98,16 +106,16 @@ class Cpu {
   // A queued unit: either fresh work, or the suspended remainder of a
   // preempted task.
   struct Pending {
-    Task work;                                 // null for a resumed remainder
-    Duration remaining;                        // for resumed remainders
-    std::vector<std::function<void()>> after;  // carried by remainders
+    Task work;                   // null for a resumed remainder
+    Duration remaining;          // for resumed remainders
+    std::vector<AfterFn> after;  // carried by remainders
   };
   struct Running {
     int prio;
     TimePoint slice_start;
     TimePoint end;
     EventId end_event;
-    std::vector<std::function<void()>> after;
+    std::vector<AfterFn> after;
   };
 
   void MaybeStartNext();

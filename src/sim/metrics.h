@@ -36,6 +36,9 @@ class Gauge {
   void Set(std::int64_t v) { value_ = v; }
   void Add(std::int64_t d) { value_ += d; }
   std::int64_t value() const { return value_; }
+  // Raw storage, for instruments updated on paths too hot for a hook
+  // (e.g. the mbuf pool's occupancy gauges). Stable for the registry's life.
+  std::int64_t* slot() { return &value_; }
 
  private:
   std::int64_t value_ = 0;

@@ -4,33 +4,15 @@
 #include <cassert>
 #include <cstdlib>
 #include <string_view>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "sim/metrics.h"
 #include "sim/profiler.h"
+#include "sim/slab.h"
 #include "sim/tracer.h"
 
 namespace sim {
-
-// The seam between the Simulator's run loop and the two queue
-// implementations. Ids are allocated by the queue (the wheel encodes pool
-// locations in them); ordering is always (when, seq).
-class Simulator::EventQueue {
- public:
-  virtual ~EventQueue() = default;
-  virtual EventId Push(TimePoint when, std::uint64_t seq,
-                       std::function<void()> fn) = 0;
-  // Returns true if `id` was pending (and is now cancelled).
-  virtual bool Cancel(EventId id) = 0;
-  virtual bool Contains(EventId id) const = 0;
-  // Pops the earliest live entry if it is due at or before `horizon`.
-  virtual bool PopDueBefore(TimePoint horizon, TimePoint* when,
-                            std::function<void()>* fn) = 0;
-  virtual std::size_t live() const = 0;
-  virtual std::size_t dead() const = 0;
-};
 
 // --- binary heap (ablation baseline) ----------------------------------------
 //
@@ -39,53 +21,71 @@ class Simulator::EventQueue {
 // no longer unbounded: whenever dead entries exceed half the queue, the live
 // entries are filtered out and re-heapified, so queue space and pop cost stay
 // proportional to live timers.
-class Simulator::HeapQueue final : public EventQueue {
+//
+// Callbacks live in an IndexPool slab ("sched.heap_node"); the heap itself
+// holds POD entries {when, seq, node index, generation}, so pushes, sift
+// swaps, and compaction never touch a closure or the allocator. A cancelled
+// entry frees its node eagerly (bumping the generation, which is what marks
+// the heap entry dead) — only the 24-byte POD entry lingers until
+// compaction, matching the historical dead-entry accounting exactly.
+class Simulator::HeapQueue {
  public:
   explicit HeapQueue(MetricsRegistry& metrics)
-      : dead_gauge_(metrics.gauge("sim.scheduler_dead_entries")),
+      : pool_("sched.heap_node"),
+        dead_gauge_(metrics.gauge("sim.scheduler_dead_entries")),
         compactions_(metrics.counter("sim.scheduler_compactions")) {}
 
-  EventId Push(TimePoint when, std::uint64_t seq,
-               std::function<void()> fn) override {
-    const EventId id = next_id_++;
-    heap_.push_back(Entry{when, seq, id, std::move(fn)});
+  EventId Push(TimePoint when, std::uint64_t seq, EventFn fn) {
+    const std::uint32_t idx = pool_.Alloc();
+    pool_.at(idx).fn = std::move(fn);
+    const std::uint32_t gen = pool_.gen(idx);
+    heap_.push_back(Entry{when, seq, idx, gen});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
-    pending_.insert(id);
-    return id;
+    return (static_cast<EventId>(idx) + 1) << 32 | static_cast<EventId>(gen);
   }
 
-  bool Cancel(EventId id) override {
-    if (pending_.erase(id) == 0) return false;
-    cancelled_.insert(id);
-    dead_gauge_.Set(static_cast<std::int64_t>(cancelled_.size()));
+  bool Cancel(EventId id) {
+    std::uint32_t idx;
+    if (!Decode(id, &idx)) return false;
+    // Free the node now (releases captures, bumps the generation so the
+    // heap entry reads as dead); the POD entry stays until compaction.
+    pool_.at(idx).fn = nullptr;
+    pool_.Free(idx);
+    ++dead_;
+    dead_gauge_.Set(static_cast<std::int64_t>(dead_));
     MaybeCompact();
     return true;
   }
 
-  bool Contains(EventId id) const override { return pending_.contains(id); }
+  bool Contains(EventId id) const {
+    std::uint32_t idx;
+    return Decode(id, &idx);
+  }
 
-  bool PopDueBefore(TimePoint horizon, TimePoint* when,
-                    std::function<void()>* fn) override {
+  bool PopDueBefore(TimePoint horizon, TimePoint* when, EventFn* fn) {
     DropDeadHead();
     if (heap_.empty() || heap_.front().when > horizon) return false;
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Entry e = std::move(heap_.back());
+    const Entry e = heap_.back();
     heap_.pop_back();
-    pending_.erase(e.id);
     *when = e.when;
-    *fn = std::move(e.fn);
+    *fn = std::move(pool_.at(e.idx).fn);
+    pool_.Free(e.idx);
     return true;
   }
 
-  std::size_t live() const override { return pending_.size(); }
-  std::size_t dead() const override { return cancelled_.size(); }
+  std::size_t live() const { return heap_.size() - dead_; }
+  std::size_t dead() const { return dead_; }
 
  private:
+  struct Node {
+    EventFn fn;
+  };
   struct Entry {
     TimePoint when;
     std::uint64_t seq;
-    EventId id;
-    std::function<void()> fn;
+    std::uint32_t idx;
+    std::uint32_t gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -94,49 +94,59 @@ class Simulator::HeapQueue final : public EventQueue {
     }
   };
 
+  bool Decode(EventId id, std::uint32_t* idx) const {
+    if (id == kInvalidEventId) return false;
+    const std::uint64_t slot_plus_one = id >> 32;
+    if (slot_plus_one == 0 || slot_plus_one > pool_.capacity()) return false;
+    const std::uint32_t i = static_cast<std::uint32_t>(slot_plus_one - 1);
+    if (!pool_.LiveHandle(i, static_cast<std::uint32_t>(id))) return false;
+    *idx = i;
+    return true;
+  }
+
+  bool EntryDead(const Entry& e) const {
+    return !pool_.LiveHandle(e.idx, e.gen);
+  }
+
   void DropDeadHead() {
-    while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
-      cancelled_.erase(heap_.front().id);
+    while (!heap_.empty() && EntryDead(heap_.front())) {
       std::pop_heap(heap_.begin(), heap_.end(), Later{});
       heap_.pop_back();
+      --dead_;
     }
-    dead_gauge_.Set(static_cast<std::int64_t>(cancelled_.size()));
+    dead_gauge_.Set(static_cast<std::int64_t>(dead_));
   }
 
   void MaybeCompact() {
-    if (cancelled_.size() * 2 <= heap_.size()) return;
-    std::erase_if(heap_,
-                  [this](const Entry& e) { return cancelled_.contains(e.id); });
-    cancelled_.clear();
+    if (dead_ * 2 <= heap_.size()) return;
+    std::erase_if(heap_, [this](const Entry& e) { return EntryDead(e); });
+    dead_ = 0;
     std::make_heap(heap_.begin(), heap_.end(), Later{});
     compactions_.Inc();
     dead_gauge_.Set(0);
   }
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> pending_;
-  std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 1;
+  IndexPool<Node> pool_;
+  std::size_t dead_ = 0;
   Gauge& dead_gauge_;
   Counter& compactions_;
 };
 
 // --- hierarchical timing wheel (default) ------------------------------------
-class Simulator::WheelQueue final : public EventQueue {
+class Simulator::WheelQueue {
  public:
   explicit WheelQueue(MetricsRegistry& metrics)
       : cascades_(metrics.counter("sim.timer_cascades")) {}
 
-  EventId Push(TimePoint when, std::uint64_t seq,
-               std::function<void()> fn) override {
+  EventId Push(TimePoint when, std::uint64_t seq, EventFn fn) {
     return wheel_.Schedule(when, seq, std::move(fn));
   }
 
-  bool Cancel(EventId id) override { return wheel_.Cancel(id); }
-  bool Contains(EventId id) const override { return wheel_.Contains(id); }
+  bool Cancel(EventId id) { return wheel_.Cancel(id); }
+  bool Contains(EventId id) const { return wheel_.Contains(id); }
 
-  bool PopDueBefore(TimePoint horizon, TimePoint* when,
-                    std::function<void()>* fn) override {
+  bool PopDueBefore(TimePoint horizon, TimePoint* when, EventFn* fn) {
     const bool popped = wheel_.PopDueBefore(horizon, when, fn);
     const std::uint64_t moves = wheel_.cascade_moves();
     cascades_.Inc(moves - reported_moves_);
@@ -144,8 +154,8 @@ class Simulator::WheelQueue final : public EventQueue {
     return popped;
   }
 
-  std::size_t live() const override { return wheel_.size(); }
-  std::size_t dead() const override { return 0; }  // cancellation is eager
+  std::size_t live() const { return wheel_.size(); }
+  std::size_t dead() const { return 0; }  // cancellation is eager
 
  private:
   TimerWheel wheel_;
@@ -174,9 +184,9 @@ Simulator::Simulator(SchedulerImpl impl)
   pending_peak_ = &metrics_->gauge("sim.timer_pending_peak");
   delay_hist_ = &metrics_->histogram("sim.timer_delay_ns");
   if (impl_ == SchedulerImpl::kHeap) {
-    queue_ = std::make_unique<HeapQueue>(*metrics_);
+    heap_ = std::make_unique<HeapQueue>(*metrics_);
   } else {
-    queue_ = std::make_unique<WheelQueue>(*metrics_);
+    wheel_ = std::make_unique<WheelQueue>(*metrics_);
   }
   // Ring overflow surfaces as sim.tracer_dropped; resolution is lazy (first
   // drop) so drop-free runs keep byte-identical metrics snapshots.
@@ -185,11 +195,13 @@ Simulator::Simulator(SchedulerImpl impl)
 
 Simulator::~Simulator() = default;
 
-EventId Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
+EventId Simulator::ScheduleAt(TimePoint when, EventFn fn) {
   PLEXUS_PROFILE_SCOPE(kTimerSchedule);
-  assert(fn && "scheduling an empty callback");
+  assert(fn != nullptr || !"scheduling an empty callback");
   if (when < now_) when = now_;  // never schedule into the past
-  const EventId id = queue_->Push(when, next_seq_++, std::move(fn));
+  const EventId id = wheel_ != nullptr
+                         ? wheel_->Push(when, next_seq_++, std::move(fn))
+                         : heap_->Push(when, next_seq_++, std::move(fn));
   schedules_ctr_->Inc();
   delay_hist_->Observe((when - now_).ns());
   pending_gauge_->Set(++live_);
@@ -200,14 +212,16 @@ EventId Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
 void Simulator::Cancel(EventId id) {
   if (id == kInvalidEventId) return;
   PLEXUS_PROFILE_SCOPE(kTimerCancel);
-  if (queue_->Cancel(id)) {
+  const bool cancelled = wheel_ != nullptr ? wheel_->Cancel(id) : heap_->Cancel(id);
+  if (cancelled) {
     cancels_ctr_->Inc();
     pending_gauge_->Set(--live_);
   }
 }
 
 bool Simulator::IsPending(EventId id) const {
-  return id != kInvalidEventId && queue_->Contains(id);
+  if (id == kInvalidEventId) return false;
+  return wheel_ != nullptr ? wheel_->Contains(id) : heap_->Contains(id);
 }
 
 void Simulator::NoteFired(TimePoint when) {
@@ -217,16 +231,19 @@ void Simulator::NoteFired(TimePoint when) {
   ++events_processed_;
 }
 
-std::size_t Simulator::Run() {
+// The devirtualized run loop: instantiated once per concrete queue type, so
+// the pop and the fire are direct calls the compiler can inline.
+template <typename Q>
+std::size_t Simulator::Drain(Q& q, TimePoint horizon) {
   stopped_ = false;
   std::size_t fired = 0;
   TimePoint when;
-  std::function<void()> fn;
+  EventFn fn;
   while (!stopped_) {
     bool popped;
     {
       PLEXUS_PROFILE_SCOPE(kSchedulerPop);
-      popped = queue_->PopDueBefore(TimePoint::Max(), &when, &fn);
+      popped = q.PopDueBefore(horizon, &when, &fn);
     }
     if (!popped) break;
     NoteFired(when);
@@ -234,30 +251,20 @@ std::size_t Simulator::Run() {
       PLEXUS_PROFILE_SCOPE(kTimerFire);
       fn();
     }
+    fn = nullptr;  // drop captures before the next pop overwrites
     ++fired;
   }
   return fired;
 }
 
+std::size_t Simulator::Run() {
+  return wheel_ != nullptr ? Drain(*wheel_, TimePoint::Max())
+                           : Drain(*heap_, TimePoint::Max());
+}
+
 std::size_t Simulator::RunUntil(TimePoint t) {
-  stopped_ = false;
-  std::size_t fired = 0;
-  TimePoint when;
-  std::function<void()> fn;
-  while (!stopped_) {
-    bool popped;
-    {
-      PLEXUS_PROFILE_SCOPE(kSchedulerPop);
-      popped = queue_->PopDueBefore(t, &when, &fn);
-    }
-    if (!popped) break;
-    NoteFired(when);
-    {
-      PLEXUS_PROFILE_SCOPE(kTimerFire);
-      fn();
-    }
-    ++fired;
-  }
+  const std::size_t fired =
+      wheel_ != nullptr ? Drain(*wheel_, t) : Drain(*heap_, t);
   if (now_ < t) now_ = t;
   return fired;
 }
@@ -265,6 +272,8 @@ std::size_t Simulator::RunUntil(TimePoint t) {
 std::size_t Simulator::pending_events() const {
   return static_cast<std::size_t>(live_);
 }
-std::size_t Simulator::dead_entries() const { return queue_->dead(); }
+std::size_t Simulator::dead_entries() const {
+  return heap_ != nullptr ? heap_->dead() : 0;
+}
 
 }  // namespace sim

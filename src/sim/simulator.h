@@ -11,9 +11,17 @@
 //   kHeap   the original binary heap with lazy cancellation, kept for
 //           wheel-vs-heap ablation. Cancelled entries are marked dead and
 //           compacted away once they exceed half the queue (the
-//           sim.scheduler_dead_entries gauge tracks the leak).
+//           sim.scheduler_dead_entries gauge tracks the leak). Its nodes
+//           live in a sim::IndexPool slab ("sched.heap_node"), so the
+//           ablation compares queue algorithms, not allocators.
 // Both fire in exactly the same (deadline, FIFO) order; the environment
 // variable PLEXUS_SCHED=heap|wheel overrides the default.
+//
+// Dispatch is devirtualized: the two queues are concrete classes behind a
+// branch on which unique_ptr is set, and the run loop is a template
+// instantiated per queue type, so popping and firing an event involves no
+// virtual calls. Callbacks are sim::EventFn (inline-capture, move-only), so
+// scheduling allocates nothing for captures up to 72 bytes.
 //
 // The simulator owns a MetricsRegistry with the scheduler's own
 // instruments (sim.timer_schedules / cancels / fires / pending /
@@ -23,11 +31,11 @@
 #define PLEXUS_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <utility>
 
 #include "sim/time.h"
-#include "sim/timer_wheel.h"  // EventId / kInvalidEventId live there
+#include "sim/timer_wheel.h"  // EventId / kInvalidEventId / EventFn live there
 
 namespace sim {
 
@@ -63,11 +71,13 @@ class Simulator {
   const MetricsRegistry& metrics() const { return *metrics_; }
 
   // Schedules fn to run after delay (>= 0). Returns an id usable with Cancel.
-  EventId Schedule(Duration delay, std::function<void()> fn) {
+  // EventFn converts implicitly from any void() callable; captures up to its
+  // inline capacity cost no allocation.
+  EventId Schedule(Duration delay, EventFn fn) {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
-  EventId ScheduleAt(TimePoint when, std::function<void()> fn);
+  EventId ScheduleAt(TimePoint when, EventFn fn);
 
   // Cancels a pending event. Safe to call with an already-fired or invalid id.
   void Cancel(EventId id);
@@ -94,10 +104,11 @@ class Simulator {
   std::size_t dead_entries() const;
 
  private:
-  class EventQueue;  // simulator.cc: the impl seam (heap vs wheel)
-  class HeapQueue;
-  class WheelQueue;
+  class HeapQueue;   // simulator.cc: binary heap, lazy cancel (ablation)
+  class WheelQueue;  // simulator.cc: timing wheel wrapper (default)
 
+  template <typename Q>
+  std::size_t Drain(Q& q, TimePoint horizon);
   void NoteFired(TimePoint when);
 
   TimePoint now_;
@@ -114,7 +125,8 @@ class Simulator {
   Gauge* pending_gauge_ = nullptr;
   Gauge* pending_peak_ = nullptr;
   Histogram* delay_hist_ = nullptr;
-  std::unique_ptr<EventQueue> queue_;
+  std::unique_ptr<WheelQueue> wheel_;  // exactly one of wheel_/heap_ is set
+  std::unique_ptr<HeapQueue> heap_;
   std::unique_ptr<Tracer> tracer_;
 };
 

@@ -1,0 +1,159 @@
+// SmallFn: a move-only callable wrapper with inline storage.
+//
+// std::function was the engine's single largest hidden allocator: every
+// scheduled event, every CPU task, and every deferred graph hop boxed its
+// capture on the heap (libstdc++ inlines only 16 bytes), and the wall-clock
+// profile showed ~2M function-object constructions per 10k-connection run.
+// SmallFn keeps captures up to `Cap` bytes inline in the owner — a timer
+// wheel node, a CPU queue slot — so the schedule/fire path performs zero
+// allocations. Oversized captures still work: they are boxed on the heap
+// exactly like std::function, so correctness never depends on a capture
+// fitting (the box is counted, and bench_micro_alloc asserts the engine's
+// own hot-path captures stay inline).
+//
+// Differences from std::function, all deliberate:
+//   * move-only (the engine never copies callbacks; this admits unique_ptr
+//     captures without the copyable-wrapper dance),
+//   * a single static ops table per erased type (one pointer per object),
+//   * no allocator support, no target(), no RTTI.
+#ifndef PLEXUS_SIM_SMALL_FN_H_
+#define PLEXUS_SIM_SMALL_FN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sim {
+
+// Count of SmallFn targets that did not fit inline and were heap-boxed
+// since process start. Diagnostic only (bench_micro_alloc reports it); a
+// plain counter because the simulator is single-threaded.
+inline std::uint64_t& SmallFnHeapFallbacks() {
+  static std::uint64_t n = 0;
+  return n;
+}
+
+template <typename Sig, std::size_t Cap = 64>
+class SmallFn;
+
+template <typename R, typename... A, std::size_t Cap>
+class SmallFn<R(A...), Cap> {
+ public:
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor): drop-in
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<R, D&, A...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    Emplace<D>(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  SmallFn& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<R, D&, A...>>>
+  SmallFn& operator=(F&& f) {
+    Reset();
+    Emplace<D>(std::forward<F>(f));
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const SmallFn& f, std::nullptr_t) { return f.ops_ == nullptr; }
+
+  R operator()(A... args) const {
+    return ops_->invoke(const_cast<void*>(static_cast<const void*>(buf_)),
+                        std::forward<A>(args)...);
+  }
+
+  static constexpr std::size_t inline_capacity() { return Cap; }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, A&&...);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr bool kInline =
+      sizeof(D) <= Cap && alignof(D) <= alignof(void*) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D, typename F>
+  void Emplace(F&& f) {
+    if constexpr (kInline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      static const Ops ops = {
+          [](void* p, A&&... args) -> R {
+            return (*std::launder(reinterpret_cast<D*>(p)))(std::forward<A>(args)...);
+          },
+          [](void* dst, void* src) {
+            D* s = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+          },
+          [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
+      };
+      ops_ = &ops;
+    } else {
+      // Heap box, one pointer inline. Counted so benches can assert the
+      // engine's own captures never take this path.
+      ++SmallFnHeapFallbacks();
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      static const Ops ops = {
+          [](void* p, A&&... args) -> R {
+            return (**std::launder(reinterpret_cast<D**>(p)))(std::forward<A>(args)...);
+          },
+          [](void* dst, void* src) {
+            // The box pointer is trivially destructible: just copy it over.
+            ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+          },
+          [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); },
+      };
+      ops_ = &ops;
+    }
+  }
+
+  void MoveFrom(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(void*) unsigned char buf_[Cap];
+};
+
+}  // namespace sim
+
+#endif  // PLEXUS_SIM_SMALL_FN_H_

@@ -24,14 +24,14 @@ void TimerWheel::CascadeSlot(int level, int slot) {
   scratch_.swap(vec);
   bitmap_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
   for (std::uint32_t idx : scratch_) {
-    assert(LevelFor(pool_[idx].when) < level && "cascade must descend");
+    assert(LevelFor(pool_.at(idx).when) < level && "cascade must descend");
     Place(idx);
   }
   cascade_moves_ += scratch_.size();
 }
 
 bool TimerWheel::PopDueBefore(TimePoint horizon, TimePoint* when,
-                              std::function<void()>* fn) {
+                              EventFn* fn) {
   if (live_ == 0) return false;
   for (;;) {
     // Re-file every entry sitting in the cursor's own slot of a higher
@@ -54,19 +54,19 @@ bool TimerWheel::PopDueBefore(TimePoint horizon, TimePoint* when,
     std::vector<std::uint32_t>& vec = slots_[level][slot];
     if (level == 0) {
       // A level-0 slot holds exactly one deadline; fire FIFO by seq.
-      const std::int64_t w = pool_[vec[0]].when;
+      const std::int64_t w = pool_.at(vec[0]).when;
       if (w > horizon.ns()) return false;
       std::size_t best = 0;
       for (std::size_t i = 1; i < vec.size(); ++i) {
-        if (pool_[vec[i]].seq < pool_[vec[best]].seq) best = i;
+        if (pool_.at(vec[i]).seq < pool_.at(vec[best]).seq) best = i;
       }
       const std::uint32_t idx = vec[best];
-      Node& n = pool_[idx];
+      Node& n = pool_.at(idx);
       cursor_ = n.when;
       *when = TimePoint::FromNanos(n.when);
-      *fn = std::move(n.fn);
+      *fn = std::move(n.fn);  // leaves n.fn empty: captures travel, not copy
       RemoveFromSlot(idx);
-      FreeNode(idx);
+      pool_.Free(idx);
       --live_;
       return true;
     }
@@ -74,9 +74,9 @@ bool TimerWheel::PopDueBefore(TimePoint horizon, TimePoint* when,
     // nothing is due. Otherwise advance the cursor to it (legal: it is the
     // earliest pending deadline) and cascade the slot, which now is the
     // cursor slot of `level`, strictly down. Repeats at most kLevels times.
-    std::int64_t wmin = pool_[vec[0]].when;
+    std::int64_t wmin = pool_.at(vec[0]).when;
     for (std::size_t i = 1; i < vec.size(); ++i) {
-      if (pool_[vec[i]].when < wmin) wmin = pool_[vec[i]].when;
+      if (pool_.at(vec[i]).when < wmin) wmin = pool_.at(vec[i]).when;
     }
     if (wmin > horizon.ns()) return false;
     cursor_ = wmin;

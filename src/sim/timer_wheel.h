@@ -24,20 +24,23 @@
 // seq is selected — byte-for-byte the firing order of a binary heap keyed on
 // (deadline, seq). See DESIGN.md section 11 for the invariant argument.
 //
-// Cancellation handles need no hash map: nodes live in a pool and the
-// returned EventId encodes (pool index, generation), so Cancel/Contains are
-// two array reads. Generations make stale ids (fired or cancelled, slot
-// since reused) compare invalid instead of aliasing.
+// Allocation: nodes live in a sim::IndexPool slab ("sched.wheel_node" in the
+// slab registry) and callbacks are sim::EventFn — inline-capture callables —
+// so arming a timer allocates nothing once the pool is warm. EventIds encode
+// (pool index, generation): Cancel/Contains are two array reads, and
+// generations make stale ids (fired or cancelled, slot since reused) compare
+// invalid instead of aliasing.
 #ifndef PLEXUS_SIM_TIMER_WHEEL_H_
 #define PLEXUS_SIM_TIMER_WHEEL_H_
 
 #include <bit>
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "sim/slab.h"
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace sim {
@@ -45,20 +48,27 @@ namespace sim {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+// The scheduler's callback type. 48 inline bytes hold every hot-path capture
+// the engine schedules — the largest is TcpConnection::ScheduleTimer's
+// [this, trace_name, armed_by, handler] at 40 — while keeping a wheel node
+// under a cache line and a half. Oversized captures (disk requests) heap-box
+// transparently, counted by SmallFnHeapFallbacks.
+using EventFn = SmallFn<void(), 48>;
+
 class TimerWheel {
  public:
   static constexpr int kLevelBits = 8;
   static constexpr int kLevels = 8;  // 8 x 8 bits: the whole int64 horizon
   static constexpr int kSlotsPerLevel = 1 << kLevelBits;
 
-  TimerWheel() = default;
+  TimerWheel() : pool_("sched.wheel_node") {}
   TimerWheel(const TimerWheel&) = delete;
   TimerWheel& operator=(const TimerWheel&) = delete;
 
   // Inserts an entry. `seq` breaks ties among equal deadlines (FIFO).
   // `when` must be >= cursor(); the Simulator clamps to Now() first.
   // Defined inline below: schedule/cancel are the per-ACK hot path.
-  EventId Schedule(TimePoint when, std::uint64_t seq, std::function<void()> fn);
+  EventId Schedule(TimePoint when, std::uint64_t seq, EventFn fn);
 
   // Eagerly removes a pending entry. Returns true if `id` was pending;
   // fired, cancelled, and invalid ids are safe no-ops.
@@ -69,8 +79,7 @@ class TimerWheel {
   // If the earliest entry (ties broken by seq) is due at or before
   // `horizon`, pops it into *when / *fn and returns true. Advances the
   // cursor to the popped deadline.
-  bool PopDueBefore(TimePoint horizon, TimePoint* when,
-                    std::function<void()>* fn);
+  bool PopDueBefore(TimePoint horizon, TimePoint* when, EventFn* fn);
 
   std::size_t size() const { return live_; }
   bool empty() const { return live_ == 0; }
@@ -80,18 +89,13 @@ class TimerWheel {
   TimePoint cursor() const { return TimePoint::FromNanos(cursor_); }
 
  private:
-  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
-
   struct Node {
     std::int64_t when = 0;
     std::uint64_t seq = 0;
-    std::function<void()> fn;
-    std::uint32_t gen = 0;
+    EventFn fn;
     std::uint32_t pos = 0;        // index within its slot vector
-    std::uint32_t next_free = kNil;
     std::uint8_t level = 0;
     std::uint8_t slot_byte = 0;   // slot index within the level
-    bool active = false;
   };
 
   int LevelFor(std::int64_t when) const;
@@ -104,12 +108,9 @@ class TimerWheel {
   void Place(std::uint32_t idx);       // file node under the current cursor
   void RemoveFromSlot(std::uint32_t idx);
   void CascadeSlot(int level, int slot);
-  std::uint32_t AllocNode();
-  void FreeNode(std::uint32_t idx);
   bool DecodeId(EventId id, std::uint32_t* idx) const;
 
-  std::vector<Node> pool_;
-  std::uint32_t free_head_ = kNil;
+  IndexPool<Node> pool_;
   std::vector<std::uint32_t> slots_[kLevels][kSlotsPerLevel];
   std::uint64_t bitmap_[kLevels][kSlotsPerLevel / 64] = {};
   std::vector<std::uint32_t> scratch_;  // cascade staging, reused
@@ -129,7 +130,7 @@ inline int TimerWheel::LevelFor(std::int64_t when) const {
 }
 
 inline void TimerWheel::Place(std::uint32_t idx) {
-  Node& n = pool_[idx];
+  Node& n = pool_.at(idx);
   const int level = LevelFor(n.when);
   const int slot = static_cast<int>(
       (static_cast<std::uint64_t>(n.when) >> (level * kLevelBits)) &
@@ -143,13 +144,13 @@ inline void TimerWheel::Place(std::uint32_t idx) {
 }
 
 inline void TimerWheel::RemoveFromSlot(std::uint32_t idx) {
-  Node& n = pool_[idx];
+  Node& n = pool_.at(idx);
   std::vector<std::uint32_t>& vec = slots_[n.level][n.slot_byte];
   const std::uint32_t moved = vec.back();
   vec.pop_back();
   if (moved != idx) {  // swap-remove: fix up the entry that took our place
     vec[n.pos] = moved;
-    pool_[moved].pos = n.pos;
+    pool_.at(moved).pos = n.pos;
   }
   if (vec.empty()) {
     bitmap_[n.level][n.slot_byte >> 6] &=
@@ -157,55 +158,35 @@ inline void TimerWheel::RemoveFromSlot(std::uint32_t idx) {
   }
 }
 
-inline std::uint32_t TimerWheel::AllocNode() {
-  if (free_head_ != kNil) {
-    const std::uint32_t idx = free_head_;
-    free_head_ = pool_[idx].next_free;
-    return idx;
-  }
-  assert(pool_.size() < kNil - 1 && "timer pool exhausted");
-  pool_.emplace_back();
-  return static_cast<std::uint32_t>(pool_.size() - 1);
-}
-
-inline void TimerWheel::FreeNode(std::uint32_t idx) {
-  Node& n = pool_[idx];
-  n.fn = nullptr;  // release the closure's captures immediately
-  n.active = false;
-  ++n.gen;  // invalidate outstanding ids for this node
-  n.next_free = free_head_;
-  free_head_ = idx;
-}
-
 inline bool TimerWheel::DecodeId(EventId id, std::uint32_t* idx) const {
   if (id == kInvalidEventId) return false;
   const std::uint64_t slot_plus_one = id >> 32;
-  if (slot_plus_one == 0 || slot_plus_one > pool_.size()) return false;
+  if (slot_plus_one == 0 || slot_plus_one > pool_.capacity()) return false;
   const std::uint32_t i = static_cast<std::uint32_t>(slot_plus_one - 1);
-  const Node& n = pool_[i];
-  if (!n.active || n.gen != static_cast<std::uint32_t>(id)) return false;
+  if (!pool_.LiveHandle(i, static_cast<std::uint32_t>(id))) return false;
   *idx = i;
   return true;
 }
 
 inline EventId TimerWheel::Schedule(TimePoint when, std::uint64_t seq,
-                                    std::function<void()> fn) {
-  const std::uint32_t idx = AllocNode();
-  Node& n = pool_[idx];
+                                    EventFn fn) {
+  const std::uint32_t idx = pool_.Alloc();
+  Node& n = pool_.at(idx);
   n.when = when.ns();
   n.seq = seq;
   n.fn = std::move(fn);
-  n.active = true;
   Place(idx);
   ++live_;
-  return (static_cast<EventId>(idx) + 1) << 32 | static_cast<EventId>(n.gen);
+  return (static_cast<EventId>(idx) + 1) << 32 |
+         static_cast<EventId>(pool_.gen(idx));
 }
 
 inline bool TimerWheel::Cancel(EventId id) {
   std::uint32_t idx;
   if (!DecodeId(id, &idx)) return false;
   RemoveFromSlot(idx);
-  FreeNode(idx);
+  pool_.at(idx).fn = nullptr;  // release the closure's captures immediately
+  pool_.Free(idx);
   --live_;
   return true;
 }

@@ -61,7 +61,10 @@ class BudgetScope {
     if (host_ == nullptr) return;
     fence_.limit = limit;
     fence_.used = sim::Duration::Zero();
-    fence_.on_exceeded = [handler_name, limit] { throw HandlerTerminated(handler_name, limit); };
+    // Capture the name by pointer: the entry's display_name outlives the
+    // raise, and a 16-byte trivially-copyable capture stays in
+    // std::function's inline storage instead of heap-allocating per fence.
+    fence_.on_exceeded = [name = &handler_name, limit] { throw HandlerTerminated(*name, limit); };
     host_->PushBudgetFence(&fence_);
   }
   // Runs during the unwind of a HandlerTerminated throw; must not throw.

@@ -36,10 +36,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -103,46 +103,53 @@ struct HandlerInfo {
 };
 
 // The install-time side of guard compilation: keyed handlers live in hash
-// buckets (key value -> handler ids, ascending), opaque-guard and
+// buckets (entry pointers, ascending by handler id), opaque-guard and
 // unconditional handlers on a residual linear list. Raise() merges one
 // probed bucket with the residual list by id, so invocation order is
 // exactly installation order — bit-identical to the linear scan it
 // replaces. Bucket vectors are append-only while a raise is walking them
 // (removals are deferred to the post-raise sweep), which is what makes the
 // captured-size snapshot bound safe.
+//
+// Templated on the event's Entry record: storing Entry* directly (stable —
+// entries are individually heap-owned) removes the per-candidate id->index
+// hash lookup the raise loop used to pay.
+template <typename Entry>
 class DemuxIndex {
  public:
-  void AddResidual(HandlerId id) { residuals_.push_back(id); }
+  void AddResidual(Entry* e) { residuals_.push_back(e); }
 
-  void AddKeyed(HandlerId id, std::uint64_t key) {
+  void AddKeyed(Entry* e, std::uint64_t key) {
     auto& bucket = buckets_[key];
-    bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), id), id);
+    bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), e, ById), e);
   }
 
-  void RemoveKeyed(HandlerId id, std::uint64_t key) {
+  void RemoveKeyed(Entry* e, std::uint64_t key) {
     auto it = buckets_.find(key);
     if (it == buckets_.end()) return;
-    std::erase(it->second, id);
+    std::erase(it->second, e);
     if (it->second.empty()) buckets_.erase(it);
   }
 
-  void RemoveResidual(HandlerId id) { std::erase(residuals_, id); }
+  void RemoveResidual(Entry* e) { std::erase(residuals_, e); }
 
   // The candidate list for one key value; nullptr when no handler is
   // bucketed there. The returned vector stays valid across inserts of
   // *other* keys (unordered_map references are rehash-stable).
-  const std::vector<HandlerId>* Probe(std::uint64_t key) const {
+  const std::vector<Entry*>* Probe(std::uint64_t key) const {
     auto it = buckets_.find(key);
     return it == buckets_.end() ? nullptr : &it->second;
   }
 
-  const std::vector<HandlerId>& residuals() const { return residuals_; }
+  const std::vector<Entry*>& residuals() const { return residuals_; }
   bool has_keyed() const { return !buckets_.empty(); }
   std::size_t bucket_count() const { return buckets_.size(); }
 
  private:
-  std::unordered_map<std::uint64_t, std::vector<HandlerId>> buckets_;
-  std::vector<HandlerId> residuals_;
+  static bool ById(const Entry* a, const Entry* b) { return a->id < b->id; }
+
+  std::unordered_map<std::uint64_t, std::vector<Entry*>> buckets_;
+  std::vector<Entry*> residuals_;
 };
 
 template <typename... Args>
@@ -186,10 +193,10 @@ class Event {
   Result<HandlerId> Install(Handler handler, Guard guard = nullptr, HandlerOptions opts = {}) {
     auto checked = CheckInstall(handler, opts);
     if (!checked.ok()) return checked;
-    const HandlerId id = Append(std::move(handler), std::move(guard), std::move(opts),
-                                /*indexed=*/false, {});
-    index_.AddResidual(id);
-    return id;
+    Entry* e = Append(std::move(handler), std::move(guard), std::move(opts),
+                      /*indexed=*/false, {});
+    index_.AddResidual(e);
+    return e->id;
   }
 
   // Installs a handler behind the demux index: it is only considered when
@@ -214,10 +221,10 @@ class Event {
     }
     auto checked = CheckInstall(handler, opts);
     if (!checked.ok()) return checked;
-    const HandlerId id = Append(std::move(handler), std::move(verify), std::move(opts),
-                                /*indexed=*/true, keys);
-    for (std::uint64_t k : keys) index_.AddKeyed(id, k);
-    return id;
+    Entry* e = Append(std::move(handler), std::move(verify), std::move(opts),
+                      /*indexed=*/true, std::move(keys));
+    for (std::uint64_t k : e->keys) index_.AddKeyed(e, k);
+    return e->id;
   }
 
   // Grows/shrinks the key set of an indexed handler at runtime (e.g. a
@@ -235,7 +242,7 @@ class Event {
       return true;
     }
     e->keys.push_back(key);
-    index_.AddKeyed(id, key);
+    index_.AddKeyed(e, key);
     return true;
   }
 
@@ -249,23 +256,23 @@ class Event {
       return true;
     }
     std::erase(e->keys, key);
-    index_.RemoveKeyed(id, key);
+    index_.RemoveKeyed(e, key);
     return true;
   }
 
   bool Uninstall(HandlerId id) {
     auto it = by_id_.find(id);
     if (it == by_id_.end()) return false;
-    Entry& e = entries_[it->second];
-    if (!e.alive) return false;
+    Entry* e = it->second;
+    if (!e->alive) return false;
     if (raising_ > 0) {
       // A raise is walking the handlers: mark dead, sweep afterwards.
-      e.alive = false;
+      e->alive = false;
       needs_sweep_ = true;
       return true;
     }
-    Entomb(e);
-    EraseEntryAt(it->second);
+    Entomb(*e);
+    EraseEntry(e);
     return true;
   }
 
@@ -292,8 +299,8 @@ class Event {
   //
   // Reentrancy: handlers installed during a raise are not visited by that
   // raise (snapshot bound); handlers uninstalled during a raise are marked
-  // dead and skipped. std::deque keeps references stable across push_back,
-  // so a handler may install new handlers while we hold Entry&.
+  // dead and skipped. Entries are individually heap-owned, so Entry* stays
+  // stable while a handler installs new handlers mid-raise.
   std::size_t Raise(Args... args) {
     PLEXUS_PROFILE_SCOPE(kEventRaise);
     if (dispatcher_ != nullptr) dispatcher_->CountRaise();
@@ -306,7 +313,7 @@ class Event {
     std::size_t invoked = 0;
     ++raising_;
     if (extractor_ != nullptr) {
-      const std::vector<HandlerId>* bucket = nullptr;
+      const std::vector<Entry*>* bucket = nullptr;
       if (index_.has_keyed()) {
         PLEXUS_PROFILE_SCOPE(kDemuxLookup);
         sim::TraceSpan demux_span;
@@ -318,26 +325,25 @@ class Event {
       // Sizes captured up front: handlers installed during this raise land
       // beyond them and are not visited (the snapshot bound). Both vectors
       // are append-only while raising_ > 0 (removals defer to the sweep).
+      // Candidates are Entry* — no per-candidate id lookup.
       const std::size_t nb = bucket != nullptr ? bucket->size() : 0;
       const std::size_t nr = index_.residuals().size();
       std::size_t ib = 0, ir = 0;
       while (ib < nb || ir < nr) {
-        HandlerId id;
-        if (ir >= nr || (ib < nb && (*bucket)[ib] < index_.residuals()[ir])) {
-          id = (*bucket)[ib++];
+        Entry* e;
+        if (ir >= nr ||
+            (ib < nb && (*bucket)[ib]->id < index_.residuals()[ir]->id)) {
+          e = (*bucket)[ib++];
         } else {
-          id = index_.residuals()[ir++];
+          e = index_.residuals()[ir++];
         }
-        auto it = by_id_.find(id);
-        if (it == by_id_.end()) continue;
-        Entry& e = entries_[it->second];
-        if (!e.alive) continue;  // uninstalled mid-raise
-        invoked += DispatchTo(e, host, tracing, args...);
+        if (!e->alive) continue;  // uninstalled mid-raise
+        invoked += DispatchTo(*e, host, tracing, args...);
       }
     } else {
       const std::size_t bound = entries_.size();
       for (std::size_t i = 0; i < bound; ++i) {
-        Entry& e = entries_[i];
+        Entry& e = *entries_[i];
         if (!e.alive) continue;  // uninstalled mid-raise
         invoked += DispatchTo(e, host, tracing, args...);
       }
@@ -348,8 +354,8 @@ class Event {
 
   std::size_t handler_count() const {
     std::size_t n = 0;
-    for (const Entry& e : entries_) {
-      if (e.alive) ++n;
+    for (const auto& e : entries_) {
+      if (e->alive) ++n;
     }
     return n;
   }
@@ -357,8 +363,8 @@ class Event {
   // Handlers reachable only through a demux bucket (vs the residual scan).
   std::size_t indexed_handler_count() const {
     std::size_t n = 0;
-    for (const Entry& e : entries_) {
-      if (e.alive && e.indexed) ++n;
+    for (const auto& e : entries_) {
+      if (e->alive && e->indexed) ++n;
     }
     return n;
   }
@@ -368,7 +374,7 @@ class Event {
   // counts instead of silently zeroed ones.
   HandlerStats stats(HandlerId id) const {
     auto it = by_id_.find(id);
-    if (it != by_id_.end()) return entries_[it->second].stats;
+    if (it != by_id_.end()) return it->second->stats;
     auto t = tombstones_.find(id);
     if (t != tombstones_.end()) return t->second.stats;
     return {};
@@ -377,9 +383,9 @@ class Event {
   // Names of live handlers in installation order (graph introspection).
   std::vector<std::string> HandlerNames() const {
     std::vector<std::string> out;
-    for (const Entry& e : entries_) {
-      if (!e.alive) continue;
-      out.push_back(e.display_name);
+    for (const auto& e : entries_) {
+      if (!e->alive) continue;
+      out.push_back(e->display_name);
     }
     return out;
   }
@@ -388,9 +394,10 @@ class Event {
   // the per-handler view DescribeGraph renders.
   std::vector<HandlerInfo> Describe() const {
     std::vector<HandlerInfo> out;
-    for (const Entry& e : entries_) {
-      if (!e.alive) continue;
-      out.push_back(HandlerInfo{e.id, e.display_name, e.stats, /*alive=*/true, e.indexed});
+    for (const auto& e : entries_) {
+      if (!e->alive) continue;
+      out.push_back(
+          HandlerInfo{e->id, e->display_name, e->stats, /*alive=*/true, e->indexed});
     }
     for (const auto& [id, t] : tombstones_) {
       if (!t.stats.quarantined) continue;  // plain uninstalls stay out of the graph view
@@ -437,23 +444,24 @@ class Event {
     return kInvalidHandlerId;  // placeholder: callers only test ok()
   }
 
-  HandlerId Append(Handler handler, Guard guard, HandlerOptions opts, bool indexed,
-                   std::vector<std::uint64_t> keys) {
+  Entry* Append(Handler handler, Guard guard, HandlerOptions opts, bool indexed,
+                std::vector<std::uint64_t> keys) {
     if (dispatcher_ != nullptr) dispatcher_->ChargeInstall();
     const HandlerId id = next_id_++;
-    Entry e;
-    e.id = id;
-    e.guard = std::move(guard);
-    e.handler = std::move(handler);
-    e.opts = std::move(opts);
-    e.indexed = indexed;
-    e.keys = std::move(keys);
-    e.display_name = e.opts.name.empty() ? ("handler#" + std::to_string(id)) : e.opts.name;
-    e.guard_span_name = "guard:" + e.display_name;
-    e.has_time_limit = e.opts.time_limit > sim::Duration::Zero();
-    entries_.push_back(std::move(e));
-    by_id_[id] = entries_.size() - 1;
-    return id;
+    auto owned = std::make_unique<Entry>();
+    Entry* e = owned.get();
+    e->id = id;
+    e->guard = std::move(guard);
+    e->handler = std::move(handler);
+    e->opts = std::move(opts);
+    e->indexed = indexed;
+    e->keys = std::move(keys);
+    e->display_name = e->opts.name.empty() ? ("handler#" + std::to_string(id)) : e->opts.name;
+    e->guard_span_name = "guard:" + e->display_name;
+    e->has_time_limit = e->opts.time_limit > sim::Duration::Zero();
+    entries_.push_back(std::move(owned));
+    by_id_[id] = e;
+    return e;
   }
 
   // Guard check + budget fence + invocation + fault containment for one
@@ -514,37 +522,36 @@ class Event {
   Entry* FindAlive(HandlerId id) {
     auto it = by_id_.find(id);
     if (it == by_id_.end()) return nullptr;
-    Entry& e = entries_[it->second];
-    return e.alive ? &e : nullptr;
+    Entry* e = it->second;
+    return e->alive ? e : nullptr;
   }
 
   void Entomb(const Entry& e) { tombstones_[e.id] = Tombstone{e.display_name, e.stats}; }
 
-  void DropFromDispatchLists(const Entry& e) {
-    if (e.indexed) {
-      for (std::uint64_t k : e.keys) index_.RemoveKeyed(e.id, k);
+  void DropFromDispatchLists(Entry* e) {
+    if (e->indexed) {
+      for (std::uint64_t k : e->keys) index_.RemoveKeyed(e, k);
     } else {
-      index_.RemoveResidual(e.id);
+      index_.RemoveResidual(e);
     }
   }
 
-  void EraseEntryAt(std::size_t pos) {
-    DropFromDispatchLists(entries_[pos]);
-    by_id_.erase(entries_[pos].id);
-    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(pos));
-    for (std::size_t i = pos; i < entries_.size(); ++i) by_id_[entries_[i].id] = i;
+  void EraseEntry(Entry* e) {
+    DropFromDispatchLists(e);
+    by_id_.erase(e->id);
+    std::erase_if(entries_,
+                  [e](const std::unique_ptr<Entry>& p) { return p.get() == e; });
   }
 
   void Sweep() {
     needs_sweep_ = false;
-    for (const Entry& e : entries_) {
-      if (e.alive) continue;
-      Entomb(e);
-      DropFromDispatchLists(e);
-      by_id_.erase(e.id);
+    for (const auto& e : entries_) {
+      if (e->alive) continue;
+      Entomb(*e);
+      DropFromDispatchLists(e.get());
+      by_id_.erase(e->id);
     }
-    std::erase_if(entries_, [](const Entry& e) { return !e.alive; });
-    for (std::size_t i = 0; i < entries_.size(); ++i) by_id_[entries_[i].id] = i;
+    std::erase_if(entries_, [](const std::unique_ptr<Entry>& e) { return !e->alive; });
     // Key changes requested mid-raise take effect here — raising_ is 0, so
     // these recurse into the immediate path.
     std::vector<KeyOp> pending;
@@ -590,11 +597,12 @@ class Event {
   std::string name_;
   Dispatcher* dispatcher_;
   bool requires_ephemeral_ = false;
-  std::deque<Entry> entries_;
-  // id -> position in entries_. Rebuilt from the erase point on removal;
-  // O(1) on the hot paths (Raise candidate lookup, stats, Uninstall find).
-  std::unordered_map<HandlerId, std::size_t> by_id_;
-  DemuxIndex index_;
+  // Installation order. Individually heap-owned so the dispatch lists can
+  // hold stable Entry* — the raise loop touches no id->entry map at all.
+  std::vector<std::unique_ptr<Entry>> entries_;
+  // id -> entry, for the cold paths only (Uninstall, stats, key churn).
+  std::unordered_map<HandlerId, Entry*> by_id_;
+  DemuxIndex<Entry> index_;
   KeyExtractor extractor_;
   std::string demux_field_;
   std::string demux_span_name_;

@@ -33,6 +33,7 @@
 #include "drivers/medium.h"
 #include "sim/chaos.h"
 #include "sim/simulator.h"
+#include "sim/slab.h"
 
 namespace {
 
@@ -186,6 +187,10 @@ void RunSeed(std::uint64_t seed, RunOutcome* out) {
     EXPECT_EQ(hosts[static_cast<std::size_t>(i)]->dispatcher().stats().quarantines, 0u)
         << "handler quarantined on h" << i;
   }
+  // Engine-wide slab books: after crashes, partitions, and recovery, every
+  // pooled mbuf header/segment must be back on its free list — a leak here
+  // means some fault path dropped a buffer on the floor.
+  EXPECT_EQ(sim::SlabRegistry::InUse("mbuf"), 0u) << "slab leak, seed " << seed;
   if (result.has_value() && result->success) {
     EXPECT_EQ(result->bytes_verified, payload.size()) << "success without byte-exact echo";
   }

@@ -200,7 +200,7 @@ TEST(TimerWheel, FiresInDeadlineThenSeqOrder) {
   w.Schedule(TimePoint::FromNanos(100), 1, [&] { order.push_back(1); });
   w.Schedule(TimePoint::FromNanos(500), 0, [&] { order.push_back(0); });
   TimePoint when;
-  std::function<void()> fn;
+  sim::EventFn fn;
   while (w.PopDueBefore(TimePoint::Max(), &when, &fn)) fn();
   EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
   EXPECT_TRUE(w.empty());
@@ -231,7 +231,7 @@ TEST(TimerWheel, LongHorizonCascadesDown) {
   w.Schedule(TimePoint::FromNanos(far), 0, [&] { order.push_back(0); });
   w.Schedule(TimePoint::FromNanos(far + 1), 1, [&] { order.push_back(1); });
   TimePoint when;
-  std::function<void()> fn;
+  sim::EventFn fn;
   ASSERT_TRUE(w.PopDueBefore(TimePoint::Max(), &when, &fn));
   EXPECT_EQ(when.ns(), far);
   fn();
@@ -246,7 +246,7 @@ TEST(TimerWheel, HorizonBoundsPop) {
   TimerWheel w;
   w.Schedule(TimePoint::FromNanos(5000), 0, [] {});
   TimePoint when;
-  std::function<void()> fn;
+  sim::EventFn fn;
   EXPECT_FALSE(w.PopDueBefore(TimePoint::FromNanos(4999), &when, &fn));
   EXPECT_EQ(w.size(), 1u);
   EXPECT_TRUE(w.PopDueBefore(TimePoint::FromNanos(5000), &when, &fn));
