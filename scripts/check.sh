@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Builds the suite under AddressSanitizer + UndefinedBehaviorSanitizer and
-# runs every tier-1 test six times: plain, with PLEXUS_TRACE=1 (tracer
+# runs every tier-1 test seven times: plain, with PLEXUS_TRACE=1 (tracer
 # recording), with PLEXUS_MBUF_POOL=small (starved 256-segment mbuf pool),
 # with PLEXUS_CHAOS_FLAP=1 (mid-run link flap), with PLEXUS_PROFILE=1
-# (wall-clock engine profiler armed), and with PLEXUS_SLAB=off (slab
-# allocators degraded to plain operator new/delete). Catches the memory
+# (wall-clock engine profiler armed), with PLEXUS_SLAB=off (slab
+# allocators degraded to plain operator new/delete), and with
+# PLEXUS_BATCH=off (rx bursts, batch dispatch, and GRO/GSO all disabled —
+# the engine must degrade to the per-packet path byte-identically). Catches the memory
 # bugs the fault-containment, tracing, overload-control, observability,
 # and allocation machinery must never introduce (use-after-free across
 # handler quarantine, fence lifetime mistakes during stack unwinding,
@@ -50,6 +52,13 @@ echo "=== sixth pass: slab allocators disabled (PLEXUS_SLAB=off) ==="
 # the slabs, and the heap path gets full sanitizer coverage.
 PLEXUS_SLAB=off ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
 
+echo "=== seventh pass: batched packet path disabled (PLEXUS_BATCH=off) ==="
+# The off-gate identity: with batching off the NIC delivers one frame per
+# interrupt, RaiseBatch degrades to the per-item loop, and GRO/GSO never
+# engage. The whole tier-1 suite must behave exactly as the per-packet
+# engine did, still under the sanitizers.
+PLEXUS_BATCH=off ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure "$@"
+
 echo "=== slow pass: soak / scale suites (label: slow) ==="
 # The connection-churn soak and other large-population suites run once,
 # in their own labelled pass, still under the sanitizers.
@@ -91,8 +100,12 @@ echo "=== bench regression gate: fresh fig5/tab1 vs committed baselines ==="
 # --self-test proves the comparator still rejects an injected regression.
 BENCH_TMP="$(mktemp -d)"
 trap 'rm -rf "$BENCH_TMP"' EXIT
-"$PERF_BUILD_DIR/bench/bench_fig5_udp_latency" --json "$BENCH_TMP/BENCH_fig5.json"
-"$PERF_BUILD_DIR/bench/bench_tab1_tcp_throughput" --json "$BENCH_TMP/BENCH_tab1.json"
+# The committed baselines predate the batched packet path, whose burst
+# coalescing legitimately moves virtual time; PLEXUS_BATCH=off pins the
+# per-packet engine these baselines describe (and doubles as a system-level
+# proof that the off-gate really restores it).
+PLEXUS_BATCH=off "$PERF_BUILD_DIR/bench/bench_fig5_udp_latency" --json "$BENCH_TMP/BENCH_fig5.json"
+PLEXUS_BATCH=off "$PERF_BUILD_DIR/bench/bench_tab1_tcp_throughput" --json "$BENCH_TMP/BENCH_tab1.json"
 python3 scripts/bench_compare.py bench/baselines/BENCH_fig5.json "$BENCH_TMP/BENCH_fig5.json"
 python3 scripts/bench_compare.py bench/baselines/BENCH_tab1.json "$BENCH_TMP/BENCH_tab1.json"
 python3 scripts/bench_compare.py bench/baselines/BENCH_fig5.json --self-test
@@ -102,7 +115,7 @@ echo "=== scale gate: virtual-time identity at 100..100k connections ==="
 # against the committed baseline. The sim_ns rows are an EXACT gate — the
 # simulation is deterministic, so any drift in virtual time means engine
 # behaviour changed; the wall rows are report-only (machine-dependent).
-"$PERF_BUILD_DIR/bench/bench_scale_connections" --sizes 100,1000,10000,100000 \
-  --json "$BENCH_TMP/BENCH_scale.json"
+PLEXUS_BATCH=off "$PERF_BUILD_DIR/bench/bench_scale_connections" \
+  --sizes 100,1000,10000,100000 --json "$BENCH_TMP/BENCH_scale.json"
 python3 scripts/bench_compare.py bench/baselines/BENCH_scale.json \
   "$BENCH_TMP/BENCH_scale.json" --exact-unit sim_ns

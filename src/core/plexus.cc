@@ -43,11 +43,34 @@ EthernetManager::EthernetManager(PlexusHost& plexus, proto::EthLayer& eth)
 // The driver-edge hop: the only sheddable raise in the graph (nothing has
 // been invested in the frame yet beyond driver receive work).
 void EthernetManager::OnFrame(net::MbufPtr frame, const net::EthernetHeader& hdr) {
+  if (plexus_.batch_active()) {
+    EnqueueBatched(std::move(frame), hdr);
+    return;
+  }
   // The hop's GraphFn is move-only, so the buffer rides in the capture as a
   // plain MbufPtr — no shared_ptr control-block allocation per frame.
   plexus_.GraphHop(
       [this, ref = std::move(frame), hdr] { packet_recv_.Raise(*ref, hdr); },
       /*sheddable=*/true);
+}
+
+void EthernetManager::EnqueueBatched(net::MbufPtr frame, const net::EthernetHeader& hdr) {
+  if (pending_.empty()) {
+    plexus_.AddBatchFlush([this](bool deliver) { FlushBatched(deliver); },
+                          [this] { return pending_.size(); });
+  }
+  pending_.emplace_back(std::move(frame), hdr);
+}
+
+void EthernetManager::FlushBatched(bool deliver) {
+  auto burst = std::move(pending_);
+  pending_.clear();
+  // Shed: the parked frames die here, before any graph work — the batch
+  // analogue of refusing the frame's per-packet hop at Admit().
+  if (!deliver) return;
+  packet_recv_.RaiseBatch(burst, [](std::pair<net::MbufPtr, net::EthernetHeader>& p) {
+    return std::forward_as_tuple(*p.first, p.second);
+  });
 }
 
 spin::Result<spin::HandlerId> EthernetManager::InstallTypeHandler(
@@ -137,6 +160,23 @@ spin::Result<spin::HandlerId> IpManager::InstallProtocolHandler(
 }
 
 bool IpManager::Uninstall(spin::HandlerId id) { return packet_recv_.Uninstall(id); }
+
+void IpManager::EnqueueBatched(net::MbufPtr payload, const net::Ipv4Header& hdr) {
+  if (pending_.empty()) {
+    plexus_.AddBatchFlush([this](bool deliver) { FlushBatched(deliver); },
+                          [this] { return pending_.size(); });
+  }
+  pending_.emplace_back(std::move(payload), hdr);
+}
+
+void IpManager::FlushBatched(bool deliver) {
+  auto burst = std::move(pending_);
+  pending_.clear();
+  if (!deliver) return;
+  packet_recv_.RaiseBatch(burst, [](std::pair<net::MbufPtr, net::Ipv4Header>& p) {
+    return std::forward_as_tuple(*p.first, p.second);
+  });
+}
 
 void IpManager::Reinject(net::MbufPtr packet, net::Ipv4Address dst) {
   auto route = ip_.routes().Lookup(dst);
@@ -367,7 +407,20 @@ TcpManager::TcpManager(PlexusHost& plexus, proto::TcpConfig config)
       return false;
     }
   };
+  // GRO sits between the standard implementation's dispatch and the demux:
+  // inside a batch scope, in-order pure-data segments of one flow coalesce
+  // into a single chain and the demux pays one tcp_input for the run. The
+  // sink is the exact call the non-coalesced path makes.
+  gro_ = std::make_unique<proto::GroEngine>(
+      plexus.host(),
+      [this](net::MbufPtr merged, net::Ipv4Address src, net::Ipv4Address dst) {
+        demux_.Input(std::move(merged), src, dst);
+      });
   auto standard_handler = [this](const net::Mbuf& segment, const net::Ipv4Header& ip_hdr) {
+    if (gro_enabled_ && plexus_.batch_active() && sim::BatchConfig::enabled()) {
+      gro_->Push(segment.ShareClone(), ip_hdr.src, ip_hdr.dst);
+      return;
+    }
     demux_.Input(segment.ShareClone(), ip_hdr.src, ip_hdr.dst);
   };
   auto r = packet_recv_.Install(standard_handler, standard_guard, opts);
@@ -398,6 +451,26 @@ TcpManager::TcpManager(PlexusHost& plexus, proto::TcpConfig config)
     net::StorePacket(*m, rst);
     plexus_.ip().Output(std::move(m), src, net::ipproto::kTcp, dst);
   });
+}
+
+void TcpManager::EnqueueBatched(net::MbufPtr segment, const net::Ipv4Header& hdr) {
+  if (pending_.empty()) {
+    plexus_.AddBatchFlush([this](bool deliver) { FlushBatched(deliver); },
+                          [this] { return pending_.size(); });
+  }
+  pending_.emplace_back(std::move(segment), hdr);
+}
+
+void TcpManager::FlushBatched(bool deliver) {
+  auto burst = std::move(pending_);
+  pending_.clear();
+  if (!deliver) return;
+  packet_recv_.RaiseBatch(burst, [](std::pair<net::MbufPtr, net::Ipv4Header>& p) {
+    return std::forward_as_tuple(*p.first, p.second);
+  });
+  // Batch end is a GRO flush boundary: nothing may stay parked once the
+  // burst's segments have all been dispatched.
+  gro_->FlushAll();
 }
 
 bool TcpManager::IsSpecialPort(std::uint16_t port) const {
@@ -488,10 +561,19 @@ bool TcpManager::Listen(std::uint16_t port, Acceptor acceptor) {
     auto endpoint = std::shared_ptr<PlexusTcpEndpoint>(new PlexusTcpEndpoint(plexus_, ep));
     accepted_.push_back(endpoint);
     endpoint->SetOnEstablished([this, port, weak = std::weak_ptr(endpoint)] {
+      auto ep_ptr = weak.lock();
+      if (ep_ptr == nullptr) return;
       auto it = acceptors_.find(port);
       if (it != acceptors_.end() && it->second) {
-        if (auto ep_ptr = weak.lock()) it->second(ep_ptr);
+        it->second(ep_ptr);
+        return;
       }
+      // The listener went away while this handshake was in flight, so no
+      // application will ever claim the endpoint. Real stacks reset the
+      // unclaimed accept queue when the listening socket closes; parking
+      // the connection here instead would strand it in CLOSE_WAIT and
+      // wedge the peer in FIN_WAIT_2 forever once its FIN is ACKed.
+      ep_ptr->connection().Abort();
     });
     WireConnection(endpoint);
     endpoint->connection().Listen();
@@ -544,6 +626,7 @@ int PlexusHost::AddNic(drivers::DeviceProfile profile, NetConfig cfg) {
       [this](net::MbufPtr frame, const net::EthernetHeader& hdr) {
         eth_mgr_->OnFrame(std::move(frame), hdr);
       });
+  WireBatchHooks(*ifaces_.back().eth);
   return if_index;
 }
 
@@ -778,6 +861,13 @@ std::string PlexusHost::SnapshotTelemetry(std::size_t tracer_tail) {
 }
 
 void PlexusHost::GraphHop(GraphFn raise, bool sheddable) {
+  // An open batch scope coalesces: the raise is parked and later runs
+  // inside the scope's single hop task (thread mode) or its inline close
+  // (interrupt mode), alongside every other hop of the burst.
+  if (batch_active_) {
+    batch_fns_.push_back(std::move(raise));
+    return;
+  }
   if (mode_ == HandlerMode::kInterrupt) {
     raise();
     return;
@@ -792,6 +882,71 @@ void PlexusHost::GraphHop(GraphFn raise, bool sheddable) {
     deferred_.OnStart();
     host_.Charge(host_.costs().thread_handoff);
     raise();
+  });
+}
+
+void PlexusHost::AddBatchFlush(std::function<void(bool)> flush,
+                               std::function<std::size_t()> count) {
+  assert(batch_active_ && "AddBatchFlush outside a batch scope");
+  batch_flushes_.push_back(BatchFlushEntry{std::move(flush), std::move(count)});
+}
+
+void PlexusHost::WireBatchHooks(proto::EthLayer& eth) {
+  eth.SetBatchHooks([this](std::size_t) { OpenBatchScope(); },
+                    [this] { CloseBatchScope(/*sheddable=*/true); });
+}
+
+void PlexusHost::OpenBatchScope() { batch_active_ = true; }
+
+// Closes the scope and moves its parked work into one coalesced hop. Each
+// coalesced hop re-opens a scope while it runs, so a burst travels the
+// graph layer by layer — exactly the interleave order of the per-packet
+// thread-mode path (FIFO hop tasks), with one hop per layer instead of one
+// per packet per layer. The chain ends at the first scope that parks
+// nothing.
+void PlexusHost::CloseBatchScope(bool sheddable) {
+  batch_active_ = false;
+  auto fns = std::move(batch_fns_);
+  auto flushes = std::move(batch_flushes_);
+  batch_fns_.clear();
+  batch_flushes_.clear();
+  std::size_t frames = fns.size();
+  for (const BatchFlushEntry& f : flushes) frames += f.count();
+  if (frames == 0) return;
+  if (mode_ == HandlerMode::kInterrupt) {
+    // Interrupt mode runs hops inline and never sheds; the batch win here
+    // is the amortized dispatch + single probe + GRO, not the thread hop.
+    batch_active_ = true;
+    for (GraphFn& fn : fns) fn();
+    for (BatchFlushEntry& f : flushes) f.flush(true);
+    CloseBatchScope(/*sheddable=*/false);
+    return;
+  }
+  if (!deferred_.AdmitBurst(frames, sheddable)) {
+    for (BatchFlushEntry& f : flushes) f.flush(false);
+    return;
+  }
+  // One admission, one spawn-equivalent for the group; the hop task pays
+  // the per-frame residual. (This also folds away the per-frame hop the
+  // overload sweep used to double-charge on top of a quota-bounded poll
+  // pass.)
+  host_.Charge(host_.costs().batch_hop);
+  struct Payload {
+    std::vector<GraphFn> fns;
+    std::vector<BatchFlushEntry> flushes;
+    std::size_t frames;
+  };
+  auto payload = std::make_unique<Payload>(
+      Payload{std::move(fns), std::move(flushes), frames});
+  host_.Submit(sim::Priority::kThread, [this, p = std::move(payload)] {
+    PLEXUS_PROFILE_SCOPE(kDeferredHop);
+    deferred_.OnStart();
+    host_.Charge(sim::Duration::Nanos(host_.costs().batch_frame.ns() *
+                                      static_cast<std::int64_t>(p->frames)));
+    batch_active_ = true;
+    for (GraphFn& fn : p->fns) fn();
+    for (BatchFlushEntry& f : p->flushes) f.flush(true);
+    CloseBatchScope(/*sheddable=*/false);
   });
 }
 
@@ -813,6 +968,10 @@ void PlexusHost::SetMbufPoolCapacity(std::size_t segments) {
 
 void PlexusHost::WireGraph() {
   const bool eph = requires_ephemeral();
+
+  // Every attachment point brackets its rx bursts with this host's batch
+  // scope, so a burst from any NIC coalesces its graph hops.
+  for (Iface& iface : ifaces_) WireBatchHooks(*iface.eth);
 
   // --- Ethernet level: ARP, IP, active messages -----------------------------
   // Kernel handlers dispatch on one EtherType each: installed behind the
@@ -864,6 +1023,10 @@ void PlexusHost::WireGraph() {
     TransmitIp(std::move(packet), next_hop, if_index);
   });
   ip_layer_->SetDeliver([this](net::MbufPtr payload, const net::Ipv4Header& hdr) {
+    if (batch_active_) {
+      ip_mgr_->EnqueueBatched(std::move(payload), hdr);
+      return;
+    }
     GraphHop([this, ref = std::move(payload), hdr] {
       ip_mgr_->packet_recv().Raise(*ref, hdr);
     });
@@ -904,6 +1067,10 @@ void PlexusHost::WireGraph() {
     opts.name = "tcp-input";
     auto r = ip_mgr_->packet_recv().InstallKeyed(
         [this](const net::Mbuf& payload, const net::Ipv4Header& hdr) {
+          if (batch_active_) {
+            tcp_mgr_->EnqueueBatched(payload.ShareClone(), hdr);
+            return;
+          }
           GraphHop([this, ref = payload.ShareClone(), hdr] {
             tcp_mgr_->packet_recv().Raise(*ref, hdr);
           });
@@ -954,6 +1121,11 @@ void PlexusHost::Crash() {
   // leak invariant the chaos harness checks.
   host_.cpu().Reset();
   deferred_.Reset();
+  // Any open batch scope died with the task that opened it; the managers'
+  // parked bursts were freed when the managers were torn down above.
+  batch_active_ = false;
+  batch_fns_.clear();
+  batch_flushes_.clear();
 }
 
 void PlexusHost::Restart(std::optional<net::MacAddress> new_mac) {

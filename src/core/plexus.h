@@ -50,6 +50,7 @@
 #include "proto/active_message.h"
 #include "proto/arp.h"
 #include "proto/eth.h"
+#include "proto/gro.h"
 #include "proto/http.h"
 #include "proto/icmp.h"
 #include "proto/ip.h"
@@ -136,10 +137,15 @@ class EthernetManager {
  private:
   friend class PlexusHost;
   void OnFrame(net::MbufPtr frame, const net::EthernetHeader& hdr);
+  // Batch scope active: park the frame; the whole burst rides one deferred
+  // hop and one RaiseBatch instead of a hop + raise per frame.
+  void EnqueueBatched(net::MbufPtr frame, const net::EthernetHeader& hdr);
+  void FlushBatched(bool deliver);
 
   PlexusHost& plexus_;
   proto::EthLayer& eth_;
   EthernetRecvEvent packet_recv_;
+  std::vector<std::pair<net::MbufPtr, net::EthernetHeader>> pending_;
 };
 
 // IP manager: validates/reassembles via the shared Ipv4Layer, then raises
@@ -174,11 +180,14 @@ class IpManager {
 
  private:
   friend class PlexusHost;
+  void EnqueueBatched(net::MbufPtr payload, const net::Ipv4Header& hdr);
+  void FlushBatched(bool deliver);
 
   PlexusHost& plexus_;
   proto::Ipv4Layer& ip_;
   proto::ArpService& arp_;
   IpRecvEvent packet_recv_;
+  std::vector<std::pair<net::MbufPtr, net::Ipv4Header>> pending_;
 };
 
 // A UDP communication right: created by the UDP manager for one local port.
@@ -342,6 +351,14 @@ class TcpManager {
   const proto::TcpConfig& config() const { return config_; }
   void set_config(const proto::TcpConfig& c) { config_ = c; }
 
+  // The receive coalescer at the demux edge. Active only inside a batch
+  // scope with batching enabled; set_gro_enabled(false) bypasses it (the
+  // burst still coalesces its hops, segments just reach the demux one by
+  // one).
+  proto::GroEngine& gro() { return *gro_; }
+  void set_gro_enabled(bool v) { gro_enabled_ = v; }
+  bool gro_enabled() const { return gro_enabled_; }
+
   // Every wired endpoint still attached (not crashed away, not expired):
   // the per-flow table the flight recorder snapshots.
   std::vector<std::shared_ptr<PlexusTcpEndpoint>> LiveEndpoints() const;
@@ -352,11 +369,16 @@ class TcpManager {
 
   void WireConnection(const std::shared_ptr<PlexusTcpEndpoint>& ep);
   bool IsSpecialPort(std::uint16_t port) const;
+  void EnqueueBatched(net::MbufPtr segment, const net::Ipv4Header& hdr);
+  void FlushBatched(bool deliver);
 
   PlexusHost& plexus_;
   proto::TcpConfig config_;
   proto::TcpDemux demux_;
   TcpRecvEvent packet_recv_;
+  std::unique_ptr<proto::GroEngine> gro_;
+  bool gro_enabled_ = true;
+  std::vector<std::pair<net::MbufPtr, net::Ipv4Header>> pending_;
   std::map<std::uint16_t, Acceptor> acceptors_;
   std::vector<std::shared_ptr<PlexusTcpEndpoint>> accepted_;  // keep-alive
   std::vector<std::weak_ptr<PlexusTcpEndpoint>> wired_;  // for crash teardown
@@ -439,6 +461,27 @@ class PlexusHost {
   using GraphFn = sim::SmallFn<void(), 48>;
   void GraphHop(GraphFn raise, bool sheddable = false);
 
+  // --- batched packet path ---------------------------------------------------
+  //
+  // While an rx burst is being delivered (and again while each coalesced
+  // hop task runs), a batch scope is active: GraphHop parks its raise
+  // instead of spawning a thread, and accumulating hop sites (the
+  // Ethernet/IP/TCP managers) park per-packet work and register ONE flush
+  // for the scope. Closing the scope admits the whole group as a single
+  // deferred-queue unit (CostModel::batch_hop once + batch_frame per
+  // carried packet, instead of thread_spawn + thread_handoff per packet)
+  // and runs it in one thread-priority task — under a fresh scope, so the
+  // burst travels the graph one coalesced hop per layer, preserving the
+  // per-packet path's layer-by-layer interleave order. With PLEXUS_BATCH
+  // off no scope ever opens and every hop takes the per-packet path.
+  bool batch_active() const { return batch_active_; }
+  // Registers a flush for the current scope (call once, on the first
+  // parked packet). `flush(true)` delivers the parked packets, `flush(false)`
+  // drops them (the queue shed the burst); `count()` is sampled at scope
+  // close for the admission charge.
+  void AddBatchFlush(std::function<void(bool deliver)> flush,
+                     std::function<std::size_t()> count);
+
   // The bounded buffer pool every pooled allocation on this host draws
   // from. Replacing the capacity swaps in a fresh pool; buffers still
   // outstanding stay valid and retire against the old books.
@@ -488,8 +531,16 @@ class PlexusHost {
     NetConfig cfg;  // remembered for cold restart
   };
 
+  struct BatchFlushEntry {
+    std::function<void(bool deliver)> flush;
+    std::function<std::size_t()> count;
+  };
+
   void WireGraph();
   void WireMbufPool();
+  void WireBatchHooks(proto::EthLayer& eth);
+  void OpenBatchScope();
+  void CloseBatchScope(bool sheddable);
   void ExportDomainSymbols();
   Iface MakeIface(drivers::DeviceProfile profile, NetConfig cfg);
   std::vector<Iface> MakeInitialIfaces(const drivers::DeviceProfile& profile, NetConfig cfg);
@@ -516,6 +567,13 @@ class PlexusHost {
 
   spin::DomainPtr kernel_domain_;
   spin::DomainPtr app_domain_;
+
+  // Open batch scope: per-frame hops parked here until the scope closes.
+  // Never survives the task that opened it (scopes close synchronously),
+  // but Crash() clears it anyway — defense against a dying task.
+  bool batch_active_ = false;
+  std::vector<GraphFn> batch_fns_;
+  std::vector<BatchFlushEntry> batch_flushes_;
 
   bool crashed_ = false;
   proto::RoutingTable saved_routes_;  // routing config survives a reboot

@@ -1,0 +1,91 @@
+// A burst of packets drained from a device rx ring in one pass (the NAPI
+// shape): a small fixed-capacity vector of owning mbuf handles whose slot
+// array comes from the "mbuf.batch" slab, so an in-flight burst shows up in
+// SlabRegistry::InUse("mbuf") exactly like the buffers it carries — the
+// crash-mid-burst leak assertions in chaos_property_test / tcp_churn_test
+// cover the batch container itself, not just its packets.
+//
+// Move-only. Destruction releases every carried mbuf and returns the slot
+// block; Clear() does the same but keeps the block for reuse by this batch.
+#ifndef PLEXUS_NET_MBUF_BATCH_H_
+#define PLEXUS_NET_MBUF_BATCH_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+#include "net/mbuf.h"
+#include "sim/slab.h"
+
+namespace net {
+
+class MbufBatch {
+ public:
+  // Upper bound on frames per burst; rx drains are further bounded by the
+  // device's poll quota. 64 handles keep the slot block one 512-byte slab
+  // allocation.
+  static constexpr std::size_t kCapacity = 64;
+
+  MbufBatch() = default;
+  MbufBatch(MbufBatch&& other) noexcept
+      : slots_(std::exchange(other.slots_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MbufBatch& operator=(MbufBatch&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      slots_ = std::exchange(other.slots_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MbufBatch(const MbufBatch&) = delete;
+  MbufBatch& operator=(const MbufBatch&) = delete;
+  ~MbufBatch() { Reset(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == kCapacity; }
+
+  void PushBack(MbufPtr m) {
+    assert(!full() && "MbufBatch overflow");
+    if (slots_ == nullptr) slots_ = static_cast<MbufPtr*>(Slab().Alloc());
+    new (&slots_[size_]) MbufPtr(std::move(m));
+    ++size_;
+  }
+
+  MbufPtr& operator[](std::size_t i) {
+    assert(i < size_);
+    return slots_[i];
+  }
+
+  MbufPtr* begin() { return slots_; }
+  MbufPtr* end() { return slots_ + size_; }
+
+  // Releases the carried mbufs (those not already moved out) but keeps the
+  // slot block for the next fill.
+  void Clear() {
+    for (std::size_t i = 0; i < size_; ++i) slots_[i].~MbufPtr();
+    size_ = 0;
+  }
+
+ private:
+  void Reset() {
+    Clear();
+    if (slots_ != nullptr) {
+      Slab().Free(slots_);
+      slots_ = nullptr;
+    }
+  }
+
+  static sim::BlockSlab& Slab() {
+    static sim::BlockSlab slab("mbuf.batch", kCapacity * sizeof(MbufPtr));
+    return slab;
+  }
+
+  MbufPtr* slots_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace net
+
+#endif  // PLEXUS_NET_MBUF_BATCH_H_

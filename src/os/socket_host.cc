@@ -52,6 +52,24 @@ void SocketHost::WireIfaceUpcall(Iface& iface) {
         break;  // monolithic kernel: unknown types are silently dropped
     }
   });
+  // Under the batched packet path the shared driver delivers NAPI-style rx
+  // bursts to this kernel too (one interrupt, many frames) — a monolithic
+  // kernel amortizes interrupts the same way, so the comparison stays
+  // controlled at the driver edge. Everything above it (hard-wired demux,
+  // wakeup, context switch, copyout) remains strictly per-packet; the hooks
+  // only account for the bursts. Counters are registered lazily so a run
+  // that never sees a burst has a metrics snapshot identical to pre-batch
+  // builds.
+  iface.eth->SetBatchHooks(
+      [this](std::size_t frames) {
+        if (rx_bursts_ == nullptr) {
+          rx_bursts_ = &host_.metrics().counter("os.rx_bursts");
+          rx_burst_frames_ = &host_.metrics().counter("os.rx_burst_frames");
+        }
+        rx_bursts_->Inc();
+        rx_burst_frames_->Inc(frames);
+      },
+      [] {});
 }
 
 SocketHost::SocketHost(sim::Simulator& s, std::string name, sim::CostModel costs,

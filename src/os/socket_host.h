@@ -111,6 +111,10 @@ class SocketHost {
   sim::Counter& copyout_bytes_ = host_.metrics().counter("os.copyout_bytes");
   sim::Counter& context_switches_ = host_.metrics().counter("os.context_switches");
   sim::Counter& sched_wakeups_ = host_.metrics().counter("os.sched_wakeups");
+  // NAPI burst accounting (lazy: only materializes when batching delivers
+  // a burst, keeping per-packet-mode metric snapshots unchanged).
+  sim::Counter* rx_bursts_ = nullptr;
+  sim::Counter* rx_burst_frames_ = nullptr;
   NetConfig net_config_;
   std::map<int, int> rcvif_to_if_index_;  // NIC global index -> if_index
   std::vector<Iface> ifaces_;             // [0] is the primary interface

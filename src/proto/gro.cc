@@ -1,0 +1,137 @@
+#include "proto/gro.h"
+
+#include "net/view.h"
+#include "proto/transport_checksum.h"
+#include "sim/simulator.h"
+
+namespace proto {
+
+GroEngine::GroEngine(sim::Host& host, Sink sink, Config config)
+    : host_(host), sink_(std::move(sink)), config_(config) {}
+
+GroEngine::~GroEngine() {
+  // Power-fail semantics: a held chain is released, not delivered (there
+  // is no task context to deliver in). Normal owners FlushAll() first.
+  host_.simulator().Cancel(timer_);
+  ++timer_gen_;
+}
+
+bool GroEngine::Coalescable(const net::TcpHeader& hdr, std::size_t payload_len) {
+  return hdr.flags == net::tcpflag::kAck &&
+         hdr.header_length() == sizeof(net::TcpHeader) && payload_len > 0;
+}
+
+bool GroEngine::Extends(const net::TcpHeader& hdr, net::Ipv4Address src,
+                        net::Ipv4Address dst) const {
+  return src == held_src_ && dst == held_dst_ &&
+         hdr.src_port.value() == held_hdr_.src_port.value() &&
+         hdr.dst_port.value() == held_hdr_.dst_port.value() &&
+         hdr.seq.value() == held_next_seq_ &&
+         hdr.ack.value() == held_hdr_.ack.value() &&
+         hdr.window.value() == held_hdr_.window.value() &&
+         held_count_ < config_.max_merge;
+}
+
+void GroEngine::Push(net::MbufPtr segment, net::Ipv4Address src,
+                     net::Ipv4Address dst) {
+  ++stats_.pushed;
+  net::TcpHeader hdr;
+  try {
+    hdr = net::ViewPacket<net::TcpHeader>(*segment);
+  } catch (const net::ViewError&) {
+    // Truncated runt: not ours to judge — flush and let the demux's own
+    // validation see it exactly as it arrived.
+    Flush(/*from_timer=*/false);
+    ++stats_.passthrough;
+    sink_(std::move(segment), src, dst);
+    return;
+  }
+  const std::size_t header_len =
+      hdr.header_length() >= sizeof(net::TcpHeader) ? hdr.header_length()
+                                                    : sizeof(net::TcpHeader);
+  const std::size_t total = segment->PacketLength();
+  const std::size_t payload_len = total > header_len ? total - header_len : 0;
+
+  if (!Coalescable(hdr, payload_len)) {
+    // Connection-state edges (SYN/FIN/RST/PSH/URG), options, bare ACKs:
+    // flush first so the state machine sees everything in arrival order.
+    Flush(/*from_timer=*/false);
+    ++stats_.passthrough;
+    sink_(std::move(segment), src, dst);
+    return;
+  }
+
+  if (held_ != nullptr && Extends(hdr, src, dst)) {
+    // Fold: strip the repeated header, append the payload bytes to the
+    // held chain. One gro_merge instead of a full per-segment input pass.
+    if (host_.in_task()) host_.Charge(host_.costs().gro_merge);
+    segment->TrimFront(header_len);
+    held_->AppendChain(std::move(segment));
+    held_next_seq_ += static_cast<std::uint32_t>(payload_len);
+    ++held_count_;
+    ++stats_.merged;
+    return;
+  }
+
+  if (held_ != nullptr) Flush(/*from_timer=*/false);
+  StartChain(std::move(segment), hdr, src, dst, payload_len);
+}
+
+void GroEngine::StartChain(net::MbufPtr segment, const net::TcpHeader& hdr,
+                           net::Ipv4Address src, net::Ipv4Address dst,
+                           std::size_t payload_len) {
+  held_ = std::move(segment);
+  held_hdr_ = hdr;
+  held_src_ = src;
+  held_dst_ = dst;
+  held_next_seq_ = hdr.seq.value() + static_cast<std::uint32_t>(payload_len);
+  held_count_ = 1;
+  ArmTimer();
+}
+
+void GroEngine::FlushAll() { Flush(/*from_timer=*/false); }
+
+void GroEngine::Flush(bool from_timer) {
+  if (held_ == nullptr) return;
+  DisarmTimer();
+  net::MbufPtr chain = std::move(held_);
+  held_ = nullptr;
+  const std::size_t count = held_count_;
+  held_count_ = 0;
+  if (count > 1) {
+    // The first segment's checksum no longer covers the grown payload:
+    // recompute so checksum-verifying consumers accept the merged segment.
+    // (Wall-clock only — the simulated cost of checksumming these bytes
+    // was already charged when each wire frame was received.)
+    net::TcpHeader hdr = held_hdr_;
+    hdr.checksum = 0;
+    net::StorePacket(*chain, hdr);
+    hdr.checksum =
+        TransportChecksum(held_src_, held_dst_, net::ipproto::kTcp, *chain);
+    net::StorePacket(*chain, hdr);
+  }
+  ++stats_.flushes;
+  if (from_timer) ++stats_.timer_flushes;
+  sink_(std::move(chain), held_src_, held_dst_);
+}
+
+void GroEngine::ArmTimer() {
+  if (config_.flush_timeout.is_zero()) return;
+  const std::uint64_t gen = ++timer_gen_;
+  timer_ = host_.simulator().Schedule(config_.flush_timeout, [this, gen] {
+    host_.Submit(sim::Priority::kKernel, [this, gen] {
+      if (gen != timer_gen_) return;  // flushed (or re-armed) since
+      Flush(/*from_timer=*/true);
+    });
+  });
+}
+
+void GroEngine::DisarmTimer() {
+  ++timer_gen_;
+  if (timer_ != sim::kInvalidEventId) {
+    host_.simulator().Cancel(timer_);
+    timer_ = sim::kInvalidEventId;
+  }
+}
+
+}  // namespace proto

@@ -1,0 +1,117 @@
+// Generic receive offload at the TCP demux edge.
+//
+// Under the batched packet path, back-to-back segments of one bulk-transfer
+// flow dominate an rx burst. GroEngine folds consecutive in-order pure-data
+// segments of one flow into a single mbuf chain before the demux sees it,
+// so the whole run pays tcp_input (and the per-segment demux/dispatch
+// machinery above it) once instead of once per wire frame; each fold costs
+// CostModel::gro_merge instead.
+//
+// Coalescing rules (the Linux-GRO boundary set, reduced to this TCP):
+//   * only plain segments coalesce: flags == ACK exactly (no SYN/FIN/RST/
+//     PSH/URG — connection-state edges must hit the state machine one at a
+//     time), a 20-byte header (options change per segment: timestamps would
+//     be lost by merging), and a non-empty payload (bare ACKs carry
+//     window/ack state, not stream bytes);
+//   * a segment extends the held chain only if it continues the same flow
+//     (4-tuple), lands exactly in order (seq == held end), and repeats the
+//     held ack and window (an ack advance or window update is control
+//     information the receiver must see at its own position in the stream);
+//   * at most max_merge segments fold into one chain.
+// Anything else flushes the held chain first: non-coalescable segments pass
+// straight through (after the flush, preserving arrival order), coalescable
+// ones start a new chain.
+//
+// A held chain is flushed by the first of: batch end (FlushAll — the
+// normal path: the engine's owner flushes after every RaiseBatch), a
+// non-mergeable segment, or the flush timer armed when the chain starts
+// (so a chain can never be parked past Config::flush_timeout even if no
+// further traffic arrives). The merged chain's TCP checksum is recomputed
+// before delivery, so checksum-verifying consumers see a valid segment.
+//
+// The engine holds at most one flow's chain; destruction releases a held
+// chain without delivering it (crash semantics — the owner tears the
+// engine down only at quiescent points or power-fail).
+#ifndef PLEXUS_PROTO_GRO_H_
+#define PLEXUS_PROTO_GRO_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "net/address.h"
+#include "net/headers.h"
+#include "net/mbuf.h"
+#include "sim/host.h"
+
+namespace proto {
+
+class GroEngine {
+ public:
+  struct Config {
+    std::size_t max_merge = 16;  // wire segments folded into one chain
+    sim::Duration flush_timeout = sim::Duration::Micros(100);
+  };
+
+  // Receives the (possibly merged) segment exactly as TcpDemux::Input
+  // would have: TCP header + payload, IP header already stripped.
+  using Sink = std::function<void(net::MbufPtr segment, net::Ipv4Address src,
+                                  net::Ipv4Address dst)>;
+
+  struct Stats {
+    std::uint64_t pushed = 0;         // segments offered to the engine
+    std::uint64_t merged = 0;         // segments folded into a held chain
+    std::uint64_t flushes = 0;        // chains delivered to the sink
+    std::uint64_t timer_flushes = 0;  // ... of which the timer forced
+    std::uint64_t passthrough = 0;    // non-coalescable segments forwarded
+  };
+
+  GroEngine(sim::Host& host, Sink sink) : GroEngine(host, std::move(sink), Config()) {}
+  GroEngine(sim::Host& host, Sink sink, Config config);
+  GroEngine(const GroEngine&) = delete;
+  GroEngine& operator=(const GroEngine&) = delete;
+  ~GroEngine();
+
+  // Offers one received segment. Either parks/extends the held chain or
+  // delivers through the sink (flushing the held chain first whenever
+  // ordering demands it).
+  void Push(net::MbufPtr segment, net::Ipv4Address src, net::Ipv4Address dst);
+
+  // Batch-end flush: delivers the held chain, if any.
+  void FlushAll();
+
+  bool holding() const { return held_ != nullptr; }
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  // True if the segment can participate in coalescing at all.
+  static bool Coalescable(const net::TcpHeader& hdr, std::size_t payload_len);
+  // True if a coalescable segment extends the current held chain.
+  bool Extends(const net::TcpHeader& hdr, net::Ipv4Address src,
+               net::Ipv4Address dst) const;
+  void StartChain(net::MbufPtr segment, const net::TcpHeader& hdr,
+                  net::Ipv4Address src, net::Ipv4Address dst,
+                  std::size_t payload_len);
+  void Flush(bool from_timer);
+  void ArmTimer();
+  void DisarmTimer();
+
+  sim::Host& host_;
+  Sink sink_;
+  Config config_;
+  Stats stats_;
+
+  net::MbufPtr held_;  // chain under construction (nullptr when idle)
+  net::TcpHeader held_hdr_;  // first segment's header (checksum rewritten at flush)
+  net::Ipv4Address held_src_;
+  net::Ipv4Address held_dst_;
+  std::uint32_t held_next_seq_ = 0;  // seq the next in-order segment must carry
+  std::size_t held_count_ = 0;       // wire segments in the chain
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::uint64_t timer_gen_ = 0;  // invalidates in-flight timer tasks
+};
+
+}  // namespace proto
+
+#endif  // PLEXUS_PROTO_GRO_H_

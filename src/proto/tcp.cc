@@ -7,6 +7,7 @@
 #include "net/mbuf_pool.h"
 #include "net/view.h"
 #include "proto/transport_checksum.h"
+#include "sim/batch.h"
 
 namespace proto {
 
@@ -282,7 +283,7 @@ void TcpConnection::Consume(std::size_t n) {
 // --- segment emission ---------------------------------------------------------
 
 void TcpConnection::EmitSegment(std::uint8_t flags, Seq seq, std::span<const std::byte> payload,
-                                bool with_mss_option) {
+                                bool with_mss_option, bool charge_costs) {
   const std::size_t hdr_len = sizeof(net::TcpHeader) + (with_mss_option ? kMssOptionLen : 0);
 
   // Pool dry: skip the emission entirely. TCP's own machinery recovers —
@@ -309,8 +310,8 @@ void TcpConnection::EmitSegment(std::uint8_t flags, Seq seq, std::span<const std
   if (!payload.empty()) m->CopyIn(hdr_len, payload);
 
   sim::TraceSpan span(host_, "tcp.output", "tcp", m->pkthdr().trace_id);
-  host_.Charge(host_.costs().tcp_output);
-  {
+  if (charge_costs) {
+    host_.Charge(host_.costs().tcp_output);
     sim::TraceSpan cks(host_, "tcp.checksum", "checksum");
     host_.Charge(host_.costs().checksum_per_byte *
                  static_cast<std::int64_t>(m->PacketLength()));
@@ -337,10 +338,37 @@ void TcpConnection::SendDataSegment(Seq seq, std::size_t len, bool rtt_candidate
   std::vector<std::byte> payload(len);
   std::copy(send_buf_.begin() + static_cast<std::ptrdiff_t>(offset),
             send_buf_.begin() + static_cast<std::ptrdiff_t>(offset + len), payload.begin());
-  std::uint8_t flags = net::tcpflag::kAck;
-  if (offset + len == send_buf_.size()) flags |= net::tcpflag::kPsh;
   if (rtt_candidate && !rtt_timing_) StartRttTiming(seq);
   stats_.bytes_sent += len;
+  if (len > effective_mss_ && effective_mss_ > 0) {
+    // GSO jumbo: segmentation work and the checksum scan over the payload
+    // are paid once here; each wire frame then costs gso_split. The frames
+    // are byte-identical to what the per-packet loop would emit — same
+    // MSS-aligned seq boundaries, PSH only on a frame that ends at the
+    // send buffer's edge, a real checksum in every header.
+    ++stats_.gso_jumbos;
+    {
+      sim::TraceSpan span(host_, "tcp.output.gso", "tcp");
+      host_.Charge(host_.costs().tcp_output);
+      sim::TraceSpan cks(host_, "tcp.checksum", "checksum");
+      host_.Charge(host_.costs().checksum_per_byte *
+                   static_cast<std::int64_t>(sizeof(net::TcpHeader) + len));
+    }
+    std::size_t off = 0;
+    while (off < len) {
+      const std::size_t chunk = std::min(effective_mss_, len - off);
+      std::uint8_t flags = net::tcpflag::kAck;
+      if (offset + off + chunk == send_buf_.size()) flags |= net::tcpflag::kPsh;
+      host_.Charge(host_.costs().gso_split);
+      EmitSegment(flags, seq + static_cast<std::uint32_t>(off),
+                  std::span<const std::byte>(payload).subspan(off, chunk),
+                  /*with_mss_option=*/false, /*charge_costs=*/false);
+      off += chunk;
+    }
+    return;
+  }
+  std::uint8_t flags = net::tcpflag::kAck;
+  if (offset + len == send_buf_.size()) flags |= net::tcpflag::kPsh;
   EmitSegment(flags, seq, payload, /*with_mss_option=*/false);
 }
 
@@ -370,6 +398,13 @@ void TcpConnection::TrySend() {
   const std::size_t win = std::min<std::size_t>(snd_wnd_, cwnd_);
   bool sent_any = false;
 
+  // Under batching an emission may be a GSO jumbo of several MSS; the
+  // per-packet path keeps the one-MSS cap so its output is untouched.
+  const std::size_t send_cap =
+      effective_mss_ * (sim::BatchConfig::enabled()
+                            ? std::max<std::size_t>(1, config_.gso_segments)
+                            : 1);
+
   // Push data.
   while (true) {
     const std::size_t data_sent = SeqDiff(snd_una_, snd_nxt_) -
@@ -379,7 +414,7 @@ void TcpConnection::TrySend() {
     const std::size_t flight = bytes_in_flight();
     if (flight >= win) break;
     const std::size_t usable = win - flight;
-    const std::size_t len = std::min({unsent, usable, effective_mss_});
+    const std::size_t len = std::min({unsent, usable, send_cap});
     if (len == 0) break;
     SendDataSegment(snd_nxt_, len, /*rtt_candidate=*/true);
     snd_nxt_ += len;

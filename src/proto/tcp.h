@@ -65,6 +65,13 @@ struct TcpConfig {
   int max_persist_probes = 20;
   bool delayed_ack_enabled = true;
   std::uint32_t initial_cwnd_segments = 1;
+  // Segmentation offload: under the batched packet path (PLEXUS_BATCH) one
+  // app write may leave the connection as a jumbo of up to gso_segments*mss
+  // bytes, split into wire-identical MSS-sized frames at the emission edge.
+  // The jumbo pays tcp_output and the checksum scan once plus
+  // CostModel::gso_split per wire frame. 1 disables; the knob is ignored
+  // entirely when batching is off (that path must stay charge-identical).
+  std::size_t gso_segments = 8;
 };
 
 struct TcpEndpoints {
@@ -133,6 +140,7 @@ class TcpConnection {
     std::uint64_t out_of_order_segments = 0;
     std::uint64_t bad_checksums = 0;
     std::uint64_t persist_probes = 0;
+    std::uint64_t gso_jumbos = 0;  // oversized sends split at the emission edge
   };
 
   TcpConnection(sim::Host& host, TcpConfig config, TcpEndpoints endpoints, Callbacks callbacks);
@@ -211,8 +219,11 @@ class TcpConnection {
   void SendControl(std::uint8_t flags, Seq seq, bool with_mss_option);
   void SendDataSegment(Seq seq, std::size_t len, bool rtt_candidate);
   void SendAckNow();
+  // charge_costs=false suppresses the tcp_output/checksum charges (the GSO
+  // split path pays them once for the whole jumbo); the frame's real
+  // checksum is still computed either way.
   void EmitSegment(std::uint8_t flags, Seq seq, std::span<const std::byte> payload,
-                   bool with_mss_option);
+                   bool with_mss_option, bool charge_costs = true);
   void SendRst(Seq seq, Seq ack, bool with_ack);
 
   // --- output engine ---

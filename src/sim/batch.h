@@ -1,0 +1,40 @@
+// Runtime gate for the batched packet path (rx bursts, batch Raise, GRO,
+// GSO). PLEXUS_BATCH=off|0 degrades every batching site to the per-packet
+// path — drivers deliver one frame per interrupt/poll step, every frame
+// pays its own deferred-queue hop and demux probe, TCP emits per-MSS
+// segments — and all virtual-time outputs must be byte-identical to the
+// pre-batching engine (enforced by the BENCH_scale / fig5 / tab1 off-mode
+// gates in scripts/check.sh and by batch_equivalence_test).
+//
+// Same lazy env-resolve pattern as sim::SlabConfig / sim::Profiler.
+// Flipping the gate mid-run is only safe at quiescent points: no rx burst
+// in flight, no coalesced hop queued, no GRO chain held.
+#ifndef PLEXUS_SIM_BATCH_H_
+#define PLEXUS_SIM_BATCH_H_
+
+#include <cstdlib>
+
+namespace sim {
+
+class BatchConfig {
+ public:
+  static bool enabled() {
+    if (state_ == 0) [[unlikely]] ResolveFromEnv();
+    return state_ == 2;
+  }
+  static void SetEnabled(bool on) { state_ = on ? 2 : 1; }
+
+ private:
+  static void ResolveFromEnv() {
+    const char* env = std::getenv("PLEXUS_BATCH");
+    const bool off = env != nullptr &&
+                     (env[0] == '0' || ((env[0] == 'o' || env[0] == 'O') &&
+                                        (env[1] == 'f' || env[1] == 'F')));
+    state_ = off ? 1 : 2;
+  }
+  static inline int state_ = 0;  // 0 unresolved, 1 disabled, 2 enabled
+};
+
+}  // namespace sim
+
+#endif  // PLEXUS_SIM_BATCH_H_

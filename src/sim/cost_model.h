@@ -36,6 +36,23 @@ struct CostModel {
   Duration thread_spawn = Duration::Micros(8);     // lightweight kernel thread fork
   Duration thread_handoff = Duration::Micros(4);   // enqueue + dispatch to thread
 
+  // --- Batched packet path (NAPI/GRO/GSO-style amortization) ---------------
+  // One deferred-queue hop carries a whole rx burst: the submitter pays
+  // batch_hop once (enqueue + thread dispatch for the group) and the hop
+  // task pays batch_frame per carried raise — replacing a full
+  // thread_spawn + thread_handoff per frame. A batched Event dispatch pays
+  // event_dispatch for the first invocation of an entry and batch_dispatch
+  // for each further packet of the same sub-batch (the handler is hot:
+  // no icache/arg-marshalling refill). gro_merge folds one in-order TCP
+  // segment into a held chain instead of a full tcp_input pass; gso_split
+  // stamps one wire frame out of a jumbo segment whose header/checksum
+  // work was paid once.
+  Duration batch_hop = Duration::Micros(5);
+  Duration batch_frame = Duration::Nanos(500);
+  Duration batch_dispatch = Duration::Nanos(100);
+  Duration gro_merge = Duration::Micros(2);
+  Duration gso_split = Duration::Micros(2);
+
   // --- Interrupt path (shared; same drivers on both systems) --------------
   Duration interrupt_entry = Duration::Micros(4);  // vector + prologue
   Duration interrupt_exit = Duration::Micros(2);

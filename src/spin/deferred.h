@@ -67,6 +67,25 @@ class DeferredQueue {
     return true;
   }
 
+  // Batched variant: one queued hop carries `frames` packets. Admission is
+  // all-or-nothing (the burst is one unit of queued work — depth grows by
+  // one hop) but the admit/shed books stay per-frame, so overload counters
+  // mean the same thing in batched and per-packet modes.
+  bool AdmitBurst(std::size_t frames, bool sheddable) {
+    const std::size_t d = depth();
+    if (shedding_ && d <= config_.low_watermark) shedding_ = false;
+    if (!shedding_ && d >= config_.high_watermark) shedding_ = true;
+    if (shedding_ && sheddable) {
+      shed_.Inc(frames);
+      host_.TraceInstant("spin.deferred_shed", "drop");
+      return false;
+    }
+    admitted_.Inc(frames);
+    depth_.Add(1);
+    if (d + 1 > peak_) peak_ = d + 1;
+    return true;
+  }
+
   // Called at the top of the admitted handler thread, before any work.
   void OnStart() { depth_.Add(-1); }
 

@@ -37,7 +37,10 @@ class Dispatcher {
         demux_lookups_(registry().counter("spin.demux_lookups")),
         terminations_(registry().counter("spin.terminations")),
         faults_(registry().counter("spin.faults")),
-        quarantines_(registry().counter("spin.quarantines")) {}
+        quarantines_(registry().counter("spin.quarantines")),
+        batch_raises_(registry().counter("spin.batch_raises")),
+        batch_packets_(registry().counter("spin.batch_packets")),
+        batch_amortized_(registry().counter("spin.batch_amortized")) {}
   Dispatcher(const Dispatcher&) = delete;
   Dispatcher& operator=(const Dispatcher&) = delete;
 
@@ -57,6 +60,15 @@ class Dispatcher {
     handler_invocations_.Inc();
     if (host_ != nullptr && host_->in_task()) host_->Charge(host_->costs().event_dispatch);
   }
+  // A further packet dispatched to an entry already invoked earlier in the
+  // same RaiseBatch: the handler is hot, so the per-invocation framework
+  // cost drops from event_dispatch to batch_dispatch. Still one handler
+  // invocation for the books — per-packet semantics, amortized charge.
+  void ChargeBatchDispatch() {
+    handler_invocations_.Inc();
+    batch_amortized_.Inc();
+    if (host_ != nullptr && host_->in_task()) host_->Charge(host_->costs().batch_dispatch);
+  }
   void ChargeInstall() {
     if (host_ != nullptr && host_->in_task()) host_->Charge(host_->costs().handler_install);
   }
@@ -65,6 +77,10 @@ class Dispatcher {
   }
 
   void CountRaise() { raises_.Inc(); }
+  void CountBatchRaise(std::uint64_t packets) {
+    batch_raises_.Inc();
+    batch_packets_.Inc(packets);
+  }
   void CountGuardReject() { guard_rejections_.Inc(); }
   void CountTermination() { terminations_.Inc(); }
   void CountFault() { faults_.Inc(); }
@@ -79,13 +95,17 @@ class Dispatcher {
     std::uint64_t terminations = 0;  // over-budget handlers cut off mid-run
     std::uint64_t faults = 0;        // exceptions fenced at the dispatch boundary
     std::uint64_t quarantines = 0;   // handlers auto-uninstalled after max strikes
+    std::uint64_t batch_raises = 0;     // RaiseBatch calls that took the batched core
+    std::uint64_t batch_packets = 0;    // packets carried by those calls
+    std::uint64_t batch_amortized = 0;  // invocations charged at the batched rate
   };
   Stats stats() const {
     return {raises_.value(),       handler_invocations_.value(),
             guard_evals_.value(),  guard_rejections_.value(),
             demux_lookups_.value(),
             terminations_.value(), faults_.value(),
-            quarantines_.value()};
+            quarantines_.value(),  batch_raises_.value(),
+            batch_packets_.value(), batch_amortized_.value()};
   }
   void ResetStats() {
     raises_.Reset();
@@ -96,6 +116,9 @@ class Dispatcher {
     terminations_.Reset();
     faults_.Reset();
     quarantines_.Reset();
+    batch_raises_.Reset();
+    batch_packets_.Reset();
+    batch_amortized_.Reset();
   }
 
  private:
@@ -113,6 +136,9 @@ class Dispatcher {
   sim::Counter& terminations_;
   sim::Counter& faults_;
   sim::Counter& quarantines_;
+  sim::Counter& batch_raises_;
+  sim::Counter& batch_packets_;
+  sim::Counter& batch_amortized_;
 };
 
 }  // namespace spin

@@ -42,10 +42,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "sim/batch.h"
 #include "sim/profiler.h"
 #include "sim/time.h"
 #include "spin/dispatcher.h"
@@ -338,15 +340,131 @@ class Event {
           e = index_.residuals()[ir++];
         }
         if (!e->alive) continue;  // uninstalled mid-raise
-        invoked += DispatchTo(*e, host, tracing, args...);
+        invoked += DispatchTo(*e, host, tracing, /*amortized=*/false, args...);
       }
     } else {
       const std::size_t bound = entries_.size();
       for (std::size_t i = 0; i < bound; ++i) {
         Entry& e = *entries_[i];
         if (!e.alive) continue;  // uninstalled mid-raise
-        invoked += DispatchTo(e, host, tracing, args...);
+        invoked += DispatchTo(e, host, tracing, /*amortized=*/false, args...);
       }
+    }
+    if (--raising_ == 0 && needs_sweep_) Sweep();
+    return invoked;
+  }
+
+  // Batched raise: dispatches a burst of packets through the demux index
+  // with one probe per DISTINCT key (flows repeat heavily within a burst)
+  // and amortized dispatch charges — the first packet reaching an entry
+  // pays event_dispatch, further packets of the same burst pay
+  // batch_dispatch. Everything else behaves exactly as if each packet were
+  // raised singly, in arrival order: one spin.raises count and one raise
+  // span per packet, guards evaluated (and charged) per packet, budget
+  // fences and fault containment bracketing each invocation, the snapshot
+  // bound re-read per packet so a handler installed by packet k is visible
+  // to packet k+1, and mid-burst uninstall/quarantine marking entries dead
+  // for the remainder of the burst. Known divergences from N single
+  // raises, both documented in DESIGN.md: key churn
+  // (AddHandlerKey/RemoveHandlerKey) requested mid-burst lands after the
+  // whole burst, and a keyed handler installed mid-burst under a key whose
+  // probe already came up empty is first seen by the next burst.
+  //
+  // `items` is any sized forward range; `proj(item)` returns a std::tuple
+  // whose elements bind to this event's argument types. When batching is
+  // disabled, the event has no dispatcher, or no demux index is compiled,
+  // the burst degrades to per-packet Raise calls — byte-identical to the
+  // per-packet path.
+  template <typename Container, typename Proj>
+  std::size_t RaiseBatch(Container& items, Proj&& proj) {
+    std::size_t invoked = 0;
+    if (dispatcher_ == nullptr || extractor_ == nullptr || !index_.has_keyed() ||
+        !sim::BatchConfig::enabled() || items.size() < 2) {
+      for (auto& item : items) {
+        invoked += std::apply([&](auto&&... args) { return Raise(args...); },
+                              proj(item));
+      }
+      return invoked;
+    }
+    sim::Host* host = dispatcher_->host();
+    const bool tracing = host != nullptr && host->tracing();
+    dispatcher_->CountBatchRaise(items.size());
+    // Probe cache for the burst: bucket pointers stay valid because both
+    // dispatch vectors are append-only while raising_ > 0 (removals defer
+    // to the sweep) and the bucket map has stable references.
+    struct ProbeHit {
+      std::uint64_t key;
+      const std::vector<Entry*>* bucket;
+    };
+    std::vector<ProbeHit> probed;
+    probed.reserve(8);
+    bool probed_nullopt = false;
+    // Entries already past their guard once this burst: repeat visits are
+    // hot and charge at the amortized rate.
+    std::vector<Entry*> hot;
+    hot.reserve(8);
+    ++raising_;
+    for (auto& item : items) {
+      std::apply(
+          [&](auto&&... args) {
+            PLEXUS_PROFILE_SCOPE(kEventRaise);
+            dispatcher_->CountRaise();
+            sim::TraceSpan raise_span;
+            if (tracing) raise_span.Begin(*host, name_, "dispatch");
+            const std::vector<Entry*>* bucket = nullptr;
+            {
+              PLEXUS_PROFILE_SCOPE(kDemuxLookup);
+              sim::TraceSpan demux_span;
+              if (tracing) demux_span.Begin(*host, demux_span_name_, "demux");
+              const std::optional<std::uint64_t> key = extractor_(args...);
+              if (key.has_value()) {
+                bool hit = false;
+                for (const ProbeHit& p : probed) {
+                  if (p.key == *key) {
+                    bucket = p.bucket;
+                    hit = true;
+                    break;
+                  }
+                }
+                if (!hit) {
+                  dispatcher_->ChargeDemuxLookup();
+                  bucket = index_.Probe(*key);
+                  probed.push_back(ProbeHit{*key, bucket});
+                }
+              } else if (!probed_nullopt) {
+                // Per-packet raises charge the probe even when the
+                // extractor declines the packet; pay that once per burst.
+                dispatcher_->ChargeDemuxLookup();
+                probed_nullopt = true;
+              }
+            }
+            // Snapshot bound re-read per packet: a handler installed while
+            // dispatching packet k lands below these sizes for packet k+1,
+            // exactly as it would between two single raises.
+            const std::size_t nb = bucket != nullptr ? bucket->size() : 0;
+            const std::size_t nr = index_.residuals().size();
+            std::size_t ib = 0, ir = 0;
+            while (ib < nb || ir < nr) {
+              Entry* e;
+              if (ir >= nr ||
+                  (ib < nb && (*bucket)[ib]->id < index_.residuals()[ir]->id)) {
+                e = (*bucket)[ib++];
+              } else {
+                e = index_.residuals()[ir++];
+              }
+              if (!e->alive) continue;  // uninstalled mid-burst
+              const bool amortized =
+                  std::find(hot.begin(), hot.end(), e) != hot.end();
+              const std::uint64_t rejections_before = e->stats.guard_rejections;
+              invoked += DispatchTo(*e, host, tracing, amortized, args...);
+              // Guard-rejected packets never reach the dispatch charge, so
+              // they do not warm the entry.
+              if (!amortized && e->stats.guard_rejections == rejections_before) {
+                hot.push_back(e);
+              }
+            }
+          },
+          proj(item));
     }
     if (--raising_ == 0 && needs_sweep_) Sweep();
     return invoked;
@@ -466,8 +584,11 @@ class Event {
 
   // Guard check + budget fence + invocation + fault containment for one
   // handler: shared by the indexed and linear dispatch paths. Returns 1 if
-  // the handler ran to completion.
-  std::size_t DispatchTo(Entry& e, sim::Host* host, bool tracing, Args... args) {
+  // the handler ran to completion. `amortized` marks a RaiseBatch repeat
+  // visit to an entry that already ran earlier in the same burst: the
+  // handler is hot, so the framework charge drops to batch_dispatch.
+  std::size_t DispatchTo(Entry& e, sim::Host* host, bool tracing, bool amortized,
+                         Args... args) {
     if (e.guard) {
       PLEXUS_PROFILE_SCOPE(kHandlerGuard);
       sim::TraceSpan guard_span;
@@ -488,7 +609,13 @@ class Event {
       RecordTermination(e, HandlerTerminated(e.display_name, e.opts.time_limit));
       return 0;
     }
-    if (dispatcher_ != nullptr) dispatcher_->ChargeDispatch();
+    if (dispatcher_ != nullptr) {
+      if (amortized) {
+        dispatcher_->ChargeBatchDispatch();
+      } else {
+        dispatcher_->ChargeDispatch();
+      }
+    }
     try {
       // Opened before the budget fence so a mid-handler termination still
       // unwinds through the span and leaves a balanced trace.

@@ -31,6 +31,7 @@
 #include "core/plexus.h"
 #include "drivers/device_profile.h"
 #include "drivers/medium.h"
+#include "sim/batch.h"
 #include "sim/chaos.h"
 #include "sim/simulator.h"
 #include "sim/slab.h"
@@ -232,6 +233,28 @@ TEST(ChaosProperty, ThousandSeededSchedulesHoldInvariants) {
       << successes << "/" << seeds << " transfers completed";
   RecordProperty("chaos_successes", successes);
   RecordProperty("chaos_attempts_total", static_cast<int>(attempts));
+}
+
+// The same invariants with the batched packet path pinned on (the sweep
+// above runs whatever PLEXUS_BATCH resolves to — usually also batched, but
+// this pass stays meaningful under the off-mode CI run). The load-bearing
+// case is a crash landing while an rx burst is parked in a batch scope or
+// a GRO chain is held: RunSeed's slab/pool/quarantine checks prove the
+// teardown released every frame the burst was carrying.
+TEST(ChaosProperty, BatchedCrashMidBurstDrainsLeakFree) {
+  const bool prev = sim::BatchConfig::enabled();
+  sim::BatchConfig::SetEnabled(true);
+  const int seeds = std::min(SeedCount(), 150);
+  int crashes = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    RunOutcome out;
+    RunSeed(static_cast<std::uint64_t>(s), &out);
+    if (HasFatalFailure()) break;
+    crashes += out.crashes_fired;
+  }
+  sim::BatchConfig::SetEnabled(prev);
+  if (HasFatalFailure()) return;
+  EXPECT_GT(crashes, 0) << "no crash ever landed: the mid-burst case is untested";
 }
 
 }  // namespace

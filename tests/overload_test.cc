@@ -16,11 +16,23 @@
 #include "net/checksum.h"
 #include "net/headers.h"
 #include "net/mbuf_pool.h"
+#include "sim/batch.h"
 #include "sim/host.h"
 #include "sim/simulator.h"
 #include "spin/deferred.h"
 
 namespace {
+
+// Pins the batched packet path off (or on) for one test and restores the
+// prior resolution after — so a suite run under PLEXUS_BATCH=off keeps its
+// environment setting for the remaining tests.
+struct ScopedBatchMode {
+  explicit ScopedBatchMode(bool on) : prev_(sim::BatchConfig::enabled()) {
+    sim::BatchConfig::SetEnabled(on);
+  }
+  ~ScopedBatchMode() { sim::BatchConfig::SetEnabled(prev_); }
+  bool prev_;
+};
 
 // --- MbufPool -------------------------------------------------------------------
 
@@ -300,6 +312,9 @@ struct StackFixture {
 };
 
 TEST(Overload, ThreadModeShedsBurstsAtTheDeferredQueue) {
+  // This test pins down the *per-packet* shed ladder (one hop per frame
+  // walking the hysteresis window); the batched path is covered below.
+  ScopedBatchMode per_packet(false);
   StackFixture f(core::HandlerMode::kThread);
   f.host.deferred_queue().set_config({/*high=*/8, /*low=*/4});
   auto rx = f.host.udp().CreateEndpoint(7).value();
@@ -323,6 +338,33 @@ TEST(Overload, ThreadModeShedsBurstsAtTheDeferredQueue) {
   EXPECT_EQ(f.host.deferred_queue().depth(), 0u);
   EXPECT_EQ(f.host.dispatcher().stats().quarantines, 0u);
   EXPECT_EQ(f.host.mbuf_pool().in_use(), 0u);  // shed frames were released
+}
+
+TEST(Overload, BatchedBurstIsShedAsOneUnitAndLeaksNothing) {
+  // Under the batched path a whole rx burst is one deferred-queue unit:
+  // when the queue refuses it, every parked frame is released (the managers'
+  // pending bursts, not just in-flight mbufs) and the shed counter still
+  // advances per frame.
+  ScopedBatchMode batched(true);
+  StackFixture f(core::HandlerMode::kThread);
+  // high = 0: the queue sheds from the first admission attempt on.
+  f.host.deferred_queue().set_config({/*high=*/0, /*low=*/0});
+  auto rx = f.host.udp().CreateEndpoint(7).value();
+  int delivered = 0;
+  rx->InstallReceiveHandler(
+      [&](const net::Mbuf&, const proto::UdpDatagram&) { ++delivered; }, {});
+  auto frame = CraftUdpFrame(net::MacAddress::FromId(2), net::Ipv4Address(10, 0, 0, 2), 7);
+  f.sim.Schedule(sim::Duration::Millis(1), [&] {
+    for (int i = 0; i < 50; ++i) {
+      f.host.nic().DeliverFromWire(net::MbufPtr(frame->ShareClone()),
+                                   /*check_address=*/true);
+    }
+  });
+  f.sim.RunFor(sim::Duration::Seconds(2));
+  EXPECT_EQ(delivered, 0);
+  EXPECT_GE(f.host.host().metrics().counter("spin.deferred_shed").value(), 50u);
+  EXPECT_EQ(f.host.deferred_queue().depth(), 0u);
+  EXPECT_EQ(f.host.mbuf_pool().in_use(), 0u);  // parked burst was released
 }
 
 TEST(Overload, TinyPoolBurstDropsCleanlyAndLeaksNothing) {

@@ -23,6 +23,7 @@
 
 #include "core/plexus.h"
 #include "drivers/medium.h"
+#include "sim/batch.h"
 #include "sim/metrics.h"
 #include "sim/slab.h"
 
@@ -307,6 +308,107 @@ TEST(TcpChurn, ConvergesWithConstrainedMbufPools) {
   EXPECT_EQ(sim::SlabRegistry::InUse("mbuf"), 0u);
 
   DumpFlightIfFailed("churn_small_pool", server, client);
+}
+
+TEST(TcpChurn, BatchedModePinnedDeliversExactlyAndDrainsLeakFree) {
+  // The churn contract with the batched packet path pinned on (independent
+  // of what PLEXUS_BATCH resolves to): concurrent faulted connections ride
+  // rx bursts, coalesced graph hops, GRO chains, and GSO jumbos — and must
+  // still deliver exactly once, quarantine nothing, and hand every mbuf
+  // (including burst slot blocks and held GRO chains) back to the slabs.
+  const bool prev = sim::BatchConfig::enabled();
+  sim::BatchConfig::SetEnabled(true);
+  constexpr int kBatchConns = 300;
+
+  sim::Simulator sim;
+  drivers::EthernetSegment segment(sim);
+  drivers::Faults faults;
+  faults.drop_probability = 0.01;
+  faults.reorder_probability = 0.02;
+  faults.duplicate_probability = 0.005;
+  segment.set_faults(faults);
+
+  const auto costs = sim::CostModel::Default1996();
+  const auto profile = drivers::DeviceProfile::Ethernet10();
+  core::PlexusHost server(sim, "server", costs, profile,
+                          {net::MacAddress::FromId(1), net::Ipv4Address(10, 0, 0, 1), 24});
+  core::PlexusHost client(sim, "client", costs, profile,
+                          {net::MacAddress::FromId(2), net::Ipv4Address(10, 0, 0, 2), 24});
+  server.AttachTo(segment);
+  client.AttachTo(segment);
+  server.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  client.ip_layer().routes().Add(net::Ipv4Address(10, 0, 0, 0), 24);
+  server.arp().AddStatic(net::Ipv4Address(10, 0, 0, 2), net::MacAddress::FromId(2));
+  client.arp().AddStatic(net::Ipv4Address(10, 0, 0, 1), net::MacAddress::FromId(1));
+
+  struct ServerConn {
+    std::shared_ptr<core::PlexusTcpEndpoint> ep;
+    std::vector<std::byte> received;
+  };
+  std::vector<std::unique_ptr<ServerConn>> server_conns;
+  int verified = 0, mismatched = 0;
+  ASSERT_TRUE(server.tcp().Listen(80, [&](std::shared_ptr<core::PlexusTcpEndpoint> ep) {
+    auto sc = std::make_unique<ServerConn>();
+    ServerConn* raw = sc.get();
+    raw->ep = std::move(ep);
+    raw->ep->SetOnData([raw](std::span<const std::byte> data) {
+      raw->received.insert(raw->received.end(), data.begin(), data.end());
+    });
+    raw->ep->SetOnClose([&, raw] {
+      if (raw->received.size() >= 4) {
+        const int idx = static_cast<int>(std::to_integer<unsigned>(raw->received[0])) |
+                        static_cast<int>(std::to_integer<unsigned>(raw->received[1])) << 8 |
+                        static_cast<int>(std::to_integer<unsigned>(raw->received[2])) << 16 |
+                        static_cast<int>(std::to_integer<unsigned>(raw->received[3])) << 24;
+        if (raw->received == PayloadFor(idx)) {
+          ++verified;
+        } else {
+          ++mismatched;
+        }
+      }
+      raw->ep->CloseStream();
+    });
+    server_conns.push_back(std::move(sc));
+  }));
+
+  std::vector<std::shared_ptr<core::PlexusTcpEndpoint>> conns(kBatchConns);
+  int client_closed = 0;
+  const sim::Duration gap = sim::Duration::Micros(100);
+  for (int i = 0; i < kBatchConns; ++i) {
+    sim.Schedule(gap * i, [&, i] {
+      client.Run([&, i] {
+        auto& ep = conns[static_cast<std::size_t>(i)];
+        ep = client.tcp().Connect(net::Ipv4Address(10, 0, 0, 1), 80);
+        ep->SetOnClose([&] { ++client_closed; });
+        ep->SetOnEstablished([&, i] {
+          auto& cc = conns[static_cast<std::size_t>(i)];
+          cc->Write(PayloadFor(i));
+          cc->CloseStream();
+        });
+      });
+    });
+  }
+
+  for (int rounds = 0; rounds < 300 && client_closed < kBatchConns; ++rounds) {
+    sim.RunFor(sim::Duration::Seconds(1));
+  }
+  ASSERT_EQ(client_closed, kBatchConns) << "connections still unresolved";
+  EXPECT_EQ(mismatched, 0);
+  EXPECT_EQ(verified, kBatchConns);
+  EXPECT_EQ(server.dispatcher().stats().quarantines, 0u);
+  EXPECT_EQ(client.dispatcher().stats().quarantines, 0u);
+  // The run really took the batched path.
+  EXPECT_GT(server.dispatcher().stats().batch_raises +
+                client.dispatcher().stats().batch_raises,
+            0u);
+
+  sim.RunFor(sim::Duration::Seconds(40));  // 2MSL drain
+  EXPECT_EQ(client.mbuf_pool().in_use(), 0u);
+  EXPECT_EQ(server.mbuf_pool().in_use(), 0u);
+  EXPECT_EQ(sim::SlabRegistry::InUse("mbuf"), 0u);
+
+  sim::BatchConfig::SetEnabled(prev);
+  DumpFlightIfFailed("churn_batched", server, client);
 }
 
 }  // namespace
