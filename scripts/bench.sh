@@ -20,6 +20,9 @@
 #                          HTTP-under-flood progress check
 #   BENCH_chaos.json       Chaos recovery: per-fault recovery overhead and
 #                          goodput retention vs link-flap intensity
+#   BENCH_adversarial.json Hostile traffic: goodput retention under SYN flood
+#                          (cookies on/off) and blind-RST spray, plus the
+#                          1000-seed parser fuzz corpus verdict
 # Also runs the gated microbenchmarks, whose exit statuses assert that
 # disabled tracing adds no measurable cost to Event::Raise, that indexed
 # dispatch at N=256 handlers is >=5x the linear scan, and that the timing
@@ -41,7 +44,7 @@ cmake -B "$BUILD_DIR" -S .  # RelWithDebInfo by default (top-level CMakeLists)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   bench_fig5_udp_latency bench_tab1_tcp_throughput bench_micro_dispatch \
   bench_micro_timer bench_micro_alloc bench_scale_connections \
-  bench_overload_sweep bench_chaos
+  bench_overload_sweep bench_chaos bench_adversarial
 
 "$BUILD_DIR/bench/bench_fig5_udp_latency" \
   --json "$OUT_DIR/BENCH_fig5.json" --trace "$OUT_DIR/BENCH_fig5_trace.json"
@@ -54,9 +57,12 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   --json "$OUT_DIR/BENCH_scale.json"
 "$BUILD_DIR/bench/bench_overload_sweep" --json "$OUT_DIR/BENCH_overload.json"
 "$BUILD_DIR/bench/bench_chaos" --json "$OUT_DIR/BENCH_chaos.json"
+"$BUILD_DIR/bench/bench_adversarial" --fuzz-seeds 1000 \
+  --json "$OUT_DIR/BENCH_adversarial.json"
 
 echo "bench artifacts: $OUT_DIR/BENCH_fig5.json $OUT_DIR/BENCH_tab1.json" \
      "$OUT_DIR/BENCH_fig5_trace.json $OUT_DIR/BENCH_micro.json" \
      "$OUT_DIR/BENCH_timer.json $OUT_DIR/BENCH_alloc.json" \
      "$OUT_DIR/BENCH_scale.json" \
-     "$OUT_DIR/BENCH_overload.json" "$OUT_DIR/BENCH_chaos.json"
+     "$OUT_DIR/BENCH_overload.json" "$OUT_DIR/BENCH_chaos.json" \
+     "$OUT_DIR/BENCH_adversarial.json"

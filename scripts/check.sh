@@ -75,7 +75,7 @@ echo "=== perf smoke: demux index vs linear guard scan, timer wheel vs heap ==="
 PERF_BUILD_DIR="${PERF_BUILD_DIR:-build}"
 cmake -B "$PERF_BUILD_DIR" -S .
 cmake --build "$PERF_BUILD_DIR" -j "$(nproc)" --target bench_micro_dispatch \
-  bench_micro_timer bench_overload_sweep bench_chaos \
+  bench_micro_timer bench_overload_sweep bench_chaos bench_adversarial \
   bench_fig5_udp_latency bench_tab1_tcp_throughput bench_scale_connections
 "$PERF_BUILD_DIR/bench/bench_micro_dispatch" --benchmark_filter=none
 "$PERF_BUILD_DIR/bench/bench_micro_timer"
@@ -93,6 +93,15 @@ echo "=== chaos gate: recovery + goodput retention under faults ==="
 # drains leak-free with zero quarantines. The 1000-seed invariant sweep
 # runs in the slow ctest pass above (chaos_property_test).
 "$PERF_BUILD_DIR/bench/bench_chaos"
+
+echo "=== adversarial gate: SYN flood, RST spray, and parser fuzz corpus ==="
+# Exits non-zero unless SYN cookies hold >= 80% connection-churn goodput
+# under a 1000 SYN/s spoofed flood (and the cookie-less listener visibly
+# collapses), every blind-RST-sprayed transfer completes byte-exactly with
+# challenge ACKs observed, the full 1000-seed structure-aware fuzz corpus
+# runs with zero invariant failures, and every run drains leak-free with
+# zero quarantines.
+"$PERF_BUILD_DIR/bench/bench_adversarial" --fuzz-seeds 1000
 
 echo "=== bench regression gate: fresh fig5/tab1 vs committed baselines ==="
 # Re-runs the two paper-figure benches and diffs their deterministic

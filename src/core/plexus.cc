@@ -404,6 +404,13 @@ TcpManager::TcpManager(PlexusHost& plexus, proto::TcpConfig config)
       auto hdr = net::ViewPacket<net::TcpHeader>(segment);
       return !IsSpecialPort(hdr.dst_port.value());
     } catch (const net::ViewError&) {
+      // A segment too short to hold a TCP header. The guard is the one
+      // choke point both rx modes share (per-packet and batched/GRO), so
+      // the malformed drop is attributed here, identically in both.
+      if (tcp_malformed_ == nullptr) {
+        tcp_malformed_ = &plexus_.host().metrics().counter("proto.tcp.malformed_drops");
+      }
+      tcp_malformed_->Inc();
       return false;
     }
   };
@@ -450,6 +457,38 @@ TcpManager::TcpManager(PlexusHost& plexus, proto::TcpConfig config)
     rst.checksum = proto::TransportChecksum(dst, src, net::ipproto::kTcp, *m);
     net::StorePacket(*m, rst);
     plexus_.ip().Output(std::move(m), src, net::ipproto::kTcp, dst);
+  });
+
+  // Hostile-traffic hardening hooks: a clock/rng/metrics home for the
+  // demux's SYN cookies and RST rate limiting, and the stateless SYN|ACK
+  // emitter (no TCB exists to emit through, so the manager builds the
+  // segment itself — header plus our MSS option, costed like any other
+  // control segment).
+  demux_.AttachHost(&plexus.host());
+  demux_.SetSynAckSender([this](const proto::TcpEndpoints& ep, proto::Seq iss,
+                                proto::Seq ack) {
+    net::TcpHeader hdr;
+    hdr.src_port = ep.local_port;
+    hdr.dst_port = ep.remote_port;
+    hdr.seq = iss;
+    hdr.ack = ack;
+    hdr.set_header_length(sizeof(hdr) + 4);
+    hdr.flags = net::tcpflag::kSyn | net::tcpflag::kAck;
+    hdr.window = static_cast<std::uint16_t>(std::min<std::size_t>(config_.recv_window, 65535));
+    hdr.checksum = 0;
+    auto m = net::PoolAllocate(plexus_.host().mbuf_pool(), sizeof(hdr) + 4);
+    if (m == nullptr) return;  // pool dry: the peer retransmits its SYN
+    net::StorePacket(*m, hdr);
+    const std::byte opt[4] = {std::byte{2}, std::byte{4},
+                              static_cast<std::byte>(config_.mss >> 8),
+                              static_cast<std::byte>(config_.mss & 0xff)};
+    m->CopyIn(sizeof(hdr), opt);
+    plexus_.host().Charge(plexus_.host().costs().tcp_output);
+    plexus_.host().Charge(plexus_.host().costs().checksum_per_byte *
+                          static_cast<std::int64_t>(m->PacketLength()));
+    hdr.checksum = proto::TransportChecksum(ep.local_ip, ep.remote_ip, net::ipproto::kTcp, *m);
+    net::StorePacket(*m, hdr);
+    plexus_.ip().Output(std::move(m), ep.remote_ip, net::ipproto::kTcp, ep.local_ip);
   });
 }
 
@@ -555,9 +594,12 @@ std::shared_ptr<PlexusTcpEndpoint> TcpManager::Connect(net::Ipv4Address remote_i
   return endpoint;
 }
 
-bool TcpManager::Listen(std::uint16_t port, Acceptor acceptor) {
+bool TcpManager::Listen(std::uint16_t port, Acceptor acceptor, proto::ListenOptions opts) {
   acceptors_[port] = std::move(acceptor);
-  return demux_.Listen(port, [this, port](const proto::TcpEndpoints& ep) -> proto::TcpConnection* {
+  auto factory = [this, port](const proto::TcpEndpoints& ep) -> proto::TcpConnection* {
+    // Sweep before creating the new endpoint: it sits in kClosed until
+    // Listen() below, so a sweep after the push would reap its keep-alive.
+    SweepAccepted();
     auto endpoint = std::shared_ptr<PlexusTcpEndpoint>(new PlexusTcpEndpoint(plexus_, ep));
     accepted_.push_back(endpoint);
     endpoint->SetOnEstablished([this, port, weak = std::weak_ptr(endpoint)] {
@@ -573,12 +615,29 @@ bool TcpManager::Listen(std::uint16_t port, Acceptor acceptor) {
       // unclaimed accept queue when the listening socket closes; parking
       // the connection here instead would strand it in CLOSE_WAIT and
       // wedge the peer in FIN_WAIT_2 forever once its FIN is ACKed.
+      if (accept_overflows_ == nullptr) {
+        accept_overflows_ = &plexus_.host().metrics().counter("tcp.accept_overflows");
+      }
+      accept_overflows_->Inc();
       ep_ptr->connection().Abort();
     });
     WireConnection(endpoint);
     endpoint->connection().Listen();
     return &endpoint->connection();
+  };
+  return demux_.Listen(port, std::move(factory), opts);
+}
+
+void TcpManager::SweepAccepted() {
+  // Trigger only when the list has doubled since the last sweep, so a
+  // churning server pays O(size) once per size-doubling (amortized O(1)
+  // per accept) and a small steady server never pays at all. Wall-clock
+  // only: no charges, no metrics, no virtual-time effect.
+  if (accepted_.size() < 64 || accepted_.size() < 2 * accepted_sweep_mark_) return;
+  std::erase_if(accepted_, [](const std::shared_ptr<PlexusTcpEndpoint>& ep) {
+    return ep->connection().state() == proto::TcpConnection::State::kClosed;
   });
+  accepted_sweep_mark_ = std::max<std::size_t>(32, accepted_.size());
 }
 
 void TcpManager::StopListening(std::uint16_t port) {

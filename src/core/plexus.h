@@ -328,8 +328,10 @@ class TcpManager {
   std::shared_ptr<PlexusTcpEndpoint> Connect(net::Ipv4Address remote_ip,
                                              std::uint16_t remote_port,
                                              std::uint16_t local_port = 0);
-  // Passive open.
-  bool Listen(std::uint16_t port, Acceptor acceptor);
+  // Passive open. ListenOptions bounds the SYN backlog and selects the
+  // SYN-cookie policy; the default (backlog 0) is the legacy unbounded
+  // listener, byte-identical to the pre-hardening stack.
+  bool Listen(std::uint16_t port, Acceptor acceptor, proto::ListenOptions opts = {});
   void StopListening(std::uint16_t port);
 
   // Multiple implementations of one protocol (Section 3.1): installs an
@@ -363,6 +365,10 @@ class TcpManager {
   // the per-flow table the flight recorder snapshots.
   std::vector<std::shared_ptr<PlexusTcpEndpoint>> LiveEndpoints() const;
 
+  // Accepted-endpoint keep-alives currently parked (tests: the sweep must
+  // bound this against connection churn).
+  std::size_t accepted_keepalive_count() const { return accepted_.size(); }
+
  private:
   friend class PlexusHost;
   friend class PlexusTcpEndpoint;
@@ -371,6 +377,9 @@ class TcpManager {
   bool IsSpecialPort(std::uint16_t port) const;
   void EnqueueBatched(net::MbufPtr segment, const net::Ipv4Header& hdr);
   void FlushBatched(bool deliver);
+  // Amortized reap of closed connections from accepted_ (a server that
+  // churns short connections must not grow the keep-alive list forever).
+  void SweepAccepted();
 
   PlexusHost& plexus_;
   proto::TcpConfig config_;
@@ -384,6 +393,11 @@ class TcpManager {
   std::vector<std::weak_ptr<PlexusTcpEndpoint>> wired_;  // for crash teardown
   std::map<spin::HandlerId, std::shared_ptr<std::set<std::uint16_t>>> special_ports_;
   std::uint16_t next_ephemeral_port_ = 32768;
+  // accepted_ sweep watermark: next sweep when size reaches 2x survivors.
+  std::size_t accepted_sweep_mark_ = 32;
+  // Lazily resolved: only runs that overflow the accept path grow it.
+  sim::Counter* accept_overflows_ = nullptr;  // tcp.accept_overflows
+  sim::Counter* tcp_malformed_ = nullptr;     // proto.tcp.malformed_drops
 };
 
 // ---------------------------------------------------------------------------

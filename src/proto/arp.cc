@@ -54,12 +54,27 @@ void ArpService::Resolve(net::Ipv4Address ip, ResolveCallback cb) {
     cb(*mac);
     return;
   }
-  auto [it, fresh] = pending_.try_emplace(ip);
-  it->second.waiters.push_back(std::move(cb));
-  if (fresh) {
+  auto it = pending_.find(ip);
+  if (it == pending_.end()) {
+    if (pending_.size() >= config_.max_pending) {
+      // Pending table full: fail the resolution instead of growing state
+      // per distinct (possibly spoofed) destination.
+      if (pending_overflow_ == nullptr) {
+        pending_overflow_ = &host_.metrics().counter("arp.pending_overflow");
+      }
+      pending_overflow_->Inc();
+      ++stats_.resolution_failures;
+      resolution_failures_.Inc();
+      cb(std::nullopt);
+      return;
+    }
+    it = pending_.try_emplace(ip).first;
+    it->second.waiters.push_back(std::move(cb));
     it->second.retries_left = config_.max_retries;
     SendRequest(ip);
+    return;
   }
+  it->second.waiters.push_back(std::move(cb));
 }
 
 void ArpService::SendRequest(net::Ipv4Address ip) {
@@ -112,6 +127,15 @@ void ArpService::RequestTimeout(net::Ipv4Address ip) {
   for (auto& cb : waiters) cb(std::nullopt);
 }
 
+void ArpService::CountMalformed() {
+  // Lazily resolved: only runs that actually see hostile/corrupt frames
+  // grow the instrument (keeps fault-free metrics snapshots byte-identical).
+  if (malformed_ == nullptr) {
+    malformed_ = &host_.metrics().counter("proto.arp.malformed_drops");
+  }
+  malformed_->Inc();
+}
+
 void ArpService::Input(net::MbufPtr payload) {
   sim::TraceSpan span(host_, "arp.input", "arp", payload->pkthdr().trace_id);
   host_.Charge(host_.costs().arp_process);
@@ -119,6 +143,15 @@ void ArpService::Input(net::MbufPtr payload) {
   try {
     pkt = net::ViewPacket<net::ArpPacket>(*payload);
   } catch (const net::ViewError&) {
+    CountMalformed();
+    return;
+  }
+  // Structural validation before anything is learned from the packet: this
+  // service only speaks Ethernet/IPv4 ARP, so the hardware/protocol sizes
+  // and opcode are fixed by RFC 826 — anything else is forged or corrupt.
+  if (pkt.htype.value() != 1 || pkt.hlen != 6 || pkt.plen != 4 ||
+      (pkt.op.value() != net::arpop::kRequest && pkt.op.value() != net::arpop::kReply)) {
+    CountMalformed();
     return;
   }
   if (pkt.ptype.value() != net::ethertype::kIpv4) return;

@@ -25,6 +25,10 @@ struct ArpConfig {
   sim::Duration entry_ttl = sim::Duration::Seconds(600);
   sim::Duration request_timeout = sim::Duration::Millis(500);
   int max_retries = 3;
+  // Bound on concurrently pending resolutions: each holds a timer and a
+  // waiter list, so without a cap a spoofed-destination flood grows state
+  // per distinct unreachable address.
+  std::size_t max_pending = 512;
 };
 
 class ArpService {
@@ -78,6 +82,7 @@ class ArpService {
 
   void SendRequest(net::Ipv4Address ip);
   void RequestTimeout(net::Ipv4Address ip);
+  void CountMalformed();
 
   sim::Host& host_;
   EthLayer& eth_;
@@ -96,6 +101,8 @@ class ArpService {
   // Lazily resolved: only runs whose caches actually expire entries grow a
   // new instrument (keeps fault-free metrics snapshots byte-identical).
   sim::Counter* expired_ = nullptr;
+  sim::Counter* malformed_ = nullptr;          // proto.arp.malformed_drops
+  sim::Counter* pending_overflow_ = nullptr;   // arp.pending_overflow
 };
 
 }  // namespace proto

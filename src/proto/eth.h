@@ -98,7 +98,13 @@ class EthLayer {
     try {
       hdr = net::ViewPacket<net::EthernetHeader>(*frame);
     } catch (const net::ViewError&) {
-      return;  // runt frame; drop
+      // Runt frame: drop, counted. Lazily resolved so fault-free runs keep
+      // byte-identical metrics snapshots.
+      if (malformed_ == nullptr) {
+        malformed_ = &host_.metrics().counter("proto.eth.malformed_drops");
+      }
+      malformed_->Inc();
+      return;
     }
     if (upcall_) upcall_(std::move(frame), hdr);
   }
@@ -108,6 +114,7 @@ class EthLayer {
   Upcall upcall_;
   BatchBeginHook batch_begin_;
   BatchEndHook batch_end_;
+  sim::Counter* malformed_ = nullptr;
 };
 
 }  // namespace proto

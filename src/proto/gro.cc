@@ -39,11 +39,16 @@ void GroEngine::Push(net::MbufPtr segment, net::Ipv4Address src,
   try {
     hdr = net::ViewPacket<net::TcpHeader>(*segment);
   } catch (const net::ViewError&) {
-    // Truncated runt: not ours to judge — flush and let the demux's own
-    // validation see it exactly as it arrived.
-    Flush(/*from_timer=*/false);
-    ++stats_.passthrough;
-    sink_(std::move(segment), src, dst);
+    // Truncated runt: the demux's own view would only throw it away again —
+    // drop it here and count it at this layer, without disturbing the held
+    // chain (a hostile runt must not be able to force flushes). In
+    // per-packet mode the same frame dies at TcpDemux instead, so
+    // mode-identity checks compare the tcp+gro malformed sum.
+    ++stats_.malformed;
+    if (malformed_ == nullptr) {
+      malformed_ = &host_.metrics().counter("proto.gro.malformed_drops");
+    }
+    malformed_->Inc();
     return;
   }
   const std::size_t header_len =

@@ -64,6 +64,7 @@ class GroEngine {
     std::uint64_t flushes = 0;        // chains delivered to the sink
     std::uint64_t timer_flushes = 0;  // ... of which the timer forced
     std::uint64_t passthrough = 0;    // non-coalescable segments forwarded
+    std::uint64_t malformed = 0;      // truncated runts dropped at this edge
   };
 
   GroEngine(sim::Host& host, Sink sink) : GroEngine(host, std::move(sink), Config()) {}
@@ -110,6 +111,9 @@ class GroEngine {
   std::size_t held_count_ = 0;       // wire segments in the chain
   sim::EventId timer_ = sim::kInvalidEventId;
   std::uint64_t timer_gen_ = 0;  // invalidates in-flight timer tasks
+  // Lazily resolved: only hostile runs grow the instrument (keeps
+  // fault-free metrics snapshots byte-identical).
+  sim::Counter* malformed_ = nullptr;  // proto.gro.malformed_drops
 };
 
 }  // namespace proto

@@ -43,6 +43,17 @@ void IcmpLayer::SendEchoRequest(net::Ipv4Address dst, std::uint16_t id, std::uin
 
 void IcmpLayer::SendError(const net::Ipv4Header& offending, std::uint8_t type,
                           std::uint8_t code) {
+  // Checked before any charge or allocation: a suppressed error costs the
+  // victim nothing, and the allowed path is byte-identical to the
+  // pre-hardening stack (the bucket never denies in benign runs).
+  if (!error_bucket_.Allow(host_.Now())) {
+    ++stats_.ratelimited;
+    if (ratelimited_ == nullptr) {
+      ratelimited_ = &host_.metrics().counter("icmp.ratelimited");
+    }
+    ratelimited_->Inc();
+    return;
+  }
   host_.Charge(host_.costs().icmp_process);
   // Error messages carry the offending IP header (RFC 792; we omit the
   // first 8 payload bytes for simplicity — consumers in this system only
@@ -64,7 +75,13 @@ void IcmpLayer::Input(net::MbufPtr packet, net::Ipv4Address src_ip) {
   try {
     hdr = net::ViewPacket<net::IcmpHeader>(*packet);
   } catch (const net::ViewError&) {
+    // Truncated message: structural, counted separately from checksum and
+    // unknown-type failures (which stay in rx_bad only).
     ++stats_.rx_bad;
+    if (malformed_ == nullptr) {
+      malformed_ = &host_.metrics().counter("proto.icmp.malformed_drops");
+    }
+    malformed_->Inc();
     return;
   }
   // Verify checksum over the whole message.

@@ -9,6 +9,7 @@
 #include "net/address.h"
 #include "net/headers.h"
 #include "net/mbuf.h"
+#include "proto/ratelimit.h"
 #include "sim/host.h"
 
 namespace proto {
@@ -42,6 +43,7 @@ class IcmpLayer {
     std::uint64_t errors_sent = 0;
     std::uint64_t errors_received = 0;
     std::uint64_t rx_bad = 0;
+    std::uint64_t ratelimited = 0;  // errors suppressed by the token bucket
   };
   const Stats& stats() const { return stats_; }
 
@@ -52,6 +54,14 @@ class IcmpLayer {
   Ipv4Layer& ip_;
   EchoReplyCallback on_echo_reply_;
   Stats stats_;
+  // Error emission is bounded so a spoofed-source datagram flood cannot use
+  // this host as a reflection amplifier (nor drain its egress pool). Echo
+  // replies are deliberately not limited — answering pings is workload.
+  TokenBucket error_bucket_{64, 256};
+  // Lazily resolved: only hostile runs grow these instruments (keeps
+  // fault-free metrics snapshots byte-identical).
+  sim::Counter* ratelimited_ = nullptr;  // icmp.ratelimited
+  sim::Counter* malformed_ = nullptr;    // proto.icmp.malformed_drops
 };
 
 }  // namespace proto

@@ -124,12 +124,14 @@ void Ipv4Layer::Input(net::MbufPtr packet) {
     hdr = net::ViewPacket<net::Ipv4Header>(*packet);
   } catch (const net::ViewError&) {
     rx_bad_header_.Inc();
+    CountMalformed();
     return;
   }
   if (hdr.version() != 4 || hdr.header_length() < sizeof(net::Ipv4Header) ||
       hdr.total_length.value() < hdr.header_length() ||
       hdr.total_length.value() > packet->PacketLength()) {
     rx_bad_header_.Inc();
+    CountMalformed();
     return;
   }
   {
@@ -185,24 +187,75 @@ void Ipv4Layer::ForwardPacket(net::MbufPtr packet, net::Ipv4Header hdr) {
 }
 
 void Ipv4Layer::HandleFragment(net::MbufPtr packet, const net::Ipv4Header& hdr) {
+  const std::size_t offset = hdr.fragment_offset_bytes();
+  const std::size_t data_len = hdr.total_length.value() - hdr.header_length();
+  // A fragment whose payload would end past the 64 KiB datagram limit is
+  // lying about its offset or length (the ping-of-death family); an empty
+  // more-fragments fragment is pure state inflation. Both die before any
+  // buffer exists.
+  if (offset + data_len > 65535 || data_len == 0) {
+    rx_bad_header_.Inc();
+    CountMalformed();
+    return;
+  }
+
   const ReasmKey key{hdr.src.value(), hdr.dst.value(), hdr.id.value(), hdr.protocol};
-  auto [it, fresh] = reassembly_.try_emplace(key);
-  ReasmBuf& buf = it->second;
+  auto it = reassembly_.find(key);
+  const bool fresh = it == reassembly_.end();
+  if (fresh && reassembly_.size() >= config_.max_reassemblies) {
+    if (reasm_overflow_ == nullptr) {
+      reasm_overflow_ = &host_.metrics().counter("ip.reasm_overflow_drops");
+    }
+    reasm_overflow_->Inc();
+    return;
+  }
+
+  // Overlap rejection (RFC 5722 style): fragments must tile exactly. An
+  // exact same-offset, same-length duplicate is a retransmission and
+  // replaces in place; any other intersection is an attack shape (teardrop,
+  // data reinterpretation), and the whole reassembly is discarded so no
+  // attacker-mixed datagram is ever delivered upward.
+  bool exact_dup = false;
+  if (!fresh) {
+    ReasmBuf& buf = it->second;
+    auto d = buf.parts.find(offset);
+    exact_dup = d != buf.parts.end() && d->second.size() == data_len;
+    if (!exact_dup) {
+      for (const auto& [off, part] : buf.parts) {
+        if (off < offset + data_len && offset < off + part.size()) {
+          CountMalformed();
+          ReleaseReassembly(it, /*cancel_timer=*/true);
+          return;
+        }
+      }
+    }
+  }
+  if (!exact_dup && reasm_bytes_ + data_len > config_.max_reassembly_bytes) {
+    if (reasm_overflow_ == nullptr) {
+      reasm_overflow_ = &host_.metrics().counter("ip.reasm_overflow_drops");
+    }
+    reasm_overflow_->Inc();
+    return;
+  }
+
   if (fresh) {
-    buf.trace_id = packet->pkthdr().trace_id;
-    buf.timer = host_.simulator().Schedule(config_.reassembly_timeout, [this, key] {
-      if (reassembly_.erase(key) > 0) {
+    it = reassembly_.try_emplace(key).first;
+    it->second.trace_id = packet->pkthdr().trace_id;
+    it->second.timer = host_.simulator().Schedule(config_.reassembly_timeout, [this, key] {
+      auto stale = reassembly_.find(key);
+      if (stale != reassembly_.end()) {
+        ReleaseReassembly(stale, /*cancel_timer=*/false);
         reassembly_timeouts_.Inc();
         host_.TraceInstant("ip.reassembly_timeout", "ip");
       }
     });
   }
+  ReasmBuf& buf = it->second;
 
-  const std::size_t offset = hdr.fragment_offset_bytes();
-  const std::size_t data_len = hdr.total_length.value() - hdr.header_length();
   packet->TrimFront(hdr.header_length());
   std::vector<std::byte> bytes(data_len);
   packet->CopyOut(0, bytes);
+  if (!exact_dup) reasm_bytes_ += data_len;
   buf.parts[offset] = std::move(bytes);
   if (offset == 0) {
     buf.first_hdr = hdr;
@@ -228,8 +281,7 @@ void Ipv4Layer::HandleFragment(net::MbufPtr packet, const net::Ipv4Header& hdr) 
   }
   net::Ipv4Header first = buf.first_hdr;
   const std::uint64_t trace_id = buf.trace_id;
-  host_.simulator().Cancel(buf.timer);
-  reassembly_.erase(it);
+  ReleaseReassembly(it, /*cancel_timer=*/true);
   reassembled_.Inc();
 
   first.set_fragment(0, false);
@@ -240,6 +292,24 @@ void Ipv4Layer::HandleFragment(net::MbufPtr packet, const net::Ipv4Header& hdr) 
     reassembled->pkthdr().trace_id = trace_id;  // FromBytes starts a fresh pkthdr
     deliver_(std::move(reassembled), first);
   }
+}
+
+void Ipv4Layer::ReleaseReassembly(std::map<ReasmKey, ReasmBuf>::iterator it,
+                                  bool cancel_timer) {
+  std::size_t held = 0;
+  for (const auto& [off, part] : it->second.parts) held += part.size();
+  reasm_bytes_ -= std::min(reasm_bytes_, held);
+  if (cancel_timer) host_.simulator().Cancel(it->second.timer);
+  reassembly_.erase(it);
+}
+
+void Ipv4Layer::CountMalformed() {
+  // Lazily resolved: only runs that see structurally invalid packets grow
+  // the instrument (keeps fault-free metrics snapshots byte-identical).
+  if (malformed_ == nullptr) {
+    malformed_ = &host_.metrics().counter("proto.ip.malformed_drops");
+  }
+  malformed_->Inc();
 }
 
 }  // namespace proto

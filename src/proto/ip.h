@@ -63,6 +63,13 @@ class Ipv4Layer {
     std::size_t mtu = 1500;
     sim::Duration reassembly_timeout = sim::Duration::Seconds(30);
     bool forwarding_enabled = false;
+    // Fragment-flood containment: hard caps on concurrent reassemblies and
+    // on the total bytes parked across all of them. A spoofed-source
+    // fragment flood otherwise buys 64 KiB of buffer per forged (src, id)
+    // pair for the price of one runt fragment, held for the whole
+    // reassembly_timeout.
+    std::size_t max_reassemblies = 64;
+    std::size_t max_reassembly_bytes = 256 * 1024;
   };
 
   // An additional attachment (multi-homed hosts / routers).
@@ -175,6 +182,7 @@ class Ipv4Layer {
 
   // Exposed for tests.
   std::size_t pending_reassemblies() const { return reassembly_.size(); }
+  std::size_t reassembly_bytes_held() const { return reasm_bytes_; }
 
  private:
   struct ReasmKey {
@@ -198,6 +206,9 @@ class Ipv4Layer {
   void RouteAndTransmit(net::MbufPtr packet, net::Ipv4Address dst);
   void HandleFragment(net::MbufPtr packet, const net::Ipv4Header& hdr);
   void ForwardPacket(net::MbufPtr packet, net::Ipv4Header hdr);
+  void CountMalformed();
+  // Drops one reassembly buffer, returning its bytes to the budget.
+  void ReleaseReassembly(std::map<ReasmKey, ReasmBuf>::iterator it, bool cancel_timer);
 
   sim::Host& host_;
   Config config_;
@@ -207,6 +218,7 @@ class Ipv4Layer {
   Deliver deliver_;
   IcmpNotify icmp_notify_;
   std::map<ReasmKey, ReasmBuf> reassembly_;
+  std::size_t reasm_bytes_ = 0;  // total payload bytes parked across buffers
   std::uint16_t next_id_ = 1;
   sim::Counter& tx_packets_;
   sim::Counter& tx_fragments_;
@@ -219,6 +231,10 @@ class Ipv4Layer {
   sim::Counter& forwarded_;
   sim::Counter& ttl_exceeded_;
   sim::Counter& no_route_;
+  // Lazily resolved: only hostile runs grow these instruments (keeps
+  // fault-free metrics snapshots byte-identical).
+  sim::Counter* malformed_ = nullptr;       // proto.ip.malformed_drops
+  sim::Counter* reasm_overflow_ = nullptr;  // ip.reasm_overflow_drops
 };
 
 }  // namespace proto

@@ -1,0 +1,57 @@
+// Virtual-clock token bucket for abuse-path rate limiting.
+//
+// The hardened stack must bound how fast it emits RSTs, ICMP errors, and
+// challenge ACKs — otherwise a spoofed-source flood turns the host into a
+// reflection amplifier and drains its own egress mbuf pool (RFC 5961 §10,
+// and the classic ICMP rate limits every production stack ships). The
+// bucket refills lazily off the simulation clock on each Allow() call: no
+// timers, no periodic work, and a bucket that is never pressed never
+// executes anything but two compares. The first Allow() primes the bucket
+// full, so quiescent runs are untouched and deterministic replays stay
+// byte-identical.
+#ifndef PLEXUS_PROTO_RATELIMIT_H_
+#define PLEXUS_PROTO_RATELIMIT_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace proto {
+
+class TokenBucket {
+ public:
+  // Allows bursts of `burst` back-to-back events, sustained `per_second`
+  // events per second thereafter. per_second == 0 disables limiting.
+  TokenBucket(std::uint32_t burst, std::uint32_t per_second)
+      : period_ns_(per_second > 0 ? 1'000'000'000ull / per_second : 0),
+        capacity_ns_(burst * period_ns_) {}
+
+  bool Allow(sim::TimePoint now) {
+    if (period_ns_ == 0) return true;
+    if (!primed_) {
+      primed_ = true;
+      avail_ns_ = capacity_ns_;
+    } else {
+      const std::uint64_t elapsed = static_cast<std::uint64_t>((now - last_).ns());
+      avail_ns_ = std::min(capacity_ns_, avail_ns_ + elapsed);
+    }
+    last_ = now;
+    if (avail_ns_ < period_ns_) return false;
+    avail_ns_ -= period_ns_;
+    return true;
+  }
+
+ private:
+  // Token arithmetic in nanoseconds-of-credit: one event costs period_ns_.
+  // Pure integers — no float drift across replays.
+  std::uint64_t period_ns_;
+  std::uint64_t capacity_ns_;
+  std::uint64_t avail_ns_ = 0;
+  bool primed_ = false;
+  sim::TimePoint last_{};
+};
+
+}  // namespace proto
+
+#endif  // PLEXUS_PROTO_RATELIMIT_H_

@@ -209,6 +209,27 @@ void TcpConnection::Listen() {
   state_ = State::kListen;
 }
 
+void TcpConnection::CompleteFromSynCookie(Seq iss, Seq irs, std::uint16_t snd_wnd,
+                                          std::size_t peer_mss) {
+  assert(state_ == State::kListen);
+  if (state_ != State::kListen) return;
+  irs_ = irs;
+  rcv_nxt_ = irs + 1;
+  iss_ = iss;
+  snd_una_ = iss + 1;
+  snd_nxt_ = iss + 1;
+  snd_max_ = iss + 1;
+  snd_wnd_ = snd_wnd;
+  // The MSS the peer offered on its SYN survived only as the cookie's
+  // 3-bit ladder index; a rounded-down value degrades efficiency slightly,
+  // never correctness. 0 (no option on the SYN) keeps our configured MSS.
+  if (peer_mss > 0) effective_mss_ = std::min(config_.mss, peer_mss);
+  syn_acked_ = true;
+  state_ = State::kEstablished;
+  cwnd_ = static_cast<std::uint32_t>(config_.initial_cwnd_segments * effective_mss_);
+  if (cb_.on_established) cb_.on_established();
+}
+
 std::size_t TcpConnection::Send(std::span<const std::byte> data) {
   if (state_ != State::kEstablished && state_ != State::kCloseWait &&
       state_ != State::kSynSent && state_ != State::kSynReceived) {
@@ -375,6 +396,23 @@ void TcpConnection::SendDataSegment(Seq seq, std::size_t len, bool rtt_candidate
 void TcpConnection::SendAckNow() {
   if (state_ == State::kClosed || state_ == State::kListen || state_ == State::kSynSent) return;
   SendControl(net::tcpflag::kAck, snd_nxt_, /*with_mss_option=*/false);
+}
+
+void TcpConnection::SendChallengeAck() {
+  // The bucket check is pure arithmetic before any charge, so runs that
+  // never trip RFC 5961 (i.e. every pre-hardening workload) are unchanged.
+  if (!challenge_bucket_.Allow(host_.Now())) {
+    if (challenge_ratelimited_ == nullptr) {
+      challenge_ratelimited_ = &host_.metrics().counter("tcp.challenge_acks_ratelimited");
+    }
+    challenge_ratelimited_->Inc();
+    return;
+  }
+  if (challenge_acks_ == nullptr) {
+    challenge_acks_ = &host_.metrics().counter("tcp.challenge_acks");
+  }
+  challenge_acks_->Inc();
+  SendAckNow();
 }
 
 void TcpConnection::SendRst(Seq seq, Seq ack, bool with_ack) {
@@ -567,13 +605,25 @@ void TcpConnection::Input(net::MbufPtr segment, net::Ipv4Address src_ip,
   }
 
   if (has_rst) {
-    EnterClosed("connection reset by peer", /*was_reset=*/true);
+    // RFC 5961 §3.2: only a RST landing exactly on rcv_nxt tears the
+    // connection down. An in-window-but-inexact RST is indistinguishable
+    // from a blind spoof guessing inside our window, so it elicits a
+    // challenge ACK instead; a genuine resetting peer (now CLOSED) answers
+    // the challenge with an exact-sequence RST one RTT later.
+    if (seq == rcv_nxt_) {
+      EnterClosed("connection reset by peer", /*was_reset=*/true);
+    } else {
+      SendChallengeAck();
+    }
     return;
   }
   if (has_syn && SeqGe(seq, rcv_nxt_)) {
-    // SYN in window is an error in synchronized states.
-    SendRst(snd_nxt_, 0, /*with_ack=*/false);
-    EnterClosed("SYN in window", /*was_reset=*/true);
+    // RFC 5961 §4.2: an in-window SYN on a synchronized connection must
+    // not kill it (the old "SYN in window -> RST + teardown" rule let one
+    // blind spoofed SYN reset any guessable connection). Challenge-ack; a
+    // peer that genuinely restarted replies to the challenge with an
+    // exact-sequence RST and the connection resets through the RST path.
+    SendChallengeAck();
     return;
   }
   if (!has_ack) return;  // synchronized states require ACK
@@ -670,6 +720,16 @@ void TcpConnection::ProcessAck(const net::TcpHeader& hdr) {
     // The ack covers data sent before a timeout rewind; pull the send point
     // forward so the byte accounting below stays consistent.
     snd_nxt_ = ack;
+  }
+
+  // RFC 5961 §5.2: an ACK far behind snd_una (more than any plausible
+  // retransmission reordering — we allow 1 MiB) is a blind-data forgery
+  // probe, not a late duplicate. Challenge-ack it before it can feed the
+  // duplicate-ACK machinery below.
+  constexpr Seq kMaxAckBehind = 1u << 20;
+  if (SeqLt(ack + kMaxAckBehind, snd_una_)) {
+    SendChallengeAck();
+    return;
   }
 
   if (SeqLe(ack, snd_una_)) {
@@ -849,8 +909,11 @@ void TcpConnection::ProcessFin(Seq fin_seq) {
   if (SeqGt(rcv_nxt_, fin_seq)) return;  // already processed
   rcv_nxt_ = fin_seq + 1;
   SendAckNow();
-  if (cb_.on_remote_close) cb_.on_remote_close();
 
+  // Transition BEFORE delivering EOF: an app that answers on_remote_close
+  // with an immediate Close() must close from kCloseWait (passive close,
+  // -> LAST_ACK -> CLOSED), not from kEstablished — the latter reads as a
+  // simultaneous close and parks the passive side in TIME_WAIT for 2MSL.
   switch (state_) {
     case State::kEstablished:
       state_ = State::kCloseWait;
@@ -865,6 +928,7 @@ void TcpConnection::ProcessFin(Seq fin_seq) {
     default:
       break;
   }
+  if (cb_.on_remote_close) cb_.on_remote_close();
 }
 
 // --- timers -----------------------------------------------------------------

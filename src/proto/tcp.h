@@ -30,6 +30,7 @@
 #include "net/address.h"
 #include "net/headers.h"
 #include "net/mbuf.h"
+#include "proto/ratelimit.h"
 #include "proto/tcp_seq.h"
 #include "sim/host.h"
 #include "sim/simulator.h"
@@ -152,6 +153,14 @@ class TcpConnection {
   void Connect();
   // Passive open (server side, created by a listener on SYN arrival).
   void Listen();
+  // Stateless-handshake completion (SYN cookies): the listener held no TCB
+  // between the SYN and the handshake ACK, so everything the three-way
+  // handshake would have accumulated is reconstructed here from the cookie
+  // — sequence state, peer window, negotiated MSS — and the connection
+  // jumps LISTEN -> ESTABLISHED. Emits nothing; the caller feeds the
+  // triggering ACK through Input() immediately after.
+  void CompleteFromSynCookie(Seq iss, Seq irs, std::uint16_t snd_wnd,
+                             std::size_t peer_mss);
 
   // Queues application data; returns bytes accepted (bounded by the send
   // buffer). Data flows as the window opens.
@@ -219,6 +228,12 @@ class TcpConnection {
   void SendControl(std::uint8_t flags, Seq seq, bool with_mss_option);
   void SendDataSegment(Seq seq, std::size_t len, bool rtt_candidate);
   void SendAckNow();
+  // RFC 5961 challenge ACK: the response to a blind in-window RST/SYN or a
+  // far-out-of-range ACK. Rate limited per connection so the response
+  // itself cannot be farmed; RFC 793 duplicate-segment re-acks do NOT go
+  // through this (they stay unlimited — retransmission recovery must never
+  // be throttled).
+  void SendChallengeAck();
   // charge_costs=false suppresses the tcp_output/checksum charges (the GSO
   // split path pays them once for the whole jumbo); the frame's real
   // checksum is still computed either way.
@@ -328,6 +343,12 @@ class TcpConnection {
 
   std::size_t effective_mss_;
   bool closed_reported_ = false;
+
+  // RFC 5961 challenge-ACK budget: 4-deep burst, 10/s sustained. Lazily
+  // resolved counters — only attacked runs grow the instruments.
+  TokenBucket challenge_bucket_{4, 10};
+  sim::Counter* challenge_acks_ = nullptr;         // tcp.challenge_acks
+  sim::Counter* challenge_ratelimited_ = nullptr;  // tcp.challenge_acks_ratelimited
 
   // Telemetry sampler state (inactive until EnableSampling).
   sim::Duration sample_interval_;

@@ -52,11 +52,15 @@ void UdpLayer::Input(net::MbufPtr packet, net::Ipv4Address src_ip, net::Ipv4Addr
     hdr = net::ViewPacket<net::UdpHeader>(*packet);
   } catch (const net::ViewError&) {
     ++stats_.rx_bad_header;
+    CountMalformed();
     return;
   }
   const std::size_t claimed = hdr.length.value();
   if (claimed < sizeof(hdr) || claimed > packet->PacketLength()) {
+    // The length field contradicts the bytes that arrived: structural lie,
+    // not a bit error — checksum failures are counted separately.
     ++stats_.rx_bad_header;
+    CountMalformed();
     return;
   }
   if (packet->PacketLength() > claimed) {
@@ -84,6 +88,13 @@ void UdpLayer::Input(net::MbufPtr packet, net::Ipv4Address src_ip, net::Ipv4Addr
   } else {
     ++stats_.rx_no_port;
   }
+}
+
+void UdpLayer::CountMalformed() {
+  if (malformed_ == nullptr) {
+    malformed_ = &host_.metrics().counter("proto.udp.malformed_drops");
+  }
+  malformed_->Inc();
 }
 
 bool UdpLayer::Bind(std::uint16_t port, Receiver receiver) {

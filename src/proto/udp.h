@@ -64,11 +64,16 @@ class UdpLayer {
   const Stats& stats() const { return stats_; }
 
  private:
+  void CountMalformed();
+
   sim::Host& host_;
   Ipv4Layer& ip_;
   std::unordered_map<std::uint16_t, Receiver> receivers_;
   Receiver default_receiver_;
   Stats stats_;
+  // Lazily resolved: only runs that see truncated/lying headers grow the
+  // instrument (keeps fault-free metrics snapshots byte-identical).
+  sim::Counter* malformed_ = nullptr;  // proto.udp.malformed_drops
 };
 
 }  // namespace proto

@@ -16,6 +16,8 @@ const char* ChaosKindName(ChaosKind k) {
     case ChaosKind::kHeal: return "heal";
     case ChaosKind::kCrash: return "crash";
     case ChaosKind::kRestart: return "restart";
+    case ChaosKind::kFuzzStorm: return "fuzz-storm";
+    case ChaosKind::kFuzzCalm: return "fuzz-calm";
   }
   return "?";
 }
@@ -59,6 +61,9 @@ ChaosSchedule ChaosSchedule::Random(std::uint64_t seed, const ChaosConfig& confi
   if (config.w_partition > 0.0 && config.hosts >= 3) {
     families.push_back({ChaosKind::kPartition, ChaosKind::kHeal, config.w_partition});
   }
+  if (config.w_fuzz > 0.0 && config.hosts > 0) {
+    families.push_back({ChaosKind::kFuzzStorm, ChaosKind::kFuzzCalm, config.w_fuzz});
+  }
   if (families.empty()) return out;
   double total_weight = 0.0;
   for (const auto& f : families) total_weight += f.weight;
@@ -68,6 +73,7 @@ ChaosSchedule ChaosSchedule::Random(std::uint64_t seed, const ChaosConfig& confi
   std::vector<Claimed> link_claims(static_cast<std::size_t>(std::max(config.links, 1)));
   std::vector<Claimed> host_claims(static_cast<std::size_t>(std::max(config.hosts, 1)));
   std::vector<Claimed> stall_claims(static_cast<std::size_t>(std::max(config.hosts, 1)));
+  std::vector<Claimed> fuzz_claims(static_cast<std::size_t>(std::max(config.hosts, 1)));
   Claimed partition_claims;
 
   const int want = 1 + static_cast<int>(rng.UniformU64(
@@ -107,6 +113,15 @@ ChaosSchedule ChaosSchedule::Random(std::uint64_t seed, const ChaosConfig& confi
       case ChaosKind::kNicStall:
         target = static_cast<int>(rng.UniformU64(static_cast<std::uint64_t>(config.hosts)));
         claims = &stall_claims[static_cast<std::size_t>(target)];
+        break;
+      case ChaosKind::kFuzzStorm:
+        // Storms deliberately may overlap crashes/stalls/flaps on the same
+        // host: hostile traffic against an already-degraded machine is
+        // exactly the composition this family exists to exercise. Only
+        // storm-on-storm self-overlap is excluded.
+        target = static_cast<int>(rng.UniformU64(static_cast<std::uint64_t>(config.hosts)));
+        claims = &fuzz_claims[static_cast<std::size_t>(target)];
+        aux = rng.NextU64();  // mutation seed: the window replays from it
         break;
       case ChaosKind::kPartition: {
         // Split hosts into two non-empty groups via a random bitmask.

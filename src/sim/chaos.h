@@ -39,6 +39,9 @@ enum class ChaosKind {
   kHeal,       // partition removed
   kCrash,      // target = host ordinal: all protocol state lost instantly
   kRestart,    // target = host ordinal: cold boot with a fresh graph
+  kFuzzStorm,  // target = host ordinal: mutated hostile frames spray its NIC;
+               // aux = the storm's PacketMutator seed (window replays exactly)
+  kFuzzCalm,   // target = host ordinal: the storm stops
 };
 
 const char* ChaosKindName(ChaosKind k);
@@ -66,6 +69,10 @@ struct ChaosConfig {
   double w_crash = 2.0;
   double w_nic_stall = 1.0;
   double w_partition = 0.0;  // only meaningful with >= 3 hosts
+  // Hostile-traffic windows: structure-aware mutated frames sprayed at one
+  // host's NIC (the harness binds a sim::PacketMutator seeded from aux), so
+  // adversarial input composes with crashes, flaps, and partitions.
+  double w_fuzz = 0.0;
 };
 
 class ChaosSchedule {

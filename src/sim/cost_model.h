@@ -73,6 +73,10 @@ struct CostModel {
   Duration tcp_output = Duration::Micros(25);
   Duration arp_process = Duration::Micros(4);
   Duration icmp_process = Duration::Micros(5);
+  // SYN-cookie encode/validate: one keyed hash over the 4-tuple — a few
+  // multiplies and xors on the 21064. Paid per hostile SYN instead of a
+  // whole embryonic TCB, which is the point of the cookie defense.
+  Duration syn_cookie = Duration::Micros(2);
   Duration checksum_per_byte = Duration::Nanos(8);  // 1s-complement sum @133MHz
   Duration mbuf_alloc = Duration::Micros(1);
   Duration mbuf_free = Duration::Nanos(500);

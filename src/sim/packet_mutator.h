@@ -1,0 +1,59 @@
+// Structure-aware packet mutation for adversarial fuzzing.
+//
+// Mutates raw Ethernet frames *knowing* the classic encapsulation layout
+// (eth / IPv4 / {tcp,udp,icmp}), so mutations land on the fields parsers
+// actually branch on — length words, header offsets, option bytes,
+// fragment fields — instead of diffusing into payload bytes nothing reads.
+// Where a mutation lies about a length, the mutator re-seals the IP header
+// checksum and the transport checksum so the lie survives checksum
+// verification and reaches the deep structural validators it is aimed at;
+// a lie that dies at the checksum line tests nothing.
+//
+// Lives in sim/ (not net/) deliberately: it manipulates byte vectors with
+// the wire offsets written out longhand, exactly as an attacker crafting
+// frames would — it must not inherit the victim's own header abstractions,
+// or it could only ever produce frames the victim already believes in.
+#ifndef PLEXUS_SIM_PACKET_MUTATOR_H_
+#define PLEXUS_SIM_PACKET_MUTATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace sim {
+
+class PacketMutator {
+ public:
+  enum class Op {
+    kTruncate,     // cut the frame mid-header or mid-payload (runts)
+    kBitFlip,      // classic dumb fuzzing: 1-3 random bit flips
+    kLengthLie,    // a length/offset field that contradicts the frame
+    kOptionSoup,   // TCP data offset stretched over garbage option bytes
+    kFragOverlap,  // IP fragment fields forged: overlaps, silly offsets
+    kGroBoundary,  // TCP seq/flags/window nudged to break coalescing runs
+  };
+  static constexpr int kOpCount = 6;
+  static const char* OpName(Op op);
+
+  explicit PacketMutator(std::uint64_t seed) : rng_(seed) {}
+
+  // Applies one randomly chosen op. Ops needing structure the frame lacks
+  // (e.g. kOptionSoup on an ARP frame) fall back to kBitFlip, so every
+  // call mutates. Returns the op actually applied.
+  Op Mutate(std::vector<std::uint8_t>& frame);
+
+  // Applies a specific op; returns false (frame untouched) when the frame
+  // cannot host it.
+  bool Apply(Op op, std::vector<std::uint8_t>& frame);
+
+  Random& rng() { return rng_; }
+
+ private:
+  Random rng_;
+};
+
+}  // namespace sim
+
+#endif  // PLEXUS_SIM_PACKET_MUTATOR_H_
